@@ -1,0 +1,82 @@
+//===- hw_ablation.cpp - Ablation: the cost of each secure design ------------===//
+//
+// Sec. 4 sketches two realizations of the hardware contract: the no-fill
+// mode on stock hardware (Sec. 4.2) and the statically partitioned caches
+// (Sec. 4.3), which the paper calls "more efficient". This ablation runs
+// the login and RSA workloads on all three designs and quantifies the
+// trade: no-fill makes every high-context access a full miss; partitioning
+// halves capacity but keeps high contexts cached.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/LoginApp.h"
+#include "apps/RsaApp.h"
+#include "crypto/ToyRsa.h"
+#include "hw/HardwareModels.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace zam;
+
+namespace {
+
+double loginAverage(const SecurityLattice &Lat, const LoginTable &Table,
+                    HwKind Hw) {
+  LoginProgramConfig Config;
+  Config.Mitigated = false; // Isolate the hardware cost.
+  auto Env = createMachineEnv(Hw, Lat);
+  LoginSession S(Lat, Table, Config, *Env);
+  for (unsigned I = 0; I != 100; ++I)
+    S.attempt("user" + std::to_string(I), "x");
+  uint64_t Sum = 0;
+  for (unsigned I = 0; I != 100; ++I)
+    Sum += S.attempt("user" + std::to_string(I), "x").Cycles;
+  return Sum / 100.0;
+}
+
+double rsaTime(const SecurityLattice &Lat, const RsaKey &Key, HwKind Hw) {
+  RsaProgramConfig Config;
+  Config.Mode = RsaMitigationMode::Unmitigated;
+  Config.MaxBlocks = 2;
+  auto Env = createMachineEnv(Hw, Lat);
+  RsaSession S(Lat, Key, Config, *Env);
+  std::vector<uint64_t> Msg = {rsaEncryptBlock(Key, 123456),
+                               rsaEncryptBlock(Key, 654321)};
+  S.decrypt(Msg); // Warm-up.
+  return static_cast<double>(S.decrypt(Msg).Cycles);
+}
+
+} // namespace
+
+int main() {
+  TwoPointLattice Lat;
+  Rng R(161803);
+  LoginTable Table = makeLoginTable(100, 50, R);
+  RsaKey Key = generateRsaKey(R, 53);
+
+  std::printf("=== hardware ablation: workload time by design (cycles,"
+              " unmitigated) ===\n\n");
+  std::printf("  %-12s %14s %14s\n", "design", "login avg", "rsa 2-block");
+
+  double LoginBase = 0, RsaBase = 0;
+  for (HwKind Kind :
+       {HwKind::NoPartition, HwKind::Partitioned, HwKind::NoFill}) {
+    double Login = loginAverage(Lat, Table, Kind);
+    double Rsa = rsaTime(Lat, Key, Kind);
+    if (Kind == HwKind::NoPartition) {
+      LoginBase = Login;
+      RsaBase = Rsa;
+    }
+    std::printf("  %-12s %14.0f %14.0f   (%.2fx / %.2fx)\n",
+                hwKindName(Kind), Login, Rsa, Login / LoginBase,
+                Rsa / RsaBase);
+  }
+
+  std::printf("\n=== shape checks ===\n");
+  std::printf("nopar is fastest but violates the contract (insecure);\n"
+              "partitioned pays a modest capacity penalty (paper: ~11%%);\n"
+              "no-fill pays most in high-context-heavy code (every \n"
+              "high-context access bypasses the cache).\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+//===- leakage_bound.cpp - The Sec. 7 polylogarithmic leakage bound ----------===//
+//
+// Validates the quantitative claim of Sec. 7: leakage through mitigated
+// timing is at most |LeA↑| · log2(K+1) · (1 + log2 T) bits — polylogarithmic
+// in elapsed time — while unmitigated timing leaks linearly many bits.
+//
+// The harness sweeps the secret range of a mitigated sleep(h) (so T grows),
+// measuring the actual number of distinguishable adversary observations (Q)
+// and timing vectors (|V|) against the closed-form bound, and compares with
+// the unmitigated program, where Q tracks the number of secrets exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Leakage.h"
+#include "hw/HardwareModels.h"
+#include "lang/Parser.h"
+#include "types/LabelInference.h"
+#include "types/TypeChecker.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+using namespace zam;
+
+namespace {
+
+Program buildProgram(const SecurityLattice &Lat, bool Mitigated) {
+  const char *MitigatedSrc = "var h : H;\nvar l : L;\n"
+                             "mitigate (64, H) { sleep(h) @[H,H] };\n"
+                             "l := 1";
+  const char *PlainSrc = "var h : H;\nvar l : L;\nsleep(h); l := 1";
+  DiagnosticEngine Diags;
+  std::optional<Program> P =
+      parseProgram(Mitigated ? MitigatedSrc : PlainSrc, Lat, Diags);
+  inferTimingLabels(*P);
+  return std::move(*P);
+}
+
+LeakageResult measure(const Program &P, const SecurityLattice &Lat,
+                      int64_t MaxSecret, unsigned NumSecrets) {
+  auto Env =
+      createMachineEnv(HwKind::Partitioned, Lat, MachineEnvConfig());
+  LeakageSpec Spec;
+  Spec.SourceLevels = LabelSet(Lat, {Lat.top()});
+  Spec.Adversary = Lat.bottom();
+  for (unsigned I = 0; I != NumSecrets; ++I)
+    Spec.Variations.push_back(SecretAssignment{
+        {{"h", static_cast<int64_t>(
+                   (static_cast<uint64_t>(MaxSecret) * I) / NumSecrets)}},
+        {}});
+  return measureLeakage(P, *Env, Spec);
+}
+
+} // namespace
+
+int main() {
+  TwoPointLattice Lat;
+  Program Mitigated = buildProgram(Lat, true);
+  Program Plain = buildProgram(Lat, false);
+
+  std::printf("=== leakage vs elapsed time (64 secrets per row) ===\n");
+  std::printf("%-12s %18s %18s %14s %12s\n", "max secret",
+              "unmitigated Q bits", "mitigated Q bits", "log2|V| bits",
+              "Sec.7 bound");
+  bool BoundHolds = true;
+  for (int64_t MaxSecret : {1000ll, 10'000ll, 100'000ll, 1'000'000ll,
+                            10'000'000ll}) {
+    LeakageResult RPlain = measure(Plain, Lat, MaxSecret, 64);
+    LeakageResult RMit = measure(Mitigated, Lat, MaxSecret, 64);
+    if (RMit.VBits > RMit.ClosedFormBoundBits + 1e-9)
+      BoundHolds = false;
+    if (!RMit.TheoremTwoHolds)
+      BoundHolds = false;
+    std::printf("%-12" PRId64 " %18.2f %18.2f %14.2f %12.2f\n", MaxSecret,
+                RPlain.QBits, RMit.QBits, RMit.VBits,
+                RMit.ClosedFormBoundBits);
+  }
+
+  std::printf("\n=== shape checks ===\n");
+  std::printf("unmitigated leakage tracks log2(#secrets) = 6 bits per row\n");
+  std::printf("mitigated leakage stays ~log2(log(T)) and under the\n"
+              "|LeA^| * log2(K+1) * (1 + log2 T) bound everywhere: %s\n",
+              BoundHolds ? "YES" : "no — INVESTIGATE");
+
+  // Multilevel: the bound scales with |LeA↑|.
+  TotalOrderLattice Lmh({"L", "M", "H"});
+  std::printf("\n|LeA^| scaling on L⊑M⊑H (K=7, T=2^20):\n");
+  for (unsigned Size = 1; Size <= 2; ++Size)
+    std::printf("  |LeA^| = %u -> bound %.1f bits\n", Size,
+                leakageBoundBits(Size, 7, 1 << 20));
+  return BoundHolds ? 0 : 1;
+}

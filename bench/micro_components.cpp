@@ -1,0 +1,145 @@
+//===- micro_components.cpp - Component microbenchmarks ----------------------===//
+//
+// google-benchmark microbenchmarks for the substrates: cache model,
+// machine-environment access paths, the two interpreter engines, the
+// parser, and the type checker. Not a paper experiment — these quantify
+// the simulator itself (how many simulated cycles per host second).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RandomProgram.h"
+#include "apps/LoginApp.h"
+#include "hw/HardwareModels.h"
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+#include "sem/FullInterpreter.h"
+#include "sem/StepInterpreter.h"
+#include "types/LabelInference.h"
+#include "types/TypeChecker.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace zam;
+
+namespace {
+
+const TwoPointLattice &lat() {
+  static const TwoPointLattice Lat;
+  return Lat;
+}
+
+void BM_CacheLookupHit(benchmark::State &State) {
+  Cache C(MachineEnvConfig().L1D);
+  C.install(0x1000);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(C.lookup(0x1000));
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void BM_CacheInstallEvict(benchmark::State &State) {
+  Cache C(MachineEnvConfig().L1D);
+  Addr A = 0;
+  for (auto _ : State) {
+    C.install(A);
+    A += 4096; // March through sets and tags.
+  }
+}
+BENCHMARK(BM_CacheInstallEvict);
+
+void BM_DataAccess(benchmark::State &State) {
+  auto Kind = static_cast<HwKind>(State.range(0));
+  auto Env = createMachineEnv(Kind, lat());
+  Addr A = 0x10000000;
+  uint64_t Total = 0;
+  for (auto _ : State) {
+    Total += Env->dataAccess(A, false, lat().bottom(), lat().bottom());
+    A += 64;
+    if (A > 0x10100000)
+      A = 0x10000000;
+  }
+  benchmark::DoNotOptimize(Total);
+}
+BENCHMARK(BM_DataAccess)
+    ->Arg(static_cast<int>(HwKind::NoPartition))
+    ->Arg(static_cast<int>(HwKind::NoFill))
+    ->Arg(static_cast<int>(HwKind::Partitioned));
+
+Program loopProgram() {
+  DiagnosticEngine Diags;
+  std::optional<Program> P = parseProgram("var i : L;\nvar acc : L;\n"
+                                          "i := 0;\n"
+                                          "while i < 1000 do {\n"
+                                          "  acc := acc + i * 3;\n"
+                                          "  i := i + 1\n"
+                                          "}",
+                                          lat(), Diags);
+  inferTimingLabels(*P);
+  return std::move(*P);
+}
+
+void BM_FullInterpreterLoop(benchmark::State &State) {
+  Program P = loopProgram();
+  for (auto _ : State) {
+    auto Env = createMachineEnv(HwKind::Partitioned, lat());
+    RunResult R = runFull(P, *Env);
+    benchmark::DoNotOptimize(R.T.FinalTime);
+  }
+  State.SetItemsProcessed(State.iterations() * 3002); // Steps per run.
+}
+BENCHMARK(BM_FullInterpreterLoop);
+
+void BM_StepInterpreterLoop(benchmark::State &State) {
+  Program P = loopProgram();
+  for (auto _ : State) {
+    auto Env = createMachineEnv(HwKind::Partitioned, lat());
+    StepInterpreter S(P, *Env);
+    benchmark::DoNotOptimize(S.runToCompletion().FinalTime);
+  }
+  State.SetItemsProcessed(State.iterations() * 3002);
+}
+BENCHMARK(BM_StepInterpreterLoop);
+
+void BM_ParseLoginProgram(benchmark::State &State) {
+  Rng R(1);
+  LoginTable T = makeLoginTable(100, 50, R);
+  LoginProgramConfig Config;
+  Program P = buildLoginProgram(lat(), T, Config);
+  std::string Source = printProgram(P);
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto Parsed = parseProgram(Source, lat(), Diags);
+    benchmark::DoNotOptimize(Parsed->numMitigates());
+  }
+}
+BENCHMARK(BM_ParseLoginProgram);
+
+void BM_TypeCheckLoginProgram(benchmark::State &State) {
+  Rng R(1);
+  LoginTable T = makeLoginTable(100, 50, R);
+  LoginProgramConfig Config;
+  Program P = buildLoginProgram(lat(), T, Config);
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    benchmark::DoNotOptimize(typeCheck(P, Diags));
+  }
+}
+BENCHMARK(BM_TypeCheckLoginProgram);
+
+void BM_LoginAttempt(benchmark::State &State) {
+  Rng R(1);
+  LoginTable T = makeLoginTable(100, 50, R);
+  LoginProgramConfig Config;
+  Config.Mitigated = true;
+  Config.Estimate1 = 1000;
+  Config.Estimate2 = 1000;
+  auto Env = createMachineEnv(HwKind::Partitioned, lat());
+  LoginSession S(lat(), T, Config, *Env);
+  unsigned I = 0;
+  for (auto _ : State) {
+    auto Res = S.attempt("user" + std::to_string(I++ % 100), "pw");
+    benchmark::DoNotOptimize(Res.Cycles);
+  }
+}
+BENCHMARK(BM_LoginAttempt);
+
+} // namespace

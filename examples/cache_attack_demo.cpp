@@ -1,0 +1,81 @@
+//===- cache_attack_demo.cpp - Prime+probe vs the hardware contract ----------===//
+//
+// A well-typed, fully mitigated program still leaks on hardware that breaks
+// the contract: the victim's secret-indexed table lookup leaves a footprint
+// in the shared cache that a prime+probe adversary reads back. On the
+// Sec. 4.3 partitioned hardware the same program leaks nothing. This is the
+// paper's thesis in one run: the type system's guarantee is conditional on
+// Properties 5-7, and hardware must hold up its side.
+//
+// Build & run:  cmake --build build && ./build/examples/cache_attack_demo
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/CacheAttackApp.h"
+#include "hw/HardwareModels.h"
+#include "types/TypeChecker.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace zam;
+
+int main() {
+  TwoPointLattice Lat;
+  CacheAttackConfig Config;
+  const int64_t Key = 0x2b; // The secret AES-style key byte.
+
+  // The program is accepted by the type system (victim mitigated, [H,H]).
+  Program P = buildCacheAttackProgram(Lat, Config);
+  DiagnosticEngine Diags;
+  TypeCheckOptions Opts;
+  Opts.RequireEqualTimingLabels = true;
+  if (!typeCheck(P, Diags, Opts)) {
+    std::fprintf(stderr, "unexpected type error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("victim program type-checks (secret lookup mitigated).\n\n");
+
+  // One illustrative round on each design.
+  for (HwKind Kind : {HwKind::NoPartition, HwKind::Partitioned}) {
+    auto Env = createMachineEnv(Kind, Lat);
+    runPrimeProbe(P, *Env, Key, 0, Config); // Warm-up.
+    ProbeResult Baseline = runPrimeProbe(P, *Env, Key, 0, Config);
+    ProbeResult Round = runPrimeProbe(P, *Env, Key, /*X=*/5, Config);
+    std::printf("=== %s hardware, x=5 ===\n", hwKindName(Kind));
+    std::printf("  victim touched set %u (table line %u)\n", Round.TrueSet,
+                Round.TrueLine);
+    std::printf("  probe deltas vs baseline (only sets with |delta| > 4):\n");
+    unsigned Shown = 0;
+    for (unsigned S = 0; S != Round.SetCycles.size(); ++S) {
+      int64_t D = static_cast<int64_t>(Round.SetCycles[S]) -
+                  static_cast<int64_t>(Baseline.SetCycles[S]);
+      if (D > 4 || D < -4) {
+        std::printf("    set %3u: %+4" PRId64 " cycles%s\n", S, D,
+                    S == Round.TrueSet ? "   <-- the victim's set" : "");
+        ++Shown;
+      }
+    }
+    if (Shown == 0)
+      std::printf("    (none — the probe saw a perfectly uniform cache)\n");
+    std::printf("\n");
+  }
+
+  // Statistical verdict over random attacker inputs.
+  std::printf("=== adversary success rate over 40 rounds ===\n");
+  Rng R1(101), R2(102);
+  double Nopar =
+      primeProbeHitRate(Lat, HwKind::NoPartition, Key, 40, R1, Config);
+  double Part =
+      primeProbeHitRate(Lat, HwKind::Partitioned, Key, 40, R2, Config);
+  std::printf("  nopar:       %4.0f%%  (recovers the secret-indexed set"
+              " almost every round)\n",
+              100 * Nopar);
+  std::printf("  partitioned: %4.0f%%  (chance level is %.1f%%)\n",
+              100 * Part, 100.0 / Config.Sets);
+
+  std::printf("\nEach recovered set pins the secret's table line: with the\n"
+              "public x, that is 4 of the 6 index bits of (x ^ key) — the\n"
+              "classic AES cache attack the paper cites as motivation.\n");
+  return (Nopar > 0.5 && Part < 0.2) ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+//===- Leakage.cpp --------------------------------------------------------===//
+
+#include "analysis/Leakage.h"
+
+#include "support/Diagnostics.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+using namespace zam;
+
+void SecretAssignment::applyTo(Memory &M) const {
+  for (const auto &[Name, Value] : Scalars)
+    M.store(Name, Value);
+  for (const auto &[Name, Values] : Arrays) {
+    MemorySlot &S = M.slot(Name);
+    if (!S.IsArray)
+      reportFatalError("array override applied to a scalar");
+    for (size_t I = 0; I != Values.size() && I != S.Data.size(); ++I)
+      S.Data[I] = Values[I];
+  }
+}
+
+double zam::leakageBoundBits(unsigned UpwardClosureSize,
+                             uint64_t RelevantMitigates, uint64_t ElapsedTime) {
+  if (RelevantMitigates == 0)
+    return 0;
+  double LogK = std::log2(static_cast<double>(RelevantMitigates) + 1.0);
+  double LogT =
+      ElapsedTime > 0 ? std::log2(static_cast<double>(ElapsedTime)) : 0.0;
+  return static_cast<double>(UpwardClosureSize) * LogK * (1.0 + LogT);
+}
+
+std::string zam::timingVectorKey(const Trace &T, const SecurityLattice &Lat,
+                                 const LabelSet &UnobsUpward) {
+  std::string Key;
+  char Buf[64];
+  for (const MitigateRecord &R : T.Mitigations) {
+    if (UnobsUpward.contains(R.PcLabel))
+      continue; // High-context mitigate: excluded by the projection.
+    if (!UnobsUpward.contains(R.Level))
+      continue; // Mitigation level carries no LeA↑ information.
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64 ";", R.Duration);
+    Key += Buf;
+  }
+  return Key;
+}
+
+std::vector<unsigned>
+zam::mitigateIdentityProjection(const Trace &T, const LabelSet &UnobsUpward) {
+  std::vector<unsigned> Out;
+  for (const MitigateRecord &R : T.Mitigations)
+    if (!UnobsUpward.contains(R.PcLabel))
+      Out.push_back(R.Eta);
+  return Out;
+}
+
+LeakageResult zam::measureLeakage(const Program &P,
+                                  const MachineEnv &EnvTemplate,
+                                  const LeakageSpec &Spec,
+                                  InterpreterOptions Opts) {
+  const SecurityLattice &Lat = P.lattice();
+  const LabelSet UnobsUpward =
+      unobservableUpwardClosure(Lat, Spec.SourceLevels, Spec.Adversary);
+
+  LeakageResult Result;
+  std::map<std::string, unsigned> Observations;
+  std::set<std::string> TimingVectors;
+  std::vector<unsigned> FirstIdentity;
+  bool HaveFirst = false;
+  Result.MitigatesLowDeterministic = true;
+
+  const Memory Base = Memory::fromProgram(P, Opts.Costs.DataBase);
+
+  for (const SecretAssignment &Variation : Spec.Variations) {
+    std::unique_ptr<MachineEnv> Env = EnvTemplate.clone();
+    FullInterpreter Interp(P, *Env, Opts);
+    Variation.applyTo(Interp.memory());
+
+    // Validate that the variation only touches LeA↑ variables; anything
+    // else would measure flows Definition 1 does not quantify over.
+    for (const MemorySlot &S : Interp.memory().slots()) {
+      const MemorySlot &B = Base.slot(S.Name);
+      if (S.Data != B.Data && !UnobsUpward.contains(S.SecLabel))
+        reportFatalError(
+            "secret variation modifies a variable outside LeA-upward");
+    }
+
+    RunResult R = Interp.run();
+    ++Observations[R.T.observationKey(Spec.Adversary, Lat)];
+    TimingVectors.insert(timingVectorKey(R.T, Lat, UnobsUpward));
+
+    std::vector<unsigned> Identity =
+        mitigateIdentityProjection(R.T, UnobsUpward);
+    if (!HaveFirst) {
+      FirstIdentity = std::move(Identity);
+      HaveFirst = true;
+    } else if (Identity != FirstIdentity) {
+      Result.MitigatesLowDeterministic = false;
+    }
+
+    Result.MaxFinalTime = std::max(Result.MaxFinalTime, R.T.FinalTime);
+    uint64_t Relevant = 0;
+    for (const MitigateRecord &Rec : R.T.Mitigations)
+      if (!UnobsUpward.contains(Rec.PcLabel) &&
+          UnobsUpward.contains(Rec.Level))
+        ++Relevant;
+    Result.RelevantMitigates = std::max(Result.RelevantMitigates, Relevant);
+  }
+
+  Result.DistinctObservations = Observations.size();
+  Result.QBits = Observations.empty()
+                     ? 0.0
+                     : std::log2(static_cast<double>(Observations.size()));
+  // Under a uniform prior on the variations, the run is a deterministic
+  // channel S → O: Shannon leakage I(S;O) = H(O); min-entropy leakage is
+  // log2 of the number of observation classes (= Q).
+  const double N = static_cast<double>(Spec.Variations.size());
+  for (const auto &[Key, Count] : Observations) {
+    double Prob = static_cast<double>(Count) / N;
+    Result.ShannonBits -= Prob * std::log2(Prob);
+  }
+  Result.MinEntropyBits = Result.QBits;
+  Result.DistinctTimingVectors = TimingVectors.size();
+  Result.VBits = TimingVectors.empty()
+                     ? 0.0
+                     : std::log2(static_cast<double>(TimingVectors.size()));
+  Result.TheoremTwoHolds =
+      Result.DistinctObservations <=
+      std::max<unsigned>(Result.DistinctTimingVectors, 1);
+  Result.ClosedFormBoundBits = leakageBoundBits(
+      UnobsUpward.count(), Result.RelevantMitigates, Result.MaxFinalTime);
+  return Result;
+}

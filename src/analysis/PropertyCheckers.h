@@ -1,0 +1,111 @@
+//===- PropertyCheckers.h - Dynamic checks of Properties 1-7 ----*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable checkers for the software/hardware contract: the faithfulness
+/// properties (1: adequacy, 2: determinism, 3: sequential composition,
+/// 4: accurate sleep) and the security properties (5: write label, 6: read
+/// label, 7: single-step machine-environment noninterference) of Sec. 3,
+/// plus end-to-end checkers for Theorem 1 (memory and machine-environment
+/// noninterference of well-typed programs).
+///
+/// These are the instruments a hardware designer would run against a new
+/// MachineEnv implementation to validate it against the contract; the
+/// property-based tests drive them with randomized commands, memories and
+/// environments. Checkers return true when the property held on the given
+/// instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_ANALYSIS_PROPERTYCHECKERS_H
+#define ZAM_ANALYSIS_PROPERTYCHECKERS_H
+
+#include "hw/MachineEnv.h"
+#include "lang/Ast.h"
+#include "sem/FullInterpreter.h"
+#include "sem/Memory.h"
+
+#include <string>
+
+namespace zam {
+
+/// Failure details from a checker, for test diagnostics.
+struct PropertyReport {
+  bool Holds = true;
+  std::string Detail;
+
+  static PropertyReport ok() { return PropertyReport(); }
+  static PropertyReport fail(std::string Detail) {
+    return PropertyReport{false, std::move(Detail)};
+  }
+};
+
+/// Property 1 (adequacy): the full semantics computes exactly the core
+/// semantics' final memory and assignment-event sequence (values in order;
+/// the core semantics has no times).
+PropertyReport checkAdequacy(const Program &P, const MachineEnv &EnvTemplate,
+                             InterpreterOptions Opts = InterpreterOptions());
+
+/// Property 2 (deterministic execution): two runs from equal configurations
+/// produce equal memories, machine environments, and clocks.
+PropertyReport checkDeterminism(const Program &P,
+                                const MachineEnv &EnvTemplate,
+                                InterpreterOptions Opts = InterpreterOptions());
+
+/// Property 3 (sequential composition): running c1;c2 equals running c1 to
+/// stop and then c2 from the resulting configuration.
+PropertyReport
+checkSequentialComposition(const Program &P, const Cmd &C1, const Cmd &C2,
+                           const Memory &InitialMemory,
+                           const MachineEnv &EnvTemplate,
+                           InterpreterOptions Opts = InterpreterOptions());
+
+/// Property 4 (accurate sleep): (sleep n)[er,ew] with a literal n consumes
+/// exactly max(n, 0) cycles.
+PropertyReport checkSleepDuration(const Program &P, int64_t N, Label Read,
+                                  Label Write, const MachineEnv &EnvTemplate,
+                                  InterpreterOptions Opts = InterpreterOptions());
+
+/// Property 5 (write label): a single evaluation step of \p C cannot modify
+/// machine-environment state at any level ℓ with ew ⋢ ℓ.
+PropertyReport checkWriteLabel(const Program &P, const Cmd &C,
+                               const Memory &InitialMemory,
+                               const MachineEnv &EnvTemplate,
+                               InterpreterOptions Opts = InterpreterOptions());
+
+/// Property 6 (read label): a single step of \p C takes the same time in
+/// (m1, E1) and (m2, E2) whenever the memories agree on vars1(C) and
+/// E1 ~er E2. The memories must cover the same Γ.
+PropertyReport checkReadLabel(const Program &P, const Cmd &C, const Memory &M1,
+                              const Memory &M2, const MachineEnv &E1,
+                              const MachineEnv &E2,
+                              InterpreterOptions Opts = InterpreterOptions());
+
+/// Property 7 (single-step machine-environment noninterference): for every
+/// level ℓ, if m1 ~ℓ m2 and E1 ~ℓ E2 then the post-step environments remain
+/// ~ℓ-equivalent.
+PropertyReport checkSingleStepNI(const Program &P, const Cmd &C,
+                                 const Memory &M1, const Memory &M2,
+                                 const MachineEnv &E1, const MachineEnv &E2,
+                                 Label Level,
+                                 InterpreterOptions Opts = InterpreterOptions());
+
+/// The labeled command whose [er,ew] govern the next transition of \p C:
+/// descends the Seq spine (a step of c1;c2 is a step of c1, Property 3).
+const Cmd &activeCommand(const Cmd &C);
+
+/// Theorem 1 (memory and machine-environment noninterference): for a
+/// well-typed program, executions from ℓ-equivalent memories and
+/// environments end in ℓ-equivalent memories and environments.
+PropertyReport checkNoninterference(const Program &P, const Memory &M1,
+                                    const Memory &M2, const MachineEnv &E1,
+                                    const MachineEnv &E2, Label Level,
+                                    InterpreterOptions Opts = InterpreterOptions());
+
+} // namespace zam
+
+#endif // ZAM_ANALYSIS_PROPERTYCHECKERS_H

@@ -1,0 +1,93 @@
+//===- CacheAttackApp.h - Prime+probe on a secret table lookup --*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating *indirect* timing dependency (Sec. 2.1): a victim
+/// performs one AES-style secret-indexed table lookup, and a coresident
+/// adversary recovers the accessed cache set with a classic prime+probe —
+/// all within one object-language program:
+///
+///   1. PRIME  (low):  walk a probe array that fills every L1D set;
+///   2. VICTIM (high): mitigate (e, H) { yv := sbox[(x ^ key) & 63] };
+///   3. PROBE  (low):  re-walk the probe array set by set, emitting a public
+///                     event after each set — the adversary reads the event
+///                     timestamps and calls the slowest set the victim's.
+///
+/// The program is *well-typed*: the victim runs with [H,H] labels inside a
+/// mitigate, so the type system accepts it. Whether the attack works is
+/// decided entirely by the hardware side of the contract:
+///
+///   - on commodity (nopar) hardware the victim's line is installed in the
+///     shared cache, evicting primed lines — the probe recovers the set and
+///     hence bits of the key (Property 5 violated);
+///   - on partitioned hardware the victim touches only the H partition and
+///     the probe sees uniform timing — nothing leaks.
+///
+/// This is the paper's core thesis in one experiment: language-level typing
+/// and hardware-level guarantees are only sound together.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_APPS_CACHEATTACKAPP_H
+#define ZAM_APPS_CACHEATTACKAPP_H
+
+#include "hw/MachineEnv.h"
+#include "lang/Ast.h"
+#include "sem/FullInterpreter.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace zam {
+
+/// Geometry of the attack, tied to the L1 D-cache configuration.
+struct CacheAttackConfig {
+  unsigned Sets = 128;      ///< L1D sets (nopar geometry).
+  unsigned Ways = 4;        ///< L1D associativity.
+  unsigned LineBytes = 32;  ///< L1D line size.
+  unsigned SboxEntries = 64; ///< Secret table entries (16 lines of 4 words).
+
+  unsigned wordsPerLine() const { return LineBytes / 8; }
+  unsigned probeLines() const { return Sets * Ways; }
+  unsigned probeEntries() const { return probeLines() * wordsPerLine(); }
+};
+
+/// Builds the prime+victim+probe program. `key` is the only H scalar; the
+/// attacker-chosen input x and the probe machinery are public.
+Program buildCacheAttackProgram(const SecurityLattice &Lat,
+                                const CacheAttackConfig &Config,
+                                int64_t MitigateEstimate = 4096);
+
+/// Result of one prime+probe round.
+struct ProbeResult {
+  /// Per-set probe duration (cycles), index = cache set.
+  std::vector<uint64_t> SetCycles;
+  /// The set the adversary calls the victim's (argmax of SetCycles).
+  unsigned RecoveredSet = 0;
+  /// Ground truth: the L1 set (in nopar geometry) of the victim's line.
+  unsigned TrueSet = 0;
+  /// The secret's table line index, for key-recovery arithmetic.
+  unsigned TrueLine = 0;
+};
+
+/// Runs one round with the given secret key and public input x on \p Env.
+/// The program's alignment inputs are derived from the memory layout so the
+/// probe array covers every set.
+ProbeResult runPrimeProbe(const Program &P, MachineEnv &Env, int64_t Key,
+                          int64_t X,
+                          const CacheAttackConfig &Config = CacheAttackConfig());
+
+/// Convenience: fraction of \p Rounds (with random x) in which the
+/// adversary's recovered set equals the truth. ≈1 on leaky hardware,
+/// ≈1/Sets on hardware honoring the contract.
+double primeProbeHitRate(const SecurityLattice &Lat, HwKind Hw, int64_t Key,
+                         unsigned Rounds, Rng &R,
+                         const CacheAttackConfig &Config = CacheAttackConfig());
+
+} // namespace zam
+
+#endif // ZAM_APPS_CACHEATTACKAPP_H

@@ -1,0 +1,50 @@
+//===- Md5.h - MD5 message digest (RFC 1321) --------------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch MD5 implementation. The Sec. 8.3 web-login case study
+/// stores MD5 digests of valid usernames and passwords in its hashmap; this
+/// module generates that workload data. It is a substrate for reproducing
+/// the paper's experiments, not audited cryptography.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_CRYPTO_MD5_H
+#define ZAM_CRYPTO_MD5_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace zam {
+
+/// A 128-bit MD5 digest.
+struct Md5Digest {
+  std::array<uint8_t, 16> Bytes{};
+
+  /// Lowercase hex rendering (32 characters).
+  std::string hex() const;
+
+  /// The first 8 bytes as a little-endian 64-bit word — the compact digest
+  /// the case-study programs store in object-language arrays.
+  int64_t low64() const;
+
+  /// 64-bit word \p Index (0 or 1) of the digest, little-endian.
+  int64_t word(unsigned Index) const;
+
+  bool operator==(const Md5Digest &Other) const = default;
+};
+
+/// Computes MD5 over \p Data (\p Len bytes).
+Md5Digest md5(const void *Data, size_t Len);
+
+/// Computes MD5 over a string.
+Md5Digest md5(const std::string &Text);
+
+} // namespace zam
+
+#endif // ZAM_CRYPTO_MD5_H

@@ -1,0 +1,80 @@
+//===- ModMath.cpp --------------------------------------------------------===//
+
+#include "crypto/ModMath.h"
+
+#include <initializer_list>
+
+using namespace zam;
+
+uint64_t zam::mulmod(uint64_t A, uint64_t B, uint64_t M) {
+  return static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(A) * B) % M);
+}
+
+uint64_t zam::powmod(uint64_t Base, uint64_t Exp, uint64_t M) {
+  if (M == 1)
+    return 0;
+  uint64_t Result = 1;
+  Base %= M;
+  while (Exp != 0) {
+    if (Exp & 1)
+      Result = mulmod(Result, Base, M);
+    Base = mulmod(Base, Base, M);
+    Exp >>= 1;
+  }
+  return Result;
+}
+
+uint64_t zam::invmod(uint64_t A, uint64_t M) {
+  // Extended Euclid over signed 128-bit accumulators.
+  __int128 T = 0, NewT = 1;
+  __int128 R = M, NewR = A % M;
+  while (NewR != 0) {
+    __int128 Q = R / NewR;
+    __int128 Tmp = T - Q * NewT;
+    T = NewT;
+    NewT = Tmp;
+    Tmp = R - Q * NewR;
+    R = NewR;
+    NewR = Tmp;
+  }
+  if (R != 1)
+    return 0; // Not invertible.
+  if (T < 0)
+    T += M;
+  return static_cast<uint64_t>(T);
+}
+
+bool zam::isPrime(uint64_t N) {
+  if (N < 2)
+    return false;
+  for (uint64_t P : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    if (N % P == 0)
+      return N == P;
+  }
+  uint64_t D = N - 1;
+  unsigned S = 0;
+  while ((D & 1) == 0) {
+    D >>= 1;
+    ++S;
+  }
+  // This witness set is deterministic for all 64-bit integers.
+  for (uint64_t A : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                     23ull, 29ull, 31ull, 37ull}) {
+    uint64_t X = powmod(A % N, D, N);
+    if (X == 1 || X == N - 1)
+      continue;
+    bool Composite = true;
+    for (unsigned I = 1; I < S; ++I) {
+      X = mulmod(X, X, N);
+      if (X == N - 1) {
+        Composite = false;
+        break;
+      }
+    }
+    if (Composite)
+      return false;
+  }
+  return true;
+}

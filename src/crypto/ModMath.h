@@ -1,0 +1,36 @@
+//===- ModMath.h - 64-bit modular arithmetic --------------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Modular arithmetic helpers (128-bit intermediate products) used by the
+/// toy RSA substrate and as the C++ reference against which the
+/// object-language square-and-multiply implementation is validated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_CRYPTO_MODMATH_H
+#define ZAM_CRYPTO_MODMATH_H
+
+#include <cstdint>
+
+namespace zam {
+
+/// (A * B) mod M without overflow; M must be nonzero.
+uint64_t mulmod(uint64_t A, uint64_t B, uint64_t M);
+
+/// (Base ^ Exp) mod M by square-and-multiply; M must be nonzero.
+uint64_t powmod(uint64_t Base, uint64_t Exp, uint64_t M);
+
+/// Extended-Euclid modular inverse; returns 0 when gcd(A, M) != 1.
+uint64_t invmod(uint64_t A, uint64_t M);
+
+/// Deterministic Miller-Rabin, exact for all 64-bit inputs.
+bool isPrime(uint64_t N);
+
+} // namespace zam
+
+#endif // ZAM_CRYPTO_MODMATH_H

@@ -1,0 +1,80 @@
+//===- ToyRsa.cpp ---------------------------------------------------------===//
+
+#include "crypto/ToyRsa.h"
+
+#include "crypto/ModMath.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+
+using namespace zam;
+
+unsigned RsaKey::privateExponentBits() const {
+  unsigned Bits = 0;
+  uint64_t V = D;
+  while (V != 0) {
+    ++Bits;
+    V >>= 1;
+  }
+  return Bits;
+}
+
+static uint64_t randomPrime(Rng &R, unsigned Bits) {
+  const uint64_t Lo = 1ull << (Bits - 1);
+  const uint64_t Hi = (1ull << Bits) - 1;
+  for (unsigned Attempt = 0; Attempt != 100000; ++Attempt) {
+    uint64_t Candidate = Lo + R.nextBelow(Hi - Lo + 1);
+    Candidate |= 1; // Odd.
+    if (isPrime(Candidate))
+      return Candidate;
+  }
+  reportFatalError("prime sampling failed");
+}
+
+RsaKey zam::generateRsaKey(Rng &R, unsigned ModulusBits) {
+  ModulusBits = std::clamp(ModulusBits, 16u, 61u);
+  const unsigned PrimeBits = ModulusBits / 2;
+  for (;;) {
+    uint64_t P = randomPrime(R, PrimeBits);
+    uint64_t Q = randomPrime(R, ModulusBits - PrimeBits);
+    if (P == Q)
+      continue;
+    uint64_t N = P * Q;
+    uint64_t Phi = (P - 1) * (Q - 1);
+    uint64_t E = 65537;
+    uint64_t D = invmod(E, Phi);
+    if (D == 0)
+      continue; // gcd(e, φ) ≠ 1; resample.
+    return RsaKey{N, E, D};
+  }
+}
+
+uint64_t zam::rsaEncryptBlock(const RsaKey &Key, uint64_t Plain) {
+  return powmod(Plain % Key.N, Key.E, Key.N);
+}
+
+uint64_t zam::rsaDecryptBlock(const RsaKey &Key, uint64_t Cipher) {
+  return powmod(Cipher % Key.N, Key.D, Key.N);
+}
+
+std::vector<uint64_t>
+zam::rsaEncryptMessage(const RsaKey &Key, const std::vector<uint8_t> &Message) {
+  // Pack 6 bytes per block (48 bits < any ≥49-bit modulus we generate).
+  std::vector<uint64_t> Blocks;
+  for (size_t I = 0; I < Message.size(); I += 6) {
+    uint64_t Block = 0;
+    for (size_t J = 0; J != 6 && I + J < Message.size(); ++J)
+      Block |= static_cast<uint64_t>(Message[I + J]) << (8 * J);
+    Blocks.push_back(rsaEncryptBlock(Key, Block % Key.N));
+  }
+  return Blocks;
+}
+
+std::vector<uint64_t>
+zam::rsaDecryptBlocks(const RsaKey &Key, const std::vector<uint64_t> &Blocks) {
+  std::vector<uint64_t> Out;
+  Out.reserve(Blocks.size());
+  for (uint64_t B : Blocks)
+    Out.push_back(rsaDecryptBlock(Key, B));
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- ToyRsa.h - Small-modulus RSA for the Sec. 8.4 case study -*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textbook RSA over ≤61-bit moduli. The paper used the 1024-bit RSA
+/// reference implementation on SimpleScalar; the timing channel it
+/// mitigates is the private-exponent-dependent control flow of
+/// square-and-multiply modular exponentiation, which is equally present at
+/// 61 bits (DESIGN.md §1 documents the substitution). The C++ routines here
+/// generate keys and ciphertext blocks; decryption is performed *in the
+/// object language* (apps/RsaApp.h) so that its timing flows through the
+/// simulated machine environment.
+///
+/// Toy parameters; not secure cryptography.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_CRYPTO_TOYRSA_H
+#define ZAM_CRYPTO_TOYRSA_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace zam {
+
+/// An RSA key pair over a small modulus.
+struct RsaKey {
+  uint64_t N = 0; ///< Modulus p·q.
+  uint64_t E = 0; ///< Public exponent.
+  uint64_t D = 0; ///< Private exponent (the secret of the case study).
+
+  /// Number of significant bits in D (the square-and-multiply trip count).
+  unsigned privateExponentBits() const;
+};
+
+/// Generates a key pair whose modulus has roughly \p ModulusBits bits
+/// (clamped to [16, 61]). Primes are sampled deterministically from \p R.
+RsaKey generateRsaKey(Rng &R, unsigned ModulusBits = 61);
+
+/// Encrypts/decrypts one block (block values must be < N).
+uint64_t rsaEncryptBlock(const RsaKey &Key, uint64_t Plain);
+uint64_t rsaDecryptBlock(const RsaKey &Key, uint64_t Cipher);
+
+/// Splits a byte message into sub-modulus blocks and encrypts them.
+std::vector<uint64_t> rsaEncryptMessage(const RsaKey &Key,
+                                        const std::vector<uint8_t> &Message);
+
+/// Decrypts a block sequence (C++ reference; the experiment decrypts in the
+/// object language and validates against this).
+std::vector<uint64_t> rsaDecryptBlocks(const RsaKey &Key,
+                                       const std::vector<uint64_t> &Blocks);
+
+} // namespace zam
+
+#endif // ZAM_CRYPTO_TOYRSA_H

@@ -1,0 +1,67 @@
+//===- Cache.cpp ----------------------------------------------------------===//
+
+#include "hw/Cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace zam;
+
+Cache::Cache(const CacheConfig &Config) : Config(Config) {
+  assert(Config.NumSets > 0 && Config.Assoc > 0 && Config.BlockBytes > 0 &&
+         "degenerate cache configuration");
+  Sets.resize(Config.NumSets);
+}
+
+bool Cache::lookup(Addr A) {
+  std::vector<uint64_t> &Set = Sets[setOf(A)];
+  uint64_t Tag = tagOf(A);
+  auto It = std::find(Set.begin(), Set.end(), Tag);
+  if (It == Set.end())
+    return false;
+  // Promote to MRU.
+  Set.erase(It);
+  Set.insert(Set.begin(), Tag);
+  return true;
+}
+
+bool Cache::probe(Addr A) const {
+  const std::vector<uint64_t> &Set = Sets[setOf(A)];
+  uint64_t Tag = tagOf(A);
+  return std::find(Set.begin(), Set.end(), Tag) != Set.end();
+}
+
+void Cache::install(Addr A) {
+  std::vector<uint64_t> &Set = Sets[setOf(A)];
+  uint64_t Tag = tagOf(A);
+  auto It = std::find(Set.begin(), Set.end(), Tag);
+  if (It != Set.end())
+    Set.erase(It);
+  else if (Set.size() == Config.Assoc)
+    Set.pop_back(); // Evict LRU.
+  Set.insert(Set.begin(), Tag);
+}
+
+void Cache::remove(Addr A) {
+  std::vector<uint64_t> &Set = Sets[setOf(A)];
+  uint64_t Tag = tagOf(A);
+  auto It = std::find(Set.begin(), Set.end(), Tag);
+  if (It != Set.end())
+    Set.erase(It);
+}
+
+void Cache::reset() {
+  for (std::vector<uint64_t> &Set : Sets)
+    Set.clear();
+}
+
+void Cache::randomize(Rng &R, double FillFraction) {
+  reset();
+  for (std::vector<uint64_t> &Set : Sets)
+    for (unsigned Way = 0; Way != Config.Assoc; ++Way)
+      if (R.nextDouble() < FillFraction) {
+        uint64_t Tag = R.nextBelow(1u << 16);
+        if (std::find(Set.begin(), Set.end(), Tag) == Set.end())
+          Set.push_back(Tag);
+      }
+}

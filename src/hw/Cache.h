@@ -1,0 +1,77 @@
+//===- Cache.h - Set-associative cache model --------------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative, LRU cache holding only (tag, valid) pairs — the
+/// coarse-grained machine-environment abstraction argued for in Sec. 4.1:
+/// data-block contents do not affect access time, so they are deliberately
+/// not part of the state. This is what lets confidential values reside in a
+/// public cache partition without violating single-step noninterference
+/// (Property 7). The same class models TLBs (block size = page size).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_HW_CACHE_H
+#define ZAM_HW_CACHE_H
+
+#include "hw/CacheConfig.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace zam {
+
+/// One cache-like structure. State per set is the list of resident tags in
+/// LRU order (front = most recently used). Replacement is strict LRU.
+class Cache {
+public:
+  explicit Cache(const CacheConfig &Config);
+
+  const CacheConfig &config() const { return Config; }
+  uint64_t latency() const { return Config.Latency; }
+
+  /// Hit test that promotes the line to MRU on a hit. \returns true on hit.
+  bool lookup(Addr A);
+
+  /// Hit test with no state change at all (used for no-fill accesses and
+  /// for hits that may not disturb another partition's LRU state).
+  bool probe(Addr A) const;
+
+  /// Installs the block containing \p A as MRU, evicting the LRU way if the
+  /// set is full. Installing a resident block just promotes it.
+  void install(Addr A);
+
+  /// Removes the block containing \p A if resident (consistency moves in
+  /// the partitioned design).
+  void remove(Addr A);
+
+  /// Flushes all contents.
+  void reset();
+
+  /// Fills the cache with random resident tags; \p FillFraction in [0,1].
+  /// Used by property-based tests to explore machine-environment states.
+  void randomize(Rng &R, double FillFraction = 0.5);
+
+  /// Structural equality of (tags, valid bits, LRU order): the projected
+  /// equivalence of Sec. 3.3 at the granularity of one structure.
+  bool operator==(const Cache &Other) const = default;
+
+private:
+  uint64_t tagOf(Addr A) const { return A / Config.BlockBytes / Config.NumSets; }
+  unsigned setOf(Addr A) const {
+    return static_cast<unsigned>((A / Config.BlockBytes) % Config.NumSets);
+  }
+
+  CacheConfig Config;
+  /// Sets[S] = resident tags of set S in MRU-to-LRU order.
+  std::vector<std::vector<uint64_t>> Sets;
+};
+
+} // namespace zam
+
+#endif // ZAM_HW_CACHE_H

@@ -1,0 +1,307 @@
+//===- HardwareModels.cpp -------------------------------------------------===//
+
+#include "hw/HardwareModels.h"
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+
+using namespace zam;
+
+const char *zam::hwKindName(HwKind Kind) {
+  switch (Kind) {
+  case HwKind::NoPartition:
+    return "nopar";
+  case HwKind::NoFill:
+    return "nofill";
+  case HwKind::Partitioned:
+    return "partitioned";
+  }
+  return "unknown";
+}
+
+MachineEnv::~MachineEnv() = default;
+
+bool MachineEnv::equivalentUpTo(const MachineEnv &Other, Label L) const {
+  for (Label Lv : Lat->allLabels())
+    if (Lat->flowsTo(Lv, L) && !projectionEquals(Other, Lv))
+      return false;
+  return true;
+}
+
+std::string MachineEnv::describe() const {
+  std::string Out = hwKindName(Kind);
+  Out += " hardware over a ";
+  Out += std::to_string(Lat->size());
+  Out += "-level lattice";
+  return Out;
+}
+
+std::unique_ptr<MachineEnv>
+zam::createMachineEnv(HwKind Kind, const SecurityLattice &Lat,
+                      const MachineEnvConfig &Config) {
+  switch (Kind) {
+  case HwKind::NoPartition:
+    return std::make_unique<NoPartitionHw>(Lat, Config);
+  case HwKind::NoFill:
+    return std::make_unique<NoFillHw>(Lat, Config);
+  case HwKind::Partitioned:
+    return std::make_unique<PartitionedHw>(Lat, Config);
+  }
+  reportFatalError("unknown hardware kind");
+}
+
+//===----------------------------------------------------------------------===//
+// UnifiedHwBase
+//===----------------------------------------------------------------------===//
+
+UnifiedHwBase::UnifiedHwBase(HwKind Kind, const SecurityLattice &Lat,
+                             const MachineEnvConfig &Config)
+    : MachineEnv(Kind, Lat, Config), L1D(Config.L1D), L2D(Config.L2D),
+      L1I(Config.L1I), L2I(Config.L2I), DTlb(Config.DTlb), ITlb(Config.ITlb) {}
+
+namespace {
+/// Walks one TLB + two-level cache path. \p Fill selects between normal
+/// operation and no-fill probing (no installs, no LRU updates).
+uint64_t unifiedPath(Cache &Tlb, Cache &L1, Cache &L2, Addr A, bool Fill,
+                     uint64_t MemLatency, uint64_t &TlbHits,
+                     uint64_t &TlbMisses, uint64_t &L1Hits, uint64_t &L1Misses,
+                     uint64_t &L2Hits, uint64_t &L2Misses) {
+  uint64_t Cycles = 0;
+
+  bool TlbHit = Fill ? Tlb.lookup(A) : Tlb.probe(A);
+  if (TlbHit) {
+    ++TlbHits;
+  } else {
+    ++TlbMisses;
+    Cycles += Tlb.latency();
+    if (Fill)
+      Tlb.install(A);
+  }
+
+  Cycles += L1.latency();
+  bool L1Hit = Fill ? L1.lookup(A) : L1.probe(A);
+  if (L1Hit) {
+    ++L1Hits;
+    return Cycles;
+  }
+  ++L1Misses;
+
+  Cycles += L2.latency();
+  bool L2Hit = Fill ? L2.lookup(A) : L2.probe(A);
+  if (L2Hit) {
+    ++L2Hits;
+  } else {
+    ++L2Misses;
+    Cycles += MemLatency;
+    if (Fill)
+      L2.install(A);
+  }
+  if (Fill)
+    L1.install(A);
+  return Cycles;
+}
+} // namespace
+
+uint64_t UnifiedHwBase::dataAccess(Addr A, bool IsStore, Label Read,
+                                   Label Write) {
+  assert(lattice().contains(Read) && lattice().contains(Write) &&
+         "labels from another lattice");
+  return unifiedPath(DTlb, L1D, L2D, A, mayFill(Write), Config.MemLatency,
+                     Stats.DTlbHit, Stats.DTlbMiss, Stats.L1DHit,
+                     Stats.L1DMiss, Stats.L2DHit, Stats.L2DMiss);
+}
+
+uint64_t UnifiedHwBase::fetch(Addr A, Label Read, Label Write) {
+  assert(lattice().contains(Read) && lattice().contains(Write) &&
+         "labels from another lattice");
+  return unifiedPath(ITlb, L1I, L2I, A, mayFill(Write), Config.MemLatency,
+                     Stats.ITlbHit, Stats.ITlbMiss, Stats.L1IHit,
+                     Stats.L1IMiss, Stats.L2IHit, Stats.L2IMiss);
+}
+
+bool UnifiedHwBase::projectionEquals(const MachineEnv &Other, Label L) const {
+  assert(Other.hwKind() == hwKind() && "comparing different hardware designs");
+  // All state lives at ⊥; projections at other levels are empty.
+  if (L != lattice().bottom())
+    return true;
+  const auto &O = static_cast<const UnifiedHwBase &>(Other);
+  return L1D == O.L1D && L2D == O.L2D && L1I == O.L1I && L2I == O.L2I &&
+         DTlb == O.DTlb && ITlb == O.ITlb;
+}
+
+void UnifiedHwBase::reset() {
+  L1D.reset();
+  L2D.reset();
+  L1I.reset();
+  L2I.reset();
+  DTlb.reset();
+  ITlb.reset();
+}
+
+void UnifiedHwBase::randomize(Rng &R) {
+  L1D.randomize(R);
+  L2D.randomize(R);
+  L1I.randomize(R);
+  L2I.randomize(R);
+  DTlb.randomize(R);
+  ITlb.randomize(R);
+}
+
+void UnifiedHwBase::perturbAbove(Label L, Rng &R) {
+  // All state is at ⊥ and ⊥ ⊑ L for every L, so nothing may change.
+}
+
+std::unique_ptr<MachineEnv> NoPartitionHw::clone() const {
+  return std::make_unique<NoPartitionHw>(*this);
+}
+
+std::unique_ptr<MachineEnv> NoFillHw::clone() const {
+  return std::make_unique<NoFillHw>(*this);
+}
+
+//===----------------------------------------------------------------------===//
+// PartitionedHw
+//===----------------------------------------------------------------------===//
+
+CacheConfig PartitionedHw::partitionConfig(const CacheConfig &Full) const {
+  CacheConfig Part = Full;
+  Part.NumSets = std::max(1u, Full.NumSets / lattice().size());
+  return Part;
+}
+
+PartitionedHw::Partitioned
+PartitionedHw::makePartitions(const CacheConfig &Full) const {
+  Partitioned P;
+  CacheConfig Part = partitionConfig(Full);
+  for (unsigned I = 0, E = lattice().size(); I != E; ++I)
+    P.emplace_back(Part);
+  return P;
+}
+
+PartitionedHw::PartitionedHw(const SecurityLattice &Lat,
+                             const MachineEnvConfig &Config)
+    : MachineEnv(HwKind::Partitioned, Lat, Config) {
+  L1D = makePartitions(Config.L1D);
+  L2D = makePartitions(Config.L2D);
+  L1I = makePartitions(Config.L1I);
+  L2I = makePartitions(Config.L2I);
+  DTlb = makePartitions(Config.DTlb);
+  ITlb = makePartitions(Config.ITlb);
+}
+
+bool PartitionedHw::partLookup(Partitioned &P, Addr A, Label Read,
+                               Label Write) {
+  const SecurityLattice &Lat = lattice();
+  for (unsigned I = 0, E = P.size(); I != E; ++I) {
+    Label Level = Label::fromIndex(I);
+    // Only partitions at levels ⊑ er may influence timing (Property 6).
+    if (!Lat.flowsTo(Level, Read))
+      continue;
+    // A hit may promote LRU state only when ew ⊑ level (Property 5);
+    // otherwise the partition is probed without modification.
+    if (Lat.flowsTo(Write, Level)) {
+      if (P[I].lookup(A))
+        return true;
+    } else if (P[I].probe(A)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PartitionedHw::partInstall(Partitioned &P, Addr A, Label Write) {
+  const SecurityLattice &Lat = lattice();
+  // Consistency: keep a single copy. A stale copy may only be removed from
+  // levels the write label permits modifying (ew ⊑ level).
+  for (unsigned I = 0, E = P.size(); I != E; ++I) {
+    Label Level = Label::fromIndex(I);
+    if (Level != Write && Lat.flowsTo(Write, Level))
+      P[I].remove(A);
+  }
+  P[Write.index()].install(A);
+}
+
+uint64_t PartitionedHw::accessHierarchy(Partitioned &Tlb, Partitioned &L1,
+                                        Partitioned &L2, Addr A, Label Read,
+                                        Label Write, bool IsData) {
+  uint64_t Cycles = 0;
+
+  uint64_t &TlbHit = IsData ? Stats.DTlbHit : Stats.ITlbHit;
+  uint64_t &TlbMiss = IsData ? Stats.DTlbMiss : Stats.ITlbMiss;
+  uint64_t &L1Hit = IsData ? Stats.L1DHit : Stats.L1IHit;
+  uint64_t &L1Miss = IsData ? Stats.L1DMiss : Stats.L1IMiss;
+  uint64_t &L2Hit = IsData ? Stats.L2DHit : Stats.L2IHit;
+  uint64_t &L2Miss = IsData ? Stats.L2DMiss : Stats.L2IMiss;
+
+  if (partLookup(Tlb, A, Read, Write)) {
+    ++TlbHit;
+  } else {
+    ++TlbMiss;
+    Cycles += Tlb[0].latency();
+    partInstall(Tlb, A, Write);
+  }
+
+  Cycles += L1[0].latency();
+  if (partLookup(L1, A, Read, Write)) {
+    ++L1Hit;
+    return Cycles;
+  }
+  ++L1Miss;
+
+  Cycles += L2[0].latency();
+  if (partLookup(L2, A, Read, Write)) {
+    ++L2Hit;
+  } else {
+    ++L2Miss;
+    Cycles += Config.MemLatency;
+    partInstall(L2, A, Write);
+  }
+  partInstall(L1, A, Write);
+  return Cycles;
+}
+
+uint64_t PartitionedHw::dataAccess(Addr A, bool IsStore, Label Read,
+                                   Label Write) {
+  assert(lattice().contains(Read) && lattice().contains(Write) &&
+         "labels from another lattice");
+  return accessHierarchy(DTlb, L1D, L2D, A, Read, Write, /*IsData=*/true);
+}
+
+uint64_t PartitionedHw::fetch(Addr A, Label Read, Label Write) {
+  assert(lattice().contains(Read) && lattice().contains(Write) &&
+         "labels from another lattice");
+  return accessHierarchy(ITlb, L1I, L2I, A, Read, Write, /*IsData=*/false);
+}
+
+std::unique_ptr<MachineEnv> PartitionedHw::clone() const {
+  return std::make_unique<PartitionedHw>(*this);
+}
+
+bool PartitionedHw::projectionEquals(const MachineEnv &Other, Label L) const {
+  assert(Other.hwKind() == hwKind() && "comparing different hardware designs");
+  assert(lattice().contains(L) && "label from another lattice");
+  const auto &O = static_cast<const PartitionedHw &>(Other);
+  unsigned I = L.index();
+  return L1D[I] == O.L1D[I] && L2D[I] == O.L2D[I] && L1I[I] == O.L1I[I] &&
+         L2I[I] == O.L2I[I] && DTlb[I] == O.DTlb[I] && ITlb[I] == O.ITlb[I];
+}
+
+void PartitionedHw::reset() {
+  for (Partitioned *P : {&L1D, &L2D, &L1I, &L2I, &DTlb, &ITlb})
+    for (Cache &C : *P)
+      C.reset();
+}
+
+void PartitionedHw::randomize(Rng &R) {
+  for (Partitioned *P : {&L1D, &L2D, &L1I, &L2I, &DTlb, &ITlb})
+    for (Cache &C : *P)
+      C.randomize(R);
+}
+
+void PartitionedHw::perturbAbove(Label L, Rng &R) {
+  for (Partitioned *P : {&L1D, &L2D, &L1I, &L2I, &DTlb, &ITlb})
+    for (unsigned I = 0, E = P->size(); I != E; ++I)
+      if (!lattice().flowsTo(Label::fromIndex(I), L))
+        (*P)[I].randomize(R);
+}

@@ -1,0 +1,131 @@
+//===- HardwareModels.h - The three hardware designs ------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Three concrete machine environments:
+///
+///  - NoPartitionHw — commodity hardware that ignores timing labels. This is
+///    the paper's "nopar" baseline (Table 2); it deliberately VIOLATES
+///    Properties 5 and 7 (high-context accesses disturb low cache state),
+///    which is what makes the unmitigated timing attacks work.
+///
+///  - NoFillHw — the Sec. 4.2 realization on standard hardware: the whole
+///    cache hierarchy is labeled ⊥ and commands whose write label is not ⊥
+///    run in "no-fill" mode (accesses are served without installing lines or
+///    updating LRU state), mirroring the no-fill mode of Intel Pentium/Xeon
+///    processors.
+///
+///  - PartitionedHw — the Sec. 4.3 design: every cache and TLB is statically
+///    partitioned per security level (sets divided evenly). An access with
+///    labels [er,ew] may derive its timing only from partitions at levels
+///    ⊑ er, may promote LRU state only in partitions at levels ⊒ ew, and
+///    installs into the ew partition. For consistency a copy resident in a
+///    partition above ew is moved (removed + reinstalled at ew) and the
+///    access is timed as a miss, exactly as the paper prescribes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_HW_HARDWAREMODELS_H
+#define ZAM_HW_HARDWAREMODELS_H
+
+#include "hw/MachineEnv.h"
+
+#include <vector>
+
+namespace zam {
+
+/// Shared implementation for the two designs with a single (unpartitioned)
+/// copy of every structure, all of it labeled ⊥.
+class UnifiedHwBase : public MachineEnv {
+public:
+  uint64_t dataAccess(Addr A, bool IsStore, Label Read, Label Write) override;
+  uint64_t fetch(Addr A, Label Read, Label Write) override;
+  bool projectionEquals(const MachineEnv &Other, Label L) const override;
+  void reset() override;
+  void randomize(Rng &R) override;
+  void perturbAbove(Label L, Rng &R) override;
+
+protected:
+  UnifiedHwBase(HwKind Kind, const SecurityLattice &Lat,
+                const MachineEnvConfig &Config);
+
+  /// Whether an access with write label \p Write may modify the (⊥-labeled)
+  /// cache state. NoPartition says always; NoFill says only when ew = ⊥.
+  virtual bool mayFill(Label Write) const = 0;
+
+  Cache L1D, L2D, L1I, L2I, DTlb, ITlb;
+};
+
+/// Commodity hardware ("nopar"): timing labels are ignored.
+class NoPartitionHw final : public UnifiedHwBase {
+public:
+  NoPartitionHw(const SecurityLattice &Lat, const MachineEnvConfig &Config)
+      : UnifiedHwBase(HwKind::NoPartition, Lat, Config) {}
+
+  std::unique_ptr<MachineEnv> clone() const override;
+
+protected:
+  bool mayFill(Label Write) const override { return true; }
+};
+
+/// Standard hardware with a no-fill mode (Sec. 4.2).
+class NoFillHw final : public UnifiedHwBase {
+public:
+  NoFillHw(const SecurityLattice &Lat, const MachineEnvConfig &Config)
+      : UnifiedHwBase(HwKind::NoFill, Lat, Config) {}
+
+  std::unique_ptr<MachineEnv> clone() const override;
+
+protected:
+  bool mayFill(Label Write) const override {
+    return Write == lattice().bottom();
+  }
+};
+
+/// Statically partitioned caches and TLBs (Sec. 4.3), generalized from the
+/// paper's two-level design to one partition per lattice level. Each
+/// structure's sets are divided evenly among the levels (at least one set
+/// per partition).
+class PartitionedHw final : public MachineEnv {
+public:
+  PartitionedHw(const SecurityLattice &Lat, const MachineEnvConfig &Config);
+
+  uint64_t dataAccess(Addr A, bool IsStore, Label Read, Label Write) override;
+  uint64_t fetch(Addr A, Label Read, Label Write) override;
+  std::unique_ptr<MachineEnv> clone() const override;
+  bool projectionEquals(const MachineEnv &Other, Label L) const override;
+  void reset() override;
+  void randomize(Rng &R) override;
+  void perturbAbove(Label L, Rng &R) override;
+
+  /// The per-partition configuration actually used for \p Full (sets divided
+  /// by the number of levels). Exposed for tests.
+  CacheConfig partitionConfig(const CacheConfig &Full) const;
+
+private:
+  /// One structure = one Cache per lattice level, indexed by label index.
+  using Partitioned = std::vector<Cache>;
+
+  Partitioned makePartitions(const CacheConfig &Full) const;
+
+  /// Searches partitions at levels ⊑ er. On a hit, promotes LRU only when
+  /// ew ⊑ level (Property 5). \returns true on hit.
+  bool partLookup(Partitioned &P, Addr A, Label Read, Label Write);
+
+  /// Moves any copy resident above \p Write down to the \p Write partition
+  /// and installs the block there.
+  void partInstall(Partitioned &P, Addr A, Label Write);
+
+  uint64_t accessHierarchy(Partitioned &Tlb, Partitioned &L1, Partitioned &L2,
+                           Addr A, Label Read, Label Write, bool IsData);
+
+  Partitioned L1D, L2D, L1I, L2I, DTlb, ITlb;
+};
+
+} // namespace zam
+
+#endif // ZAM_HW_HARDWAREMODELS_H

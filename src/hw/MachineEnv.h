@@ -1,0 +1,119 @@
+//===- MachineEnv.h - The abstract machine environment E --------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine environment E of Sec. 3.3: all hardware state invisible at
+/// the language level that is needed to predict timing. The interface is the
+/// hardware side of the software/hardware contract: implementations must
+/// satisfy Properties 2 (determinism), 5 (write label), 6 (read label) and
+/// 7 (single-step machine-environment noninterference); analysis/ provides
+/// dynamic checkers, and tests/hw validates each model against them.
+///
+/// Every access carries the command's timing labels [er, ew]. er is the
+/// upper bound on machine state that may influence the access's duration;
+/// ew is the lower bound on machine state the access may modify. This pair
+/// is the "timing-label register" of the paper's SimpleScalar extension
+/// (Sec. 8.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_HW_MACHINEENV_H
+#define ZAM_HW_MACHINEENV_H
+
+#include "hw/Cache.h"
+#include "hw/CacheConfig.h"
+#include "lattice/SecurityLattice.h"
+#include "support/Rng.h"
+
+#include <memory>
+#include <string>
+
+namespace zam {
+
+/// Discriminator for the concrete hardware designs (LLVM-style kind tag;
+/// no RTTI).
+enum class HwKind {
+  NoPartition, ///< Commodity hardware, labels ignored ("nopar", insecure).
+  NoFill,      ///< Sec. 4.2: one low cache + no-fill mode in high contexts.
+  Partitioned, ///< Sec. 4.3: statically partitioned caches and TLBs.
+};
+
+const char *hwKindName(HwKind Kind);
+
+/// Abstract machine environment.
+class MachineEnv {
+public:
+  virtual ~MachineEnv();
+
+  HwKind hwKind() const { return Kind; }
+  const SecurityLattice &lattice() const { return *Lat; }
+  const MachineEnvConfig &config() const { return Config; }
+
+  /// Performs a data access (read or write of one word at \p A) under
+  /// timing labels [\p Read, \p Write]. \returns the access latency in
+  /// cycles. Updates D-TLB/L1D/L2D state subject to the write label.
+  virtual uint64_t dataAccess(Addr A, bool IsStore, Label Read,
+                              Label Write) = 0;
+
+  /// Performs an instruction fetch from code address \p A under timing
+  /// labels [\p Read, \p Write]. \returns the fetch latency in cycles.
+  virtual uint64_t fetch(Addr A, Label Read, Label Write) = 0;
+
+  /// Deep copy, including all cache/TLB state and statistics.
+  virtual std::unique_ptr<MachineEnv> clone() const = 0;
+
+  /// Projected equivalence E1 ≈ℓ E2 (Sec. 3.3): equality of exactly the
+  /// level-ℓ partition of the state. For unpartitioned designs all state
+  /// lives at ⊥, so the projection at any other level is trivially equal.
+  /// Both environments must have the same kind and configuration.
+  virtual bool projectionEquals(const MachineEnv &Other, Label L) const = 0;
+
+  /// ℓ-equivalence E1 ~ℓ E2: projected equivalence at every level ℓ' ⊑ ℓ.
+  bool equivalentUpTo(const MachineEnv &Other, Label L) const;
+
+  /// Full state equality (⊤-equivalence).
+  bool stateEquals(const MachineEnv &Other) const {
+    return equivalentUpTo(Other, Lat->top());
+  }
+
+  /// Flushes all cache/TLB state (cold machine).
+  virtual void reset() = 0;
+
+  /// Randomizes all state (property-based testing).
+  virtual void randomize(Rng &R) = 0;
+
+  /// Perturbs only state at levels ℓ' with ℓ' ⋢ \p L, preserving
+  /// ~L-equivalence with the pre-state. Used by tests to build pairs
+  /// E1 ~ℓ E2 that differ above ℓ. A no-op for designs with no such state.
+  virtual void perturbAbove(Label L, Rng &R) = 0;
+
+  const HwStats &stats() const { return Stats; }
+  void resetStats() { Stats.reset(); }
+
+  /// One-line description for logs and bench output.
+  std::string describe() const;
+
+protected:
+  MachineEnv(HwKind Kind, const SecurityLattice &Lat,
+             const MachineEnvConfig &Config)
+      : Kind(Kind), Lat(&Lat), Config(Config) {}
+
+  HwKind Kind;
+  const SecurityLattice *Lat;
+  MachineEnvConfig Config;
+  HwStats Stats;
+};
+
+/// Factory: builds a machine environment of the given design over \p Lat
+/// with \p Config (Table 1 defaults).
+std::unique_ptr<MachineEnv>
+createMachineEnv(HwKind Kind, const SecurityLattice &Lat,
+                 const MachineEnvConfig &Config = MachineEnvConfig());
+
+} // namespace zam
+
+#endif // ZAM_HW_MACHINEENV_H

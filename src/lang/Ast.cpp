@@ -1,0 +1,298 @@
+//===- Ast.cpp ------------------------------------------------------------===//
+
+#include "lang/Ast.h"
+
+#include "support/Casting.h"
+
+using namespace zam;
+
+const char *zam::binOpSpelling(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "+";
+  case BinOpKind::Sub:
+    return "-";
+  case BinOpKind::Mul:
+    return "*";
+  case BinOpKind::Div:
+    return "/";
+  case BinOpKind::Mod:
+    return "%";
+  case BinOpKind::Eq:
+    return "==";
+  case BinOpKind::Ne:
+    return "!=";
+  case BinOpKind::Lt:
+    return "<";
+  case BinOpKind::Le:
+    return "<=";
+  case BinOpKind::Gt:
+    return ">";
+  case BinOpKind::Ge:
+    return ">=";
+  case BinOpKind::LogicalAnd:
+    return "&&";
+  case BinOpKind::LogicalOr:
+    return "||";
+  case BinOpKind::BitAnd:
+    return "&";
+  case BinOpKind::BitOr:
+    return "|";
+  case BinOpKind::BitXor:
+    return "^";
+  case BinOpKind::Shl:
+    return "<<";
+  case BinOpKind::Shr:
+    return ">>";
+  }
+  return "?";
+}
+
+const char *zam::unOpSpelling(UnOpKind Op) {
+  switch (Op) {
+  case UnOpKind::Neg:
+    return "-";
+  case UnOpKind::LogicalNot:
+    return "!";
+  case UnOpKind::BitNot:
+    return "~";
+  }
+  return "?";
+}
+
+Expr::~Expr() = default;
+Cmd::~Cmd() = default;
+
+//===----------------------------------------------------------------------===//
+// Cloning
+//===----------------------------------------------------------------------===//
+
+ExprPtr IntLitExpr::clone() const {
+  return std::make_unique<IntLitExpr>(Value, loc());
+}
+
+ExprPtr VarExpr::clone() const {
+  return std::make_unique<VarExpr>(Name, loc());
+}
+
+ExprPtr ArrayReadExpr::clone() const {
+  return std::make_unique<ArrayReadExpr>(Array, Index->clone(), loc());
+}
+
+ExprPtr BinOpExpr::clone() const {
+  return std::make_unique<BinOpExpr>(Op, LHS->clone(), RHS->clone(), loc());
+}
+
+ExprPtr UnOpExpr::clone() const {
+  return std::make_unique<UnOpExpr>(Op, Sub->clone(), loc());
+}
+
+/// Copies NodeId and timing labels from \p From onto \p To.
+static CmdPtr withAttrs(CmdPtr To, const Cmd &From) {
+  To->setNodeId(From.nodeId());
+  if (!From.isSeq())
+    To->labels() = From.labels();
+  return To;
+}
+
+CmdPtr SkipCmd::clone() const {
+  return withAttrs(std::make_unique<SkipCmd>(loc()), *this);
+}
+
+CmdPtr AssignCmd::clone() const {
+  return withAttrs(std::make_unique<AssignCmd>(Var, Value->clone(), loc()),
+                   *this);
+}
+
+CmdPtr ArrayAssignCmd::clone() const {
+  return withAttrs(std::make_unique<ArrayAssignCmd>(Array, Index->clone(),
+                                                    Value->clone(), loc()),
+                   *this);
+}
+
+CmdPtr SeqCmd::clone() const {
+  auto C = std::make_unique<SeqCmd>(First->clone(), Second->clone(), loc());
+  C->setNodeId(nodeId());
+  return C;
+}
+
+CmdPtr IfCmd::clone() const {
+  return withAttrs(std::make_unique<IfCmd>(Cond->clone(), Then->clone(),
+                                           Else->clone(), loc()),
+                   *this);
+}
+
+CmdPtr WhileCmd::clone() const {
+  return withAttrs(
+      std::make_unique<WhileCmd>(Cond->clone(), Body->clone(), loc()), *this);
+}
+
+CmdPtr MitigateCmd::clone() const {
+  return withAttrs(std::make_unique<MitigateCmd>(MitigateId,
+                                                 InitialEstimate->clone(),
+                                                 MitLevel, Body->clone(), loc()),
+                   *this);
+}
+
+CmdPtr SleepCmd::clone() const {
+  return withAttrs(std::make_unique<SleepCmd>(Duration->clone(), loc()), *this);
+}
+
+CmdPtr MitigateEndCmd::clone() const {
+  assert(labels().Read && "MitigateEnd must carry ⊥ labels");
+  auto C = std::make_unique<MitigateEndCmd>(Eta, Estimate, MitLevel, PcLabel,
+                                            StartTime, *labels().Read);
+  C->setNodeId(nodeId());
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// vars1 and expression variable collection
+//===----------------------------------------------------------------------===//
+
+void zam::collectExprVars(const Expr &E, std::vector<std::string> &Out) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return;
+  case Expr::Kind::Var:
+    Out.push_back(cast<VarExpr>(E).name());
+    return;
+  case Expr::Kind::ArrayRead: {
+    const auto &AR = cast<ArrayReadExpr>(E);
+    Out.push_back(AR.array());
+    collectExprVars(AR.index(), Out);
+    return;
+  }
+  case Expr::Kind::BinOp: {
+    const auto &BO = cast<BinOpExpr>(E);
+    collectExprVars(BO.lhs(), Out);
+    collectExprVars(BO.rhs(), Out);
+    return;
+  }
+  case Expr::Kind::UnOp:
+    collectExprVars(cast<UnOpExpr>(E).sub(), Out);
+    return;
+  }
+}
+
+std::vector<std::string> zam::vars1(const Cmd &C) {
+  std::vector<std::string> Out;
+  switch (C.kind()) {
+  case Cmd::Kind::Skip:
+    break; // Empty set.
+  case Cmd::Kind::Assign: {
+    const auto &A = cast<AssignCmd>(C);
+    Out.push_back(A.var());
+    collectExprVars(A.value(), Out);
+    break;
+  }
+  case Cmd::Kind::ArrayAssign: {
+    const auto &A = cast<ArrayAssignCmd>(C);
+    Out.push_back(A.array());
+    collectExprVars(A.index(), Out);
+    collectExprVars(A.value(), Out);
+    break;
+  }
+  case Cmd::Kind::Seq:
+    // The next step of c1;c2 is a step of c1.
+    return vars1(cast<SeqCmd>(C).first());
+  case Cmd::Kind::If:
+    // Only the guard is evaluated in the next step; branches are excluded.
+    collectExprVars(cast<IfCmd>(C).cond(), Out);
+    break;
+  case Cmd::Kind::While:
+    collectExprVars(cast<WhileCmd>(C).cond(), Out);
+    break;
+  case Cmd::Kind::Mitigate:
+    collectExprVars(cast<MitigateCmd>(C).initialEstimate(), Out);
+    break;
+  case Cmd::Kind::Sleep:
+    collectExprVars(cast<SleepCmd>(C).duration(), Out);
+    break;
+  case Cmd::Kind::MitigateEnd:
+    break; // Padding duration depends only on the clock and Miss table.
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+const VarDecl *Program::findVar(const std::string &Name) const {
+  for (const VarDecl &D : Vars)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}
+
+VarDecl *Program::findVar(const std::string &Name) {
+  for (VarDecl &D : Vars)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}
+
+namespace {
+/// Assigns preorder ids to primitive commands only; Seq spine nodes are
+/// collected and numbered afterwards. Seq nodes take no evaluation step and
+/// have no code address, so keeping them out of the primitive id range
+/// makes a program's timing invariant under re-association of `;` (the
+/// printer/parser round trip rebuilds sequences right-nested).
+void numberCmd(Cmd &C, unsigned &NextNode, unsigned &NextMitigate,
+               std::vector<Cmd *> &Seqs) {
+  if (C.kind() == Cmd::Kind::Seq) {
+    auto &S = cast<SeqCmd>(C);
+    Seqs.push_back(&C);
+    numberCmd(S.first(), NextNode, NextMitigate, Seqs);
+    numberCmd(S.second(), NextNode, NextMitigate, Seqs);
+    return;
+  }
+  C.setNodeId(NextNode++);
+  switch (C.kind()) {
+  case Cmd::Kind::Skip:
+  case Cmd::Kind::Assign:
+  case Cmd::Kind::ArrayAssign:
+  case Cmd::Kind::Sleep:
+  case Cmd::Kind::MitigateEnd:
+  case Cmd::Kind::Seq:
+    break;
+  case Cmd::Kind::If: {
+    auto &I = cast<IfCmd>(C);
+    numberCmd(I.thenCmd(), NextNode, NextMitigate, Seqs);
+    numberCmd(I.elseCmd(), NextNode, NextMitigate, Seqs);
+    break;
+  }
+  case Cmd::Kind::While:
+    numberCmd(cast<WhileCmd>(C).body(), NextNode, NextMitigate, Seqs);
+    break;
+  case Cmd::Kind::Mitigate: {
+    auto &M = cast<MitigateCmd>(C);
+    M.setMitigateId(NextMitigate++);
+    numberCmd(M.body(), NextNode, NextMitigate, Seqs);
+    break;
+  }
+  }
+}
+} // namespace
+
+unsigned Program::number() {
+  unsigned NextNode = 0, NextMitigate = 0;
+  std::vector<Cmd *> Seqs;
+  if (Body)
+    numberCmd(*Body, NextNode, NextMitigate, Seqs);
+  unsigned NumPrimitives = NextNode;
+  for (Cmd *S : Seqs)
+    S->setNodeId(NextNode++);
+  NumMitigates = NextMitigate;
+  return NumPrimitives;
+}
+
+Program Program::clone() const {
+  Program P(*Lat);
+  P.Vars = Vars;
+  if (Body)
+    P.Body = Body->clone();
+  P.NumMitigates = NumMitigates;
+  return P;
+}

@@ -1,0 +1,113 @@
+//===- Lexer.h - Tokenizer for the zam surface syntax -----------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the concrete syntax of the Fig. 1 language. Timing-label
+/// annotations are written `@[er,ew]` (the paper typesets them `[er,ew]`;
+/// the `@` disambiguates annotations from array subscripts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_LANG_LEXER_H
+#define ZAM_LANG_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zam {
+
+enum class TokKind {
+  Eof,
+  Ident,
+  IntLit,
+  // Keywords.
+  KwVar,
+  KwSkip,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwMitigate,
+  KwSleep,
+  // Punctuation.
+  Assign,    // :=
+  Semi,      // ;
+  Comma,     // ,
+  Colon,     // :
+  LParen,    // (
+  RParen,    // )
+  LBrace,    // {
+  RBrace,    // }
+  LBracket,  // [
+  RBracket,  // ]
+  AtBracket, // @[  (start of a timing-label annotation)
+  EqAssign,  // =   (initializer in declarations)
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Amp,
+  Pipe,
+  Caret,
+  Shl,
+  Shr,
+  Bang,
+  Tilde,
+};
+
+/// Spelled name of a token kind, for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;    ///< Identifier spelling (Ident only).
+  int64_t IntValue = 0; ///< Literal value (IntLit only).
+};
+
+/// Converts a source buffer into a token stream. Lexical errors are
+/// reported to the DiagnosticEngine; the lexer recovers by skipping the
+/// offending character.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes the entire buffer, ending with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLoc here() const { return SourceLoc(Line, Col); }
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+};
+
+} // namespace zam
+
+#endif // ZAM_LANG_LEXER_H

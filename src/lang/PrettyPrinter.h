@@ -1,0 +1,37 @@
+//===- PrettyPrinter.h - AST -> concrete syntax -----------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders ASTs back into the concrete syntax accepted by the Parser.
+/// Printing then re-parsing yields a structurally identical AST (round-trip
+/// property, checked by tests/lang).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_LANG_PRETTYPRINTER_H
+#define ZAM_LANG_PRETTYPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace zam {
+
+/// Renders \p E as an expression string (fully parenthesized composites).
+std::string printExpr(const Expr &E);
+
+/// Renders \p C with the given indentation. Timing labels are printed as
+/// `@[er,ew]` when present, using the lattice's level names.
+std::string printCmd(const Cmd &C, const SecurityLattice &Lat,
+                     unsigned Indent = 0);
+
+/// Renders a full program: declarations then body.
+std::string printProgram(const Program &P);
+
+} // namespace zam
+
+#endif // ZAM_LANG_PRETTYPRINTER_H

@@ -1,0 +1,120 @@
+//===- ProgramBuilder.cpp -------------------------------------------------===//
+
+#include "lang/ProgramBuilder.h"
+
+using namespace zam;
+
+ProgramBuilder &ProgramBuilder::var(const std::string &Name, Label SecLabel,
+                                    int64_t Init) {
+  assert(!P.findVar(Name) && "variable already declared");
+  VarDecl D;
+  D.Name = Name;
+  D.SecLabel = SecLabel;
+  D.Init.push_back(Init);
+  P.addVar(std::move(D));
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::array(const std::string &Name, Label SecLabel,
+                                      uint64_t Size,
+                                      std::vector<int64_t> Init) {
+  assert(!P.findVar(Name) && "variable already declared");
+  assert(Init.size() <= Size && "initializer longer than the array");
+  VarDecl D;
+  D.Name = Name;
+  D.SecLabel = SecLabel;
+  D.IsArray = true;
+  D.Size = Size;
+  D.Init = std::move(Init);
+  P.addVar(std::move(D));
+  return *this;
+}
+
+ExprPtr ProgramBuilder::lit(int64_t Value) const {
+  return std::make_unique<IntLitExpr>(Value);
+}
+
+ExprPtr ProgramBuilder::v(const std::string &Name) const {
+  return std::make_unique<VarExpr>(Name);
+}
+
+ExprPtr ProgramBuilder::idx(const std::string &Array, ExprPtr Index) const {
+  return std::make_unique<ArrayReadExpr>(Array, std::move(Index));
+}
+
+ExprPtr ProgramBuilder::bin(BinOpKind Op, ExprPtr LHS, ExprPtr RHS) const {
+  return std::make_unique<BinOpExpr>(Op, std::move(LHS), std::move(RHS));
+}
+
+ExprPtr ProgramBuilder::un(UnOpKind Op, ExprPtr Sub) const {
+  return std::make_unique<UnOpExpr>(Op, std::move(Sub));
+}
+
+CmdPtr ProgramBuilder::skip(OptLabel Read, OptLabel Write) const {
+  auto C = std::make_unique<SkipCmd>();
+  setLabels(*C, Read, Write);
+  return C;
+}
+
+CmdPtr ProgramBuilder::assign(const std::string &Var, ExprPtr Value,
+                              OptLabel Read, OptLabel Write) const {
+  auto C = std::make_unique<AssignCmd>(Var, std::move(Value));
+  setLabels(*C, Read, Write);
+  return C;
+}
+
+CmdPtr ProgramBuilder::arrAssign(const std::string &Array, ExprPtr Index,
+                                 ExprPtr Value, OptLabel Read,
+                                 OptLabel Write) const {
+  auto C =
+      std::make_unique<ArrayAssignCmd>(Array, std::move(Index), std::move(Value));
+  setLabels(*C, Read, Write);
+  return C;
+}
+
+CmdPtr ProgramBuilder::seq(CmdPtr First, CmdPtr Second) const {
+  return std::make_unique<SeqCmd>(std::move(First), std::move(Second));
+}
+
+CmdPtr ProgramBuilder::seq(std::vector<CmdPtr> Cmds) const {
+  assert(!Cmds.empty() && "empty sequence");
+  CmdPtr Out = std::move(Cmds.back());
+  Cmds.pop_back();
+  while (!Cmds.empty()) {
+    Out = std::make_unique<SeqCmd>(std::move(Cmds.back()), std::move(Out));
+    Cmds.pop_back();
+  }
+  return Out;
+}
+
+CmdPtr ProgramBuilder::ifc(ExprPtr Cond, CmdPtr Then, CmdPtr Else,
+                           OptLabel Read, OptLabel Write) const {
+  auto C = std::make_unique<IfCmd>(std::move(Cond), std::move(Then),
+                                   std::move(Else));
+  setLabels(*C, Read, Write);
+  return C;
+}
+
+CmdPtr ProgramBuilder::whilec(ExprPtr Cond, CmdPtr Body, OptLabel Read,
+                              OptLabel Write) const {
+  auto C = std::make_unique<WhileCmd>(std::move(Cond), std::move(Body));
+  setLabels(*C, Read, Write);
+  return C;
+}
+
+CmdPtr ProgramBuilder::mitigate(ExprPtr InitialEstimate, Label MitLevel,
+                                CmdPtr Body, OptLabel Read,
+                                OptLabel Write) const {
+  auto C = std::make_unique<MitigateCmd>(/*MitigateId=*/0,
+                                         std::move(InitialEstimate), MitLevel,
+                                         std::move(Body));
+  setLabels(*C, Read, Write);
+  return C;
+}
+
+CmdPtr ProgramBuilder::sleep(ExprPtr Duration, OptLabel Read,
+                             OptLabel Write) const {
+  auto C = std::make_unique<SleepCmd>(std::move(Duration));
+  setLabels(*C, Read, Write);
+  return C;
+}

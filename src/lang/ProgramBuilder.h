@@ -1,0 +1,158 @@
+//===- ProgramBuilder.h - Fluent AST construction ---------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fluent C++ DSL for building programs in the Fig. 1 language without
+/// going through the parser. The case-study applications (apps/) and the
+/// random program generator use this to assemble ASTs; the timing labels may
+/// be left unset and filled in by inference.
+///
+/// Example (the insecure branching example of Sec. 2.1):
+/// \code
+///   ProgramBuilder B(Lat);
+///   B.var("h", H);
+///   B.var("l", L);
+///   B.body(B.ifc(B.v("h"),
+///                B.sleep(B.lit(1), L, L),
+///                B.sleep(B.lit(10), L, L), L, L));
+///   Program P = B.take();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_LANG_PROGRAMBUILDER_H
+#define ZAM_LANG_PROGRAMBUILDER_H
+
+#include "lang/Ast.h"
+
+#include <initializer_list>
+
+namespace zam {
+
+/// Builds a Program incrementally. The builder also offers free-standing
+/// node factories so command trees can be composed before being attached.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(const SecurityLattice &Lat) : P(Lat) {}
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  /// Declares a scalar with optional initial value.
+  ProgramBuilder &var(const std::string &Name, Label SecLabel,
+                      int64_t Init = 0);
+
+  /// Declares an array of \p Size elements, optionally initialized (short
+  /// initializers are zero-extended).
+  ProgramBuilder &array(const std::string &Name, Label SecLabel, uint64_t Size,
+                        std::vector<int64_t> Init = {});
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  ExprPtr lit(int64_t Value) const;
+  ExprPtr v(const std::string &Name) const;
+  ExprPtr idx(const std::string &Array, ExprPtr Index) const;
+  ExprPtr bin(BinOpKind Op, ExprPtr LHS, ExprPtr RHS) const;
+  ExprPtr un(UnOpKind Op, ExprPtr Sub) const;
+
+  // Common shorthands.
+  ExprPtr add(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::Add, std::move(L), std::move(R));
+  }
+  ExprPtr sub(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::Sub, std::move(L), std::move(R));
+  }
+  ExprPtr mul(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::Mul, std::move(L), std::move(R));
+  }
+  ExprPtr mod(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::Mod, std::move(L), std::move(R));
+  }
+  ExprPtr eq(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::Eq, std::move(L), std::move(R));
+  }
+  ExprPtr ne(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::Ne, std::move(L), std::move(R));
+  }
+  ExprPtr lt(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::Lt, std::move(L), std::move(R));
+  }
+  ExprPtr land(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::LogicalAnd, std::move(L), std::move(R));
+  }
+  ExprPtr band(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::BitAnd, std::move(L), std::move(R));
+  }
+  ExprPtr shr(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::Shr, std::move(L), std::move(R));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Commands. Labels are optional; pass std::nullopt to defer to inference.
+  //===--------------------------------------------------------------------===//
+
+  using OptLabel = std::optional<Label>;
+
+  CmdPtr skip(OptLabel Read = {}, OptLabel Write = {}) const;
+  CmdPtr assign(const std::string &Var, ExprPtr Value, OptLabel Read = {},
+                OptLabel Write = {}) const;
+  CmdPtr arrAssign(const std::string &Array, ExprPtr Index, ExprPtr Value,
+                   OptLabel Read = {}, OptLabel Write = {}) const;
+  CmdPtr seq(CmdPtr First, CmdPtr Second) const;
+  /// Right-nested sequence of ≥1 commands.
+  CmdPtr seq(std::vector<CmdPtr> Cmds) const;
+  /// Variadic convenience: seq(a, b, c, ...) — right-nested.
+  template <typename... Cs>
+  CmdPtr seq(CmdPtr First, CmdPtr Second, CmdPtr Third, Cs... Rest) const {
+    std::vector<CmdPtr> Cmds;
+    Cmds.push_back(std::move(First));
+    Cmds.push_back(std::move(Second));
+    Cmds.push_back(std::move(Third));
+    (Cmds.push_back(std::move(Rest)), ...);
+    return seq(std::move(Cmds));
+  }
+  CmdPtr ifc(ExprPtr Cond, CmdPtr Then, CmdPtr Else, OptLabel Read = {},
+             OptLabel Write = {}) const;
+  CmdPtr whilec(ExprPtr Cond, CmdPtr Body, OptLabel Read = {},
+                OptLabel Write = {}) const;
+  CmdPtr mitigate(ExprPtr InitialEstimate, Label MitLevel, CmdPtr Body,
+                  OptLabel Read = {}, OptLabel Write = {}) const;
+  CmdPtr sleep(ExprPtr Duration, OptLabel Read = {}, OptLabel Write = {}) const;
+
+  //===--------------------------------------------------------------------===//
+  // Finalization
+  //===--------------------------------------------------------------------===//
+
+  /// Attaches the body command.
+  ProgramBuilder &body(CmdPtr C) {
+    P.setBody(std::move(C));
+    return *this;
+  }
+
+  /// Numbers the program and moves it out of the builder.
+  Program take() {
+    P.number();
+    return std::move(P);
+  }
+
+  const SecurityLattice &lattice() const { return P.lattice(); }
+
+private:
+  static void setLabels(Cmd &C, OptLabel Read, OptLabel Write) {
+    C.labels().Read = Read;
+    C.labels().Write = Write;
+  }
+
+  Program P;
+};
+
+} // namespace zam
+
+#endif // ZAM_LANG_PROGRAMBUILDER_H

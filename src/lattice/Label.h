@@ -1,0 +1,51 @@
+//===- Label.h - Security labels --------------------------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A security label is a dense index into a SecurityLattice. Labels are only
+/// meaningful relative to the lattice that minted them; mixing labels from
+/// different lattices is a programming error caught by assertions in the
+/// lattice operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_LATTICE_LABEL_H
+#define ZAM_LATTICE_LABEL_H
+
+#include <cstdint>
+#include <functional>
+
+namespace zam {
+
+/// An opaque security level. The paper writes these as \f$\ell\f$ with the
+/// ordering \f$\ell_1 \sqsubseteq \ell_2\f$; the ordering lives in
+/// SecurityLattice.
+class Label {
+public:
+  Label() = default;
+
+  static Label fromIndex(uint32_t Index) { return Label(Index); }
+
+  uint32_t index() const { return Index; }
+
+  bool operator==(const Label &Other) const = default;
+
+private:
+  explicit Label(uint32_t Index) : Index(Index) {}
+
+  uint32_t Index = 0;
+};
+
+} // namespace zam
+
+template <> struct std::hash<zam::Label> {
+  size_t operator()(const zam::Label &L) const noexcept {
+    return std::hash<uint32_t>()(L.index());
+  }
+};
+
+#endif // ZAM_LATTICE_LABEL_H

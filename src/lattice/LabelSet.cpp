@@ -1,0 +1,59 @@
+//===- LabelSet.cpp -------------------------------------------------------===//
+
+#include "lattice/LabelSet.h"
+
+using namespace zam;
+
+unsigned LabelSet::count() const {
+  unsigned N = 0;
+  for (bool B : Bits)
+    N += B;
+  return N;
+}
+
+std::vector<Label> LabelSet::members() const {
+  std::vector<Label> Out;
+  for (unsigned I = 0; I != Bits.size(); ++I)
+    if (Bits[I])
+      Out.push_back(Label::fromIndex(I));
+  return Out;
+}
+
+std::string LabelSet::str(const SecurityLattice &Lat) const {
+  std::string Out = "{";
+  bool First = true;
+  for (Label L : members()) {
+    if (!First)
+      Out += ", ";
+    Out += Lat.name(L);
+    First = false;
+  }
+  Out += "}";
+  return Out;
+}
+
+LabelSet zam::excludeObservable(const SecurityLattice &Lat, const LabelSet &L,
+                                Label AdversaryLevel) {
+  LabelSet Out(Lat);
+  for (Label Lv : L.members())
+    if (!Lat.flowsTo(Lv, AdversaryLevel))
+      Out.insert(Lv);
+  return Out;
+}
+
+LabelSet zam::upwardClosure(const SecurityLattice &Lat, const LabelSet &L) {
+  LabelSet Out(Lat);
+  for (Label Candidate : Lat.allLabels())
+    for (Label Lv : L.members())
+      if (Lat.flowsTo(Lv, Candidate)) {
+        Out.insert(Candidate);
+        break;
+      }
+  return Out;
+}
+
+LabelSet zam::unobservableUpwardClosure(const SecurityLattice &Lat,
+                                        const LabelSet &L,
+                                        Label AdversaryLevel) {
+  return upwardClosure(Lat, excludeObservable(Lat, L, AdversaryLevel));
+}

@@ -1,0 +1,100 @@
+//===- SecurityLattice.cpp ------------------------------------------------===//
+
+#include "lattice/SecurityLattice.h"
+
+using namespace zam;
+
+SecurityLattice::~SecurityLattice() = default;
+
+std::optional<Label> SecurityLattice::byName(const std::string &Name) const {
+  for (unsigned I = 0, E = size(); I != E; ++I) {
+    Label L = Label::fromIndex(I);
+    if (name(L) == Name)
+      return L;
+  }
+  return std::nullopt;
+}
+
+std::vector<Label> SecurityLattice::allLabels() const {
+  std::vector<Label> Out;
+  Out.reserve(size());
+  for (unsigned I = 0, E = size(); I != E; ++I)
+    Out.push_back(Label::fromIndex(I));
+  return Out;
+}
+
+bool SecurityLattice::verify() const {
+  const std::vector<Label> Ls = allLabels();
+  // Partial order axioms.
+  for (Label A : Ls) {
+    if (!flowsTo(A, A))
+      return false;
+    if (!flowsTo(bottom(), A) || !flowsTo(A, top()))
+      return false;
+  }
+  for (Label A : Ls)
+    for (Label B : Ls) {
+      if (flowsTo(A, B) && flowsTo(B, A) && A != B)
+        return false; // Antisymmetry.
+      // Join is an upper bound; meet is a lower bound.
+      Label J = join(A, B);
+      Label M = meet(A, B);
+      if (!flowsTo(A, J) || !flowsTo(B, J))
+        return false;
+      if (!flowsTo(M, A) || !flowsTo(M, B))
+        return false;
+      // Commutativity.
+      if (join(B, A) != J || meet(B, A) != M)
+        return false;
+    }
+  for (Label A : Ls)
+    for (Label B : Ls)
+      for (Label C : Ls) {
+        if (flowsTo(A, B) && flowsTo(B, C) && !flowsTo(A, C))
+          return false; // Transitivity.
+        // Join is the *least* upper bound, meet the *greatest* lower bound.
+        if (flowsTo(A, C) && flowsTo(B, C) && !flowsTo(join(A, B), C))
+          return false;
+        if (flowsTo(C, A) && flowsTo(C, B) && !flowsTo(C, meet(A, B)))
+          return false;
+      }
+  return true;
+}
+
+std::string TwoPointLattice::name(Label L) const {
+  assert(contains(L) && "label from another lattice");
+  return L.index() == 0 ? "L" : "H";
+}
+
+TotalOrderLattice::TotalOrderLattice(std::vector<std::string> Names)
+    : Names(std::move(Names)) {
+  assert(!this->Names.empty() && "lattice must be nonempty");
+}
+
+std::string TotalOrderLattice::name(Label L) const {
+  assert(contains(L) && "label from another lattice");
+  return Names[L.index()];
+}
+
+PowersetLattice::PowersetLattice(std::vector<std::string> Principals)
+    : Principals(std::move(Principals)) {
+  assert(this->Principals.size() <= 20 && "too many principals");
+}
+
+std::string PowersetLattice::name(Label L) const {
+  assert(contains(L) && "label from another lattice");
+  if (L.index() == 0)
+    return "{}";
+  std::string Out = "{";
+  bool First = true;
+  for (unsigned I = 0; I != Principals.size(); ++I) {
+    if (!(L.index() & (1u << I)))
+      continue;
+    if (!First)
+      Out += ",";
+    Out += Principals[I];
+    First = false;
+  }
+  Out += "}";
+  return Out;
+}

@@ -1,0 +1,44 @@
+//===- CoreInterpreter.h - The timing-free core semantics -------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core semantics of Fig. 2: a standard while-language evaluator that
+/// ignores timing entirely. `sleep` behaves like `skip`; `mitigate (e,ℓ) c`
+/// evaluates to `c`. Used as the reference for the adequacy property
+/// (Property 1): the full semantics must compute exactly the same memory
+/// and event sequence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_COREINTERPRETER_H
+#define ZAM_SEM_COREINTERPRETER_H
+
+#include "lang/Ast.h"
+#include "sem/Event.h"
+#include "sem/Memory.h"
+
+namespace zam {
+
+/// Result of a core-semantics run.
+struct CoreResult {
+  Memory FinalMemory;
+  /// Assignment events in program order; Time fields hold the event ordinal
+  /// (the core semantics has no clock).
+  std::vector<AssignEvent> Events;
+  bool HitStepLimit = false;
+};
+
+/// Runs \p P to completion under the core semantics.
+/// \p InitialMemory overrides the declaration-derived memory when provided.
+/// \p StepLimit bounds the number of executed commands so diverging
+/// programs terminate the test harness.
+CoreResult runCore(const Program &P, const Memory *InitialMemory = nullptr,
+                   uint64_t StepLimit = 10'000'000);
+
+} // namespace zam
+
+#endif // ZAM_SEM_COREINTERPRETER_H

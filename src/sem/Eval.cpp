@@ -1,0 +1,136 @@
+//===- Eval.cpp -----------------------------------------------------------===//
+
+#include "sem/Eval.h"
+
+#include "support/Casting.h"
+
+using namespace zam;
+
+int64_t zam::applyBinOp(BinOpKind Op, int64_t L, int64_t R) {
+  // Arithmetic is performed on the unsigned representations so that
+  // overflow wraps (deterministic, no UB).
+  uint64_t UL = static_cast<uint64_t>(L);
+  uint64_t UR = static_cast<uint64_t>(R);
+  switch (Op) {
+  case BinOpKind::Add:
+    return static_cast<int64_t>(UL + UR);
+  case BinOpKind::Sub:
+    return static_cast<int64_t>(UL - UR);
+  case BinOpKind::Mul:
+    return static_cast<int64_t>(UL * UR);
+  case BinOpKind::Div:
+    if (R == 0)
+      return 0;
+    if (L == INT64_MIN && R == -1)
+      return INT64_MIN; // Wraps.
+    return L / R;
+  case BinOpKind::Mod:
+    if (R == 0)
+      return 0;
+    if (L == INT64_MIN && R == -1)
+      return 0;
+    return L % R;
+  case BinOpKind::Eq:
+    return L == R;
+  case BinOpKind::Ne:
+    return L != R;
+  case BinOpKind::Lt:
+    return L < R;
+  case BinOpKind::Le:
+    return L <= R;
+  case BinOpKind::Gt:
+    return L > R;
+  case BinOpKind::Ge:
+    return L >= R;
+  case BinOpKind::LogicalAnd:
+    return (L != 0) && (R != 0);
+  case BinOpKind::LogicalOr:
+    return (L != 0) || (R != 0);
+  case BinOpKind::BitAnd:
+    return static_cast<int64_t>(UL & UR);
+  case BinOpKind::BitOr:
+    return static_cast<int64_t>(UL | UR);
+  case BinOpKind::BitXor:
+    return static_cast<int64_t>(UL ^ UR);
+  case BinOpKind::Shl:
+    return static_cast<int64_t>(UL << (UR & 63));
+  case BinOpKind::Shr:
+    return static_cast<int64_t>(UL >> (UR & 63));
+  }
+  return 0;
+}
+
+int64_t zam::applyUnOp(UnOpKind Op, int64_t V) {
+  switch (Op) {
+  case UnOpKind::Neg:
+    return static_cast<int64_t>(-static_cast<uint64_t>(V));
+  case UnOpKind::LogicalNot:
+    return V == 0;
+  case UnOpKind::BitNot:
+    return ~V;
+  }
+  return 0;
+}
+
+int64_t zam::evalExprPure(const Expr &E, const Memory &M) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(E).value();
+  case Expr::Kind::Var:
+    return M.load(cast<VarExpr>(E).name());
+  case Expr::Kind::ArrayRead: {
+    const auto &AR = cast<ArrayReadExpr>(E);
+    return M.loadElem(AR.array(), evalExprPure(AR.index(), M));
+  }
+  case Expr::Kind::BinOp: {
+    const auto &BO = cast<BinOpExpr>(E);
+    // Both operands are always evaluated: expression timing must not depend
+    // on operand *values* beyond what vars1 exposes, so the logical
+    // operators do not short-circuit.
+    int64_t L = evalExprPure(BO.lhs(), M);
+    int64_t R = evalExprPure(BO.rhs(), M);
+    return applyBinOp(BO.op(), L, R);
+  }
+  case Expr::Kind::UnOp: {
+    const auto &UO = cast<UnOpExpr>(E);
+    return applyUnOp(UO.op(), evalExprPure(UO.sub(), M));
+  }
+  }
+  return 0;
+}
+
+int64_t zam::evalExprTimed(const Expr &E, const Memory &M, MachineEnv &Env,
+                           Label Read, Label Write, const CostModel &Costs,
+                           uint64_t &Cycles) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLitExpr>(E).value(); // Immediate operand: free.
+  case Expr::Kind::Var: {
+    const auto &V = cast<VarExpr>(E);
+    Cycles += Env.dataAccess(M.addrOf(V.name()), /*IsStore=*/false, Read, Write);
+    return M.load(V.name());
+  }
+  case Expr::Kind::ArrayRead: {
+    const auto &AR = cast<ArrayReadExpr>(E);
+    int64_t Index = evalExprTimed(AR.index(), M, Env, Read, Write, Costs, Cycles);
+    Cycles += Env.dataAccess(M.addrOfElem(AR.array(), Index), /*IsStore=*/false,
+                             Read, Write);
+    Cycles += Costs.AluOp; // Address computation.
+    return M.loadElem(AR.array(), Index);
+  }
+  case Expr::Kind::BinOp: {
+    const auto &BO = cast<BinOpExpr>(E);
+    int64_t L = evalExprTimed(BO.lhs(), M, Env, Read, Write, Costs, Cycles);
+    int64_t R = evalExprTimed(BO.rhs(), M, Env, Read, Write, Costs, Cycles);
+    Cycles += Costs.AluOp;
+    return applyBinOp(BO.op(), L, R);
+  }
+  case Expr::Kind::UnOp: {
+    const auto &UO = cast<UnOpExpr>(E);
+    int64_t V = evalExprTimed(UO.sub(), M, Env, Read, Write, Costs, Cycles);
+    Cycles += Costs.AluOp;
+    return applyUnOp(UO.op(), V);
+  }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+//===- Eval.h - Shared expression/step evaluation ---------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression evaluation shared by the core semantics, the literal
+/// small-step engine (StepInterpreter) and the fast big-step engine
+/// (FullInterpreter). Both timing engines must charge identical costs so
+/// that they agree cycle-for-cycle (checked by property tests); funneling
+/// evaluation through one implementation makes that true by construction.
+///
+/// The value semantics is total and deterministic: division/modulo by zero
+/// yield 0, shift counts are masked to 6 bits, arithmetic wraps modulo 2^64,
+/// and array indices wrap modulo the array size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_EVAL_H
+#define ZAM_SEM_EVAL_H
+
+#include "hw/MachineEnv.h"
+#include "lang/Ast.h"
+#include "sem/CostModel.h"
+#include "sem/Memory.h"
+
+namespace zam {
+
+/// Applies a binary operator with the total semantics described above.
+int64_t applyBinOp(BinOpKind Op, int64_t L, int64_t R);
+
+/// Applies a unary operator.
+int64_t applyUnOp(UnOpKind Op, int64_t V);
+
+/// Evaluates \p E in \p M without timing (core semantics).
+int64_t evalExprPure(const Expr &E, const Memory &M);
+
+/// Evaluates \p E in \p M, charging ALU costs and performing the data
+/// accesses through \p Env under timing labels [\p Read, \p Write].
+/// Accumulates the cost into \p Cycles and returns the value.
+int64_t evalExprTimed(const Expr &E, const Memory &M, MachineEnv &Env,
+                      Label Read, Label Write, const CostModel &Costs,
+                      uint64_t &Cycles);
+
+} // namespace zam
+
+#endif // ZAM_SEM_EVAL_H

@@ -1,0 +1,78 @@
+//===- Event.h - Observable events and execution traces ---------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observable assignment events (x, v, t) of Sec. 6.1 and the per-mitigate
+/// records (M_η, t) of Sec. 6.3. A Trace collects both for one execution;
+/// analysis/Leakage.h computes adversary projections and the quantitative
+/// measures of Definitions 1 and 2 over traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_EVENT_H
+#define ZAM_SEM_EVENT_H
+
+#include "lattice/Label.h"
+#include "lattice/SecurityLattice.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zam {
+
+/// One observable assignment event (x, v, t). Array stores carry the
+/// (wrapped) element index. The adversary at level ℓA observes the event iff
+/// Γ(x) ⊑ ℓA; monitoring low memory also reveals t (the coresident threat
+/// model of Sec. 3.4).
+struct AssignEvent {
+  std::string Var;
+  Label VarLabel; ///< Γ(x), recorded to avoid re-lookup in analyses.
+  bool IsArrayStore = false;
+  uint64_t ElemIndex = 0;
+  int64_t Value = 0;
+  uint64_t Time = 0; ///< Global clock G' at the completing transition.
+
+  bool operator==(const AssignEvent &Other) const = default;
+};
+
+/// One executed mitigate command: the (M_η, t) tuples of Sec. 6.3, ordered
+/// by completion time in the trace.
+struct MitigateRecord {
+  unsigned Eta = 0;      ///< Source identifier η.
+  Label PcLabel;         ///< pc(M_η): the runtime pc at the occurrence.
+  Label Level;           ///< lev(M_η): the declared mitigation level.
+  uint64_t Start = 0;    ///< Clock when the mitigated body began.
+  uint64_t Duration = 0; ///< Padded duration (equals the final prediction).
+  uint64_t BodyTime = 0; ///< Unpadded execution time of the body.
+  bool Mispredicted = false;
+
+  bool operator==(const MitigateRecord &Other) const = default;
+};
+
+/// Everything recorded about one execution.
+struct Trace {
+  std::vector<AssignEvent> Events;
+  std::vector<MitigateRecord> Mitigations;
+  uint64_t FinalTime = 0;
+  uint64_t Steps = 0;
+  bool HitStepLimit = false;
+
+  /// The ℓA-observable subsequence of events (Sec. 6.1): those with
+  /// Γ(x) ⊑ ℓA.
+  std::vector<AssignEvent> observableBy(Label AdversaryLevel,
+                                        const SecurityLattice &Lat) const;
+
+  /// A canonical string encoding of the ℓA-observable event sequence, used
+  /// to count distinguishable observations in Definition 1.
+  std::string observationKey(Label AdversaryLevel,
+                             const SecurityLattice &Lat) const;
+};
+
+} // namespace zam
+
+#endif // ZAM_SEM_EVENT_H

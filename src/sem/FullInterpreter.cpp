@@ -1,0 +1,227 @@
+//===- FullInterpreter.cpp ------------------------------------------------===//
+
+#include "sem/FullInterpreter.h"
+
+#include "sem/Eval.h"
+#include "sem/StaticLabels.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+
+using namespace zam;
+
+/// Verifies that every non-Seq command carries complete timing labels.
+static void checkLabelsComplete(const Cmd &C) {
+  switch (C.kind()) {
+  case Cmd::Kind::Seq: {
+    const auto &S = cast<SeqCmd>(C);
+    checkLabelsComplete(S.first());
+    checkLabelsComplete(S.second());
+    return;
+  }
+  case Cmd::Kind::If: {
+    if (!C.labels().complete())
+      reportFatalError("command lacks timing labels; run label inference");
+    const auto &I = cast<IfCmd>(C);
+    checkLabelsComplete(I.thenCmd());
+    checkLabelsComplete(I.elseCmd());
+    return;
+  }
+  case Cmd::Kind::While:
+    if (!C.labels().complete())
+      reportFatalError("command lacks timing labels; run label inference");
+    checkLabelsComplete(cast<WhileCmd>(C).body());
+    return;
+  case Cmd::Kind::Mitigate:
+    if (!C.labels().complete())
+      reportFatalError("command lacks timing labels; run label inference");
+    checkLabelsComplete(cast<MitigateCmd>(C).body());
+    return;
+  case Cmd::Kind::MitigateEnd:
+    reportFatalError("MitigateEnd must not appear in a source program");
+  default:
+    if (!C.labels().complete())
+      reportFatalError("command lacks timing labels; run label inference");
+    return;
+  }
+}
+
+FullInterpreter::FullInterpreter(const Program &P, MachineEnv &Env,
+                                 InterpreterOptions Opts)
+    : P(P), Env(Env), Opts(Opts),
+      Scheme(Opts.Scheme ? *Opts.Scheme : fastDoublingScheme()),
+      M(Memory::fromProgram(P, Opts.Costs.DataBase)),
+      OwnMitState(P.lattice(), Scheme, Opts.Penalty),
+      MitState(Opts.SharedMitState ? *Opts.SharedMitState : OwnMitState),
+      PcLabels(computePcLabels(P)) {
+  if (!P.hasBody())
+    reportFatalError("program has no body");
+  checkLabelsComplete(P.body());
+}
+
+bool FullInterpreter::budget() {
+  if (Stopped)
+    return false;
+  if (++T.Steps > Opts.StepLimit) {
+    Stopped = true;
+    T.HitStepLimit = true;
+    return false;
+  }
+  return true;
+}
+
+uint64_t FullInterpreter::stepBase(const Cmd &C, Label Read, Label Write) {
+  return Opts.Costs.BaseStep +
+         Env.fetch(Opts.Costs.codeAddr(C.nodeId()), Read, Write);
+}
+
+void FullInterpreter::record(const std::string &Var, bool IsArray,
+                             uint64_t Index, int64_t Value) {
+  AssignEvent E;
+  E.Var = Var;
+  E.VarLabel = M.labelOf(Var);
+  E.IsArrayStore = IsArray;
+  E.ElemIndex = Index;
+  E.Value = Value;
+  E.Time = G;
+  T.Events.push_back(std::move(E));
+}
+
+void FullInterpreter::exec(const Cmd &C) {
+  if (Stopped)
+    return;
+
+  if (C.kind() == Cmd::Kind::Seq) {
+    const auto &S = cast<SeqCmd>(C);
+    exec(S.first());
+    exec(S.second());
+    return;
+  }
+
+  if (!budget())
+    return;
+
+  const Label Er = *C.labels().Read;
+  const Label Ew = *C.labels().Write;
+  const CostModel &Costs = Opts.Costs;
+
+  switch (C.kind()) {
+  case Cmd::Kind::Skip:
+    G += stepBase(C, Er, Ew);
+    return;
+
+  case Cmd::Kind::Assign: {
+    const auto &A = cast<AssignCmd>(C);
+    uint64_t Cycles = stepBase(C, Er, Ew);
+    int64_t V = evalExprTimed(A.value(), M, Env, Er, Ew, Costs, Cycles);
+    Cycles += Env.dataAccess(M.addrOf(A.var()), /*IsStore=*/true, Er, Ew);
+    G += Cycles;
+    M.store(A.var(), V);
+    record(A.var(), false, 0, V);
+    return;
+  }
+
+  case Cmd::Kind::ArrayAssign: {
+    const auto &A = cast<ArrayAssignCmd>(C);
+    uint64_t Cycles = stepBase(C, Er, Ew);
+    int64_t Index = evalExprTimed(A.index(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t V = evalExprTimed(A.value(), M, Env, Er, Ew, Costs, Cycles);
+    Cycles += Costs.AluOp; // Address computation.
+    Cycles += Env.dataAccess(M.addrOfElem(A.array(), Index), /*IsStore=*/true,
+                             Er, Ew);
+    G += Cycles;
+    uint64_t Wrapped = M.wrapIndex(A.array(), Index);
+    M.storeElem(A.array(), Index, V);
+    record(A.array(), true, Wrapped, V);
+    return;
+  }
+
+  case Cmd::Kind::If: {
+    const auto &I = cast<IfCmd>(C);
+    uint64_t Cycles = stepBase(C, Er, Ew) + Costs.Branch;
+    int64_t Guard = evalExprTimed(I.cond(), M, Env, Er, Ew, Costs, Cycles);
+    G += Cycles;
+    exec(Guard != 0 ? I.thenCmd() : I.elseCmd());
+    return;
+  }
+
+  case Cmd::Kind::While: {
+    const auto &W = cast<WhileCmd>(C);
+    for (;;) {
+      uint64_t Cycles = stepBase(C, Er, Ew) + Costs.Branch;
+      int64_t Guard = evalExprTimed(W.cond(), M, Env, Er, Ew, Costs, Cycles);
+      G += Cycles;
+      if (Guard == 0)
+        return;
+      exec(W.body());
+      if (Stopped || !budget())
+        return;
+    }
+  }
+
+  case Cmd::Kind::Sleep: {
+    // Sleep is a calibrated timer, not a fetched instruction: with a
+    // literal argument it consumes exactly max(n, 0) cycles (Property 4).
+    // Only the argument's own evaluation (variable loads) costs extra.
+    const auto &S = cast<SleepCmd>(C);
+    uint64_t Cycles = 0;
+    int64_t N = evalExprTimed(S.duration(), M, Env, Er, Ew, Costs, Cycles);
+    G += Cycles;
+    if (N > 0) // Property 4: sleep n consumes exactly max(n, 0) cycles.
+      G += static_cast<uint64_t>(N);
+    return;
+  }
+
+  case Cmd::Kind::Mitigate: {
+    const auto &Mit = cast<MitigateCmd>(C);
+    uint64_t Cycles = stepBase(C, Er, Ew);
+    int64_t N =
+        evalExprTimed(Mit.initialEstimate(), M, Env, Er, Ew, Costs, Cycles);
+    G += Cycles;
+    const uint64_t Start = G;
+
+    exec(Mit.body());
+    if (Stopped)
+      return;
+    if (!budget()) // The MitigateEnd padding step.
+      return;
+
+    const uint64_t Elapsed = G - Start;
+    MitigationState::Outcome Out = MitState.settle(N, Mit.mitLevel(), Elapsed);
+    G = Start + Out.Duration;
+
+    MitigateRecord R;
+    R.Eta = Mit.mitigateId();
+    auto PcIt = PcLabels.find(C.nodeId());
+    R.PcLabel = PcIt != PcLabels.end() ? PcIt->second : P.lattice().bottom();
+    R.Level = Mit.mitLevel();
+    R.Start = Start;
+    R.Duration = Out.Duration;
+    R.BodyTime = Elapsed;
+    R.Mispredicted = Out.Mispredicted;
+    T.Mitigations.push_back(R);
+    return;
+  }
+
+  case Cmd::Kind::Seq:
+  case Cmd::Kind::MitigateEnd:
+    reportFatalError("unexpected command kind in big-step execution");
+  }
+}
+
+RunResult FullInterpreter::run() {
+  if (Consumed)
+    reportFatalError("FullInterpreter::run() called twice");
+  Consumed = true;
+  exec(P.body());
+  T.FinalTime = G;
+  RunResult R;
+  R.FinalMemory = std::move(M);
+  R.T = std::move(T);
+  return R;
+}
+
+RunResult zam::runFull(const Program &P, MachineEnv &Env,
+                       InterpreterOptions Opts) {
+  FullInterpreter I(P, Env, Opts);
+  return I.run();
+}

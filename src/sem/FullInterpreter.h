@@ -1,0 +1,110 @@
+//===- FullInterpreter.h - Fast big-step full semantics ---------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The production engine for the full semantics: configurations
+/// ⟨c, m, E, G⟩ evaluated big-step for speed. It charges exactly the same
+/// costs as the literal small-step engine (sem/StepInterpreter.h) — the
+/// agreement is checked cycle-for-cycle by the property-based tests — but
+/// avoids per-step command-tree rewriting, so the case-study workloads
+/// (Sec. 8) run in reasonable time.
+///
+/// Timing of one evaluation step:
+///   BaseStep + instruction fetch at the command's code address
+///            + data accesses and ALU costs of the expressions evaluated
+///            + Branch for if/while, + max(n,0) for sleep.
+/// Mitigate commands implement the predictive semantics of Fig. 6: the
+/// padded duration of the mitigated body (measured from the completion of
+/// the entry step) always equals the schedule's final prediction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_FULLINTERPRETER_H
+#define ZAM_SEM_FULLINTERPRETER_H
+
+#include "hw/MachineEnv.h"
+#include "lang/Ast.h"
+#include "sem/CostModel.h"
+#include "sem/Event.h"
+#include "sem/Memory.h"
+#include "sem/Mitigation.h"
+
+#include <unordered_map>
+
+namespace zam {
+
+/// Knobs shared by both full-semantics engines.
+struct InterpreterOptions {
+  CostModel Costs;
+  /// Prediction schedule; fastDoublingScheme() when null.
+  const MitigationScheme *Scheme = nullptr;
+  PenaltyPolicy Penalty = PenaltyPolicy::PerLevel;
+  /// Bound on primitive evaluation steps (diverging-program safety net).
+  uint64_t StepLimit = 500'000'000;
+  /// When set, the interpreter uses (and mutates) this external Miss table
+  /// instead of a fresh one, so predictive-mitigation state persists across
+  /// runs — e.g. over the requests of one login session (Sec. 8.3). The
+  /// state must be over the program's lattice; Scheme/Penalty are ignored
+  /// in favor of the shared state's own.
+  MitigationState *SharedMitState = nullptr;
+};
+
+/// Outcome of a full-semantics run.
+struct RunResult {
+  Memory FinalMemory;
+  Trace T;
+};
+
+/// Big-step evaluator for ⟨c, m, E, G⟩. The machine environment is borrowed
+/// and mutated in place (callers snapshot via MachineEnv::clone()).
+///
+/// Every non-Seq command in the program must carry complete [er,ew] labels
+/// (run type checking / label inference first); violations abort.
+class FullInterpreter {
+public:
+  FullInterpreter(const Program &P, MachineEnv &Env,
+                  InterpreterOptions Opts = InterpreterOptions());
+
+  /// The pre-run memory (initialized from declarations); callers may poke
+  /// experiment-specific inputs before run().
+  Memory &memory() { return M; }
+
+  /// Runs the program body to completion and returns the final memory and
+  /// trace. The interpreter is single-shot: run() may be called once.
+  RunResult run();
+
+  uint64_t clock() const { return G; }
+
+private:
+  bool budget();
+  uint64_t stepBase(const Cmd &C, Label Read, Label Write);
+  void record(const std::string &Var, bool IsArray, uint64_t Index,
+              int64_t Value);
+  void exec(const Cmd &C);
+
+  const Program &P;
+  MachineEnv &Env;
+  InterpreterOptions Opts;
+  const MitigationScheme &Scheme;
+  Memory M;
+  MitigationState OwnMitState;
+  MitigationState &MitState;
+  std::unordered_map<unsigned, Label> PcLabels;
+  Trace T;
+  uint64_t G = 0;
+  bool Stopped = false;
+  bool Consumed = false;
+};
+
+/// Convenience wrapper: construct, optionally override memory via
+/// \p Prepare, run, and return the result.
+RunResult runFull(const Program &P, MachineEnv &Env,
+                  InterpreterOptions Opts = InterpreterOptions());
+
+} // namespace zam
+
+#endif // ZAM_SEM_FULLINTERPRETER_H

@@ -1,0 +1,96 @@
+//===- Memory.h - Program memory m with simulated addresses -----*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory component m of configurations ⟨c, m, E, G⟩. Memory maps
+/// variables to 64-bit values (scalars) or value vectors (arrays) and also
+/// fixes the simulated address layout, so data accesses exercise the
+/// machine environment's D-TLB and data caches the way a compiled program
+/// would.
+///
+/// Memory and machine environment are deliberately separate (Sec. 3.3):
+/// only memory affects control flow; both affect timing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_MEMORY_H
+#define ZAM_SEM_MEMORY_H
+
+#include "hw/CacheConfig.h"
+#include "lang/Ast.h"
+#include "lattice/SecurityLattice.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace zam {
+
+/// Runtime storage for one declared variable.
+struct MemorySlot {
+  std::string Name;
+  Label SecLabel; ///< Γ(x).
+  bool IsArray = false;
+  Addr Base = 0; ///< Simulated address of element 0.
+  std::vector<int64_t> Data;
+
+  bool operator==(const MemorySlot &Other) const = default;
+};
+
+/// The memory m. Array indices wrap modulo the array size (the semantics is
+/// total: no trap states), and this is deterministic, so Property 2 holds.
+class Memory {
+public:
+  Memory() = default;
+
+  /// Builds memory from a program's declarations, laying variables out
+  /// contiguously (8-byte words) from \p DataBase.
+  static Memory fromProgram(const Program &P, Addr DataBase = 0x10000000);
+
+  bool hasVar(const std::string &Name) const {
+    return Index.count(Name) != 0;
+  }
+
+  const MemorySlot &slot(const std::string &Name) const;
+  MemorySlot &slot(const std::string &Name);
+  const std::vector<MemorySlot> &slots() const { return Slots; }
+
+  /// Scalar load/store.
+  int64_t load(const std::string &Name) const;
+  void store(const std::string &Name, int64_t Value);
+
+  /// Array element load/store; \p RawIndex wraps modulo the array size.
+  int64_t loadElem(const std::string &Name, int64_t RawIndex) const;
+  void storeElem(const std::string &Name, int64_t RawIndex, int64_t Value);
+
+  /// Wrapped (in-bounds) index for an array access.
+  uint64_t wrapIndex(const std::string &Name, int64_t RawIndex) const;
+
+  /// Simulated address of a scalar / of an array element.
+  Addr addrOf(const std::string &Name) const;
+  Addr addrOfElem(const std::string &Name, int64_t RawIndex) const;
+
+  Label labelOf(const std::string &Name) const;
+
+  /// m1 ~ℓ m2 (Sec. 3.4): agreement on every variable whose label flows to
+  /// ℓ. Arrays compare element-wise. Slot layouts must match.
+  bool equivalentUpTo(const Memory &Other, Label L,
+                      const SecurityLattice &Lat) const;
+
+  /// m1 ≈ℓ m2: agreement on variables labeled exactly ℓ.
+  bool projectionEquals(const Memory &Other, Label L) const;
+
+  bool operator==(const Memory &Other) const = default;
+
+private:
+  std::vector<MemorySlot> Slots;
+  std::unordered_map<std::string, size_t> Index;
+};
+
+} // namespace zam
+
+#endif // ZAM_SEM_MEMORY_H

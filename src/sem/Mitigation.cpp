@@ -1,0 +1,81 @@
+//===- Mitigation.cpp -----------------------------------------------------===//
+
+#include "sem/Mitigation.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace zam;
+
+MitigationScheme::~MitigationScheme() = default;
+
+/// Cap on the doubling exponent so predictions cannot overflow: with
+/// estimates below 2^20 the prediction stays below 2^60.
+static constexpr unsigned MaxDoublings = 40;
+
+uint64_t FastDoublingScheme::predict(uint64_t InitialEstimate,
+                                     unsigned Misses) const {
+  uint64_t Base = std::max<uint64_t>(InitialEstimate, 1);
+  return Base << std::min(Misses, MaxDoublings);
+}
+
+uint64_t LinearScheme::predict(uint64_t InitialEstimate,
+                               unsigned Misses) const {
+  uint64_t Base = std::max<uint64_t>(InitialEstimate, 1);
+  return Base * (static_cast<uint64_t>(Misses) + 1);
+}
+
+const MitigationScheme &zam::fastDoublingScheme() {
+  static const FastDoublingScheme Scheme;
+  return Scheme;
+}
+
+const MitigationScheme &zam::linearScheme() {
+  static const LinearScheme Scheme;
+  return Scheme;
+}
+
+MitigationState::MitigationState(const SecurityLattice &Lat,
+                                 const MitigationScheme &Scheme,
+                                 PenaltyPolicy Policy)
+    : Lat(&Lat), Scheme(&Scheme), Policy(Policy) {
+  Miss.assign(Policy == PenaltyPolicy::PerLevel ? Lat.size() : 1, 0);
+}
+
+unsigned &MitigationState::missSlot(Label Level) {
+  assert(Lat->contains(Level) && "label from another lattice");
+  return Miss[Policy == PenaltyPolicy::PerLevel ? Level.index() : 0];
+}
+
+unsigned MitigationState::missSlotValue(Label Level) const {
+  assert(Lat->contains(Level) && "label from another lattice");
+  return Miss[Policy == PenaltyPolicy::PerLevel ? Level.index() : 0];
+}
+
+uint64_t MitigationState::predict(int64_t Estimate, Label Level) const {
+  uint64_t N = Estimate > 0 ? static_cast<uint64_t>(Estimate) : 1;
+  return Scheme->predict(N, missSlotValue(Level));
+}
+
+unsigned MitigationState::misses(Label Level) const {
+  return missSlotValue(Level);
+}
+
+MitigationState::Outcome MitigationState::settle(int64_t Estimate, Label Level,
+                                                 uint64_t Elapsed) {
+  Outcome Out;
+  unsigned &Count = missSlot(Level);
+  // The Fig. 6 update loop: while (time - s_η >= predict(n,ℓ)) Miss[ℓ]++.
+  while (Elapsed >= predict(Estimate, Level)) {
+    ++Count;
+    Out.Mispredicted = true;
+    if (Count >= 2 * MaxDoublings)
+      break; // Schedule saturated; duration below still covers Elapsed.
+  }
+  Out.Duration = std::max(predict(Estimate, Level), Elapsed + 1);
+  return Out;
+}
+
+void MitigationState::reset() {
+  std::fill(Miss.begin(), Miss.end(), 0u);
+}

@@ -1,0 +1,111 @@
+//===- Mitigation.h - Predictive mitigation schemes -------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The predictive-mitigation machinery of Sec. 7 (Fig. 6):
+///
+///   predict(n, ℓ) = max(n,1) · 2^Miss[ℓ]
+///
+/// with the fast-doubling scheme and the local (per-level) penalty policy.
+/// The update rule: on a misprediction (the mitigated body consumed at least
+/// the predicted time), Miss[ℓ] is incremented until the prediction exceeds
+/// the consumed time, and execution idles until the prediction. A mitigated
+/// block's padded duration is therefore always a schedule value, so the set
+/// of distinguishable durations after K mispredictions in elapsed time T is
+/// at most log-sized — the source of the |LeA↑|·log(K+1)·(1+log T) bound.
+///
+/// Alternative schemes/policies are pluggable for the ablation benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_MITIGATION_H
+#define ZAM_SEM_MITIGATION_H
+
+#include "lattice/SecurityLattice.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace zam {
+
+/// A prediction schedule: maps (initial estimate, miss count) to the
+/// predicted duration.
+class MitigationScheme {
+public:
+  virtual ~MitigationScheme();
+
+  virtual uint64_t predict(uint64_t InitialEstimate, unsigned Misses) const = 0;
+  virtual const char *name() const = 0;
+};
+
+/// The paper's scheme: predict(n, k) = max(n,1) · 2^k (shift capped so the
+/// prediction never overflows).
+class FastDoublingScheme final : public MitigationScheme {
+public:
+  uint64_t predict(uint64_t InitialEstimate, unsigned Misses) const override;
+  const char *name() const override { return "fast-doubling"; }
+};
+
+/// Ablation alternative: predict(n, k) = max(n,1) · (k+1). Linear schedules
+/// waste less time per misprediction but admit more distinguishable
+/// durations, i.e. leak more per unit time.
+class LinearScheme final : public MitigationScheme {
+public:
+  uint64_t predict(uint64_t InitialEstimate, unsigned Misses) const override;
+  const char *name() const override { return "linear"; }
+};
+
+/// Shared singletons (stateless schemes).
+const MitigationScheme &fastDoublingScheme();
+const MitigationScheme &linearScheme();
+
+/// How mispredictions penalize future predictions (Sec. 7 cites [38]):
+/// PerLevel keeps one Miss counter per security level (the paper's local
+/// policy); Global shares a single counter across all levels (coarser, the
+/// ablation baseline).
+enum class PenaltyPolicy { PerLevel, Global };
+
+/// The runtime Miss table plus the update rule of Fig. 6.
+class MitigationState {
+public:
+  MitigationState(const SecurityLattice &Lat, const MitigationScheme &Scheme,
+                  PenaltyPolicy Policy);
+
+  /// Current prediction for a mitigate with initial estimate \p Estimate at
+  /// level \p Level.
+  uint64_t predict(int64_t Estimate, Label Level) const;
+
+  unsigned misses(Label Level) const;
+
+  struct Outcome {
+    uint64_t Duration = 0;     ///< Final prediction = padded duration.
+    bool Mispredicted = false; ///< Whether Miss was incremented.
+  };
+
+  /// Applies the update rule: increments Miss[\p Level] while the body's
+  /// \p Elapsed time has reached the prediction, then returns the final
+  /// (padded) duration.
+  Outcome settle(int64_t Estimate, Label Level, uint64_t Elapsed);
+
+  void reset();
+
+  const MitigationScheme &scheme() const { return *Scheme; }
+  PenaltyPolicy policy() const { return Policy; }
+
+private:
+  unsigned &missSlot(Label Level);
+  unsigned missSlotValue(Label Level) const;
+
+  const SecurityLattice *Lat;
+  const MitigationScheme *Scheme;
+  PenaltyPolicy Policy;
+  std::vector<unsigned> Miss; ///< One entry per level (or [0] when Global).
+};
+
+} // namespace zam
+
+#endif // ZAM_SEM_MITIGATION_H

@@ -1,0 +1,130 @@
+//===- StaticLabels.cpp ---------------------------------------------------===//
+
+#include "sem/StaticLabels.h"
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+
+using namespace zam;
+
+Label zam::exprLabel(const Expr &E, const Program &P) {
+  const SecurityLattice &Lat = P.lattice();
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return Lat.bottom();
+  case Expr::Kind::Var: {
+    const VarDecl *D = P.findVar(cast<VarExpr>(E).name());
+    if (!D)
+      reportFatalError("expression references an undeclared variable");
+    return D->SecLabel;
+  }
+  case Expr::Kind::ArrayRead: {
+    const auto &AR = cast<ArrayReadExpr>(E);
+    const VarDecl *D = P.findVar(AR.array());
+    if (!D)
+      reportFatalError("expression references an undeclared array");
+    return Lat.join(D->SecLabel, exprLabel(AR.index(), P));
+  }
+  case Expr::Kind::BinOp: {
+    const auto &BO = cast<BinOpExpr>(E);
+    return Lat.join(exprLabel(BO.lhs(), P), exprLabel(BO.rhs(), P));
+  }
+  case Expr::Kind::UnOp:
+    return exprLabel(cast<UnOpExpr>(E).sub(), P);
+  }
+  return Lat.bottom();
+}
+
+Label zam::addressDependenceLabel(const Expr &E, const Program &P) {
+  const SecurityLattice &Lat = P.lattice();
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::Var:
+    return Lat.bottom();
+  case Expr::Kind::ArrayRead: {
+    const auto &AR = cast<ArrayReadExpr>(E);
+    return Lat.join(exprLabel(AR.index(), P),
+                    addressDependenceLabel(AR.index(), P));
+  }
+  case Expr::Kind::BinOp: {
+    const auto &BO = cast<BinOpExpr>(E);
+    return Lat.join(addressDependenceLabel(BO.lhs(), P),
+                    addressDependenceLabel(BO.rhs(), P));
+  }
+  case Expr::Kind::UnOp:
+    return addressDependenceLabel(cast<UnOpExpr>(E).sub(), P);
+  }
+  return Lat.bottom();
+}
+
+Label zam::stepAddressLabel(const Cmd &C, const Program &P) {
+  const SecurityLattice &Lat = P.lattice();
+  switch (C.kind()) {
+  case Cmd::Kind::Skip:
+  case Cmd::Kind::MitigateEnd:
+    return Lat.bottom();
+  case Cmd::Kind::Assign:
+    return addressDependenceLabel(cast<AssignCmd>(C).value(), P);
+  case Cmd::Kind::ArrayAssign: {
+    const auto &A = cast<ArrayAssignCmd>(C);
+    // The store's own address depends on the index expression's value.
+    Label IdxL = Lat.join(exprLabel(A.index(), P),
+                          addressDependenceLabel(A.index(), P));
+    return Lat.join(IdxL, addressDependenceLabel(A.value(), P));
+  }
+  case Cmd::Kind::Seq:
+    return stepAddressLabel(cast<SeqCmd>(C).first(), P);
+  case Cmd::Kind::If:
+    return addressDependenceLabel(cast<IfCmd>(C).cond(), P);
+  case Cmd::Kind::While:
+    return addressDependenceLabel(cast<WhileCmd>(C).cond(), P);
+  case Cmd::Kind::Mitigate:
+    return addressDependenceLabel(cast<MitigateCmd>(C).initialEstimate(), P);
+  case Cmd::Kind::Sleep:
+    return addressDependenceLabel(cast<SleepCmd>(C).duration(), P);
+  }
+  return Lat.bottom();
+}
+
+static void walkPc(const Cmd &C, Label Pc, const Program &P,
+                   std::unordered_map<unsigned, Label> &Out) {
+  Out[C.nodeId()] = Pc;
+  const SecurityLattice &Lat = P.lattice();
+  switch (C.kind()) {
+  case Cmd::Kind::Skip:
+  case Cmd::Kind::Assign:
+  case Cmd::Kind::ArrayAssign:
+  case Cmd::Kind::Sleep:
+  case Cmd::Kind::MitigateEnd:
+    break;
+  case Cmd::Kind::Seq: {
+    const auto &S = cast<SeqCmd>(C);
+    walkPc(S.first(), Pc, P, Out);
+    walkPc(S.second(), Pc, P, Out);
+    break;
+  }
+  case Cmd::Kind::If: {
+    const auto &I = cast<IfCmd>(C);
+    Label BranchPc = Lat.join(Pc, exprLabel(I.cond(), P));
+    walkPc(I.thenCmd(), BranchPc, P, Out);
+    walkPc(I.elseCmd(), BranchPc, P, Out);
+    break;
+  }
+  case Cmd::Kind::While: {
+    const auto &W = cast<WhileCmd>(C);
+    walkPc(W.body(), Lat.join(Pc, exprLabel(W.cond(), P)), P, Out);
+    break;
+  }
+  case Cmd::Kind::Mitigate:
+    // T-MTG type-checks the body under the same pc.
+    walkPc(cast<MitigateCmd>(C).body(), Pc, P, Out);
+    break;
+  }
+}
+
+std::unordered_map<unsigned, Label> zam::computePcLabels(const Program &P) {
+  std::unordered_map<unsigned, Label> Out;
+  if (P.hasBody())
+    walkPc(P.body(), P.lattice().bottom(), P, Out);
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- StaticLabels.h - Expression labels and pc labels ---------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static label computations shared by the interpreters, the type checker
+/// and the analyses:
+///
+///   - exprLabel: the standard expression label — the join of Γ(x) over all
+///     variables read (array reads join the element label with the index
+///     label).
+///   - computePcLabels: pc(c) for every command node — the join of the
+///     guard labels of the enclosing ifs/whiles. This is pc(M_η) in the
+///     Sec. 6.3 projections (mitigate bodies do not raise pc).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_STATICLABELS_H
+#define ZAM_SEM_STATICLABELS_H
+
+#include "lang/Ast.h"
+
+#include <unordered_map>
+
+namespace zam {
+
+/// Γ ⊢ e : ℓ for the expression typing of Sec. 5.1.
+Label exprLabel(const Expr &E, const Program &P);
+
+/// Maps every command NodeId to its static program-counter label.
+/// Requires the program to be numbered (Program::number()).
+std::unordered_map<unsigned, Label> computePcLabels(const Program &P);
+
+/// The address-dependence label of \p E: the join of the index labels of
+/// every array read in it (⊥ when there are none). An access's simulated
+/// address — and hence the machine-environment lines it may touch — depends
+/// on exactly this information, so the array extension requires it to flow
+/// to the command's write label (see TypeChecker and DESIGN.md).
+Label addressDependenceLabel(const Expr &E, const Program &P);
+
+/// The address-dependence label of the expressions evaluated by the *next*
+/// evaluation step of \p C (the guard for compound commands; index and
+/// value for assignments). This is the side condition under which
+/// Property 7 holds in the presence of arrays.
+Label stepAddressLabel(const Cmd &C, const Program &P);
+
+} // namespace zam
+
+#endif // ZAM_SEM_STATICLABELS_H

@@ -1,0 +1,193 @@
+//===- StepInterpreter.cpp ------------------------------------------------===//
+
+#include "sem/StepInterpreter.h"
+
+#include "sem/Eval.h"
+#include "sem/StaticLabels.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+
+using namespace zam;
+
+StepInterpreter::StepInterpreter(const Program &P, MachineEnv &Env,
+                                 InterpreterOptions Opts)
+    : P(P), Env(Env), Opts(Opts),
+      Scheme(Opts.Scheme ? *Opts.Scheme : fastDoublingScheme()),
+      M(Memory::fromProgram(P, Opts.Costs.DataBase)),
+      OwnMitState(P.lattice(), Scheme, Opts.Penalty),
+      MitState(Opts.SharedMitState ? *Opts.SharedMitState : OwnMitState),
+      PcLabels(computePcLabels(P)) {
+  if (!P.hasBody())
+    reportFatalError("program has no body");
+  Current = P.body().clone();
+}
+
+StepInterpreter::StepInterpreter(const Program &P, CmdPtr C,
+                                 Memory InitialMemory, MachineEnv &Env,
+                                 InterpreterOptions Opts)
+    : P(P), Env(Env), Opts(Opts),
+      Scheme(Opts.Scheme ? *Opts.Scheme : fastDoublingScheme()),
+      M(std::move(InitialMemory)),
+      OwnMitState(P.lattice(), Scheme, Opts.Penalty),
+      MitState(Opts.SharedMitState ? *Opts.SharedMitState : OwnMitState),
+      PcLabels(computePcLabels(P)), Current(std::move(C)) {}
+
+uint64_t StepInterpreter::stepBase(const Cmd &C, Label Read, Label Write) {
+  return Opts.Costs.BaseStep +
+         Env.fetch(Opts.Costs.codeAddr(C.nodeId()), Read, Write);
+}
+
+void StepInterpreter::record(const std::string &Var, bool IsArray,
+                             uint64_t Index, int64_t Value) {
+  AssignEvent E;
+  E.Var = Var;
+  E.VarLabel = M.labelOf(Var);
+  E.IsArrayStore = IsArray;
+  E.ElemIndex = Index;
+  E.Value = Value;
+  E.Time = G;
+  T.Events.push_back(std::move(E));
+}
+
+CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
+  // Sequential composition steps its first component (Property 3); no time
+  // is charged for the composition itself.
+  if (C->kind() == Cmd::Kind::Seq) {
+    auto *S = cast<SeqCmd>(C.get());
+    CmdPtr First = S->takeFirst();
+    CmdPtr Second = S->takeSecond();
+    CmdPtr FirstNext = stepCmd(std::move(First));
+    if (!FirstNext)
+      return Second;
+    return std::make_unique<SeqCmd>(std::move(FirstNext), std::move(Second));
+  }
+
+  if (!C->labels().complete())
+    reportFatalError("command lacks timing labels; run label inference");
+  const Label Er = *C->labels().Read;
+  const Label Ew = *C->labels().Write;
+  const CostModel &Costs = Opts.Costs;
+
+  switch (C->kind()) {
+  case Cmd::Kind::Skip:
+    G += stepBase(*C, Er, Ew);
+    return nullptr;
+
+  case Cmd::Kind::Assign: {
+    auto *A = cast<AssignCmd>(C.get());
+    uint64_t Cycles = stepBase(*C, Er, Ew);
+    int64_t V = evalExprTimed(A->value(), M, Env, Er, Ew, Costs, Cycles);
+    Cycles += Env.dataAccess(M.addrOf(A->var()), /*IsStore=*/true, Er, Ew);
+    G += Cycles;
+    M.store(A->var(), V);
+    record(A->var(), false, 0, V);
+    return nullptr;
+  }
+
+  case Cmd::Kind::ArrayAssign: {
+    auto *A = cast<ArrayAssignCmd>(C.get());
+    uint64_t Cycles = stepBase(*C, Er, Ew);
+    int64_t Index = evalExprTimed(A->index(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t V = evalExprTimed(A->value(), M, Env, Er, Ew, Costs, Cycles);
+    Cycles += Costs.AluOp; // Address computation.
+    Cycles += Env.dataAccess(M.addrOfElem(A->array(), Index), /*IsStore=*/true,
+                             Er, Ew);
+    G += Cycles;
+    uint64_t Wrapped = M.wrapIndex(A->array(), Index);
+    M.storeElem(A->array(), Index, V);
+    record(A->array(), true, Wrapped, V);
+    return nullptr;
+  }
+
+  case Cmd::Kind::If: {
+    auto *I = cast<IfCmd>(C.get());
+    uint64_t Cycles = stepBase(*C, Er, Ew) + Costs.Branch;
+    int64_t Guard = evalExprTimed(I->cond(), M, Env, Er, Ew, Costs, Cycles);
+    G += Cycles;
+    return Guard != 0 ? I->takeThen() : I->takeElse();
+  }
+
+  case Cmd::Kind::While: {
+    auto *W = cast<WhileCmd>(C.get());
+    uint64_t Cycles = stepBase(*C, Er, Ew) + Costs.Branch;
+    int64_t Guard = evalExprTimed(W->cond(), M, Env, Er, Ew, Costs, Cycles);
+    G += Cycles;
+    if (Guard == 0)
+      return nullptr;
+    // while e do c → c; while e do c. The body is cloned: the loop node
+    // retains its pristine copy for later iterations.
+    CmdPtr BodyCopy = W->body().clone();
+    return std::make_unique<SeqCmd>(std::move(BodyCopy), std::move(C));
+  }
+
+  case Cmd::Kind::Sleep: {
+    // Calibrated timer semantics: no fetch/issue cost, so a literal sleep
+    // takes exactly max(n, 0) cycles (Property 4).
+    auto *S = cast<SleepCmd>(C.get());
+    uint64_t Cycles = 0;
+    int64_t N = evalExprTimed(S->duration(), M, Env, Er, Ew, Costs, Cycles);
+    G += Cycles;
+    if (N > 0)
+      G += static_cast<uint64_t>(N);
+    return nullptr;
+  }
+
+  case Cmd::Kind::Mitigate: {
+    auto *Mit = cast<MitigateCmd>(C.get());
+    uint64_t Cycles = stepBase(*C, Er, Ew);
+    int64_t N = evalExprTimed(Mit->initialEstimate(), M, Env, Er, Ew, Costs,
+                              Cycles);
+    G += Cycles;
+    auto PcIt = PcLabels.find(C->nodeId());
+    Label Pc = PcIt != PcLabels.end() ? PcIt->second : P.lattice().bottom();
+    // S-MTGPRED: rewrite to body ; MitigateEnd with the start time s_η
+    // captured as the completion time of this entry step.
+    auto End = std::make_unique<MitigateEndCmd>(Mit->mitigateId(), N,
+                                                Mit->mitLevel(), Pc, G,
+                                                P.lattice().bottom());
+    return std::make_unique<SeqCmd>(Mit->takeBody(), std::move(End));
+  }
+
+  case Cmd::Kind::MitigateEnd: {
+    auto *End = cast<MitigateEndCmd>(C.get());
+    const uint64_t Elapsed = G - End->startTime();
+    MitigationState::Outcome Out =
+        MitState.settle(End->estimate(), End->mitLevel(), Elapsed);
+    G = End->startTime() + Out.Duration;
+
+    MitigateRecord R;
+    R.Eta = End->eta();
+    R.PcLabel = End->pcLabel();
+    R.Level = End->mitLevel();
+    R.Start = End->startTime();
+    R.Duration = Out.Duration;
+    R.BodyTime = Elapsed;
+    R.Mispredicted = Out.Mispredicted;
+    T.Mitigations.push_back(R);
+    return nullptr;
+  }
+
+  case Cmd::Kind::Seq:
+    break; // Handled above.
+  }
+  reportFatalError("unexpected command kind in small-step execution");
+}
+
+void StepInterpreter::step() {
+  if (done())
+    return;
+  if (++T.Steps > Opts.StepLimit) {
+    T.HitStepLimit = true;
+    Current = nullptr;
+    return;
+  }
+  Current = stepCmd(std::move(Current));
+  if (done())
+    T.FinalTime = G;
+}
+
+Trace StepInterpreter::runToCompletion() {
+  while (!done())
+    step();
+  return T;
+}

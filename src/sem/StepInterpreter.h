@@ -1,0 +1,91 @@
+//===- StepInterpreter.h - Literal small-step full semantics ----*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct transcription of the paper's small-step rules (Fig. 2 plus the
+/// predictive rules of Fig. 6) over configurations ⟨c, m, E, G⟩, with
+/// command rewriting:
+///
+///   c1;c2 steps by stepping c1          (Property 3)
+///   while e do c  →  c; while e do c    when e ≠ 0
+///   mitigate_η (e,ℓ) c  →  c; MitigateEnd(η, n, ℓ, s_η)   (S-MTGPRED)
+///
+/// This engine exists so that single transitions are first-class: the
+/// dynamic checkers for Properties 1-7 (analysis/PropertyCheckers.h) drive
+/// it one step at a time. It charges exactly the same costs as the fast
+/// big-step engine; the two are checked for cycle-level agreement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_STEPINTERPRETER_H
+#define ZAM_SEM_STEPINTERPRETER_H
+
+#include "hw/MachineEnv.h"
+#include "lang/Ast.h"
+#include "sem/FullInterpreter.h"
+#include "sem/Memory.h"
+#include "sem/Mitigation.h"
+
+#include <unordered_map>
+
+namespace zam {
+
+/// Small-step engine over a configuration ⟨c, m, E, G⟩. The command
+/// component is held as an owned AST that is restructured on each step;
+/// `stop` is represented by an empty command.
+class StepInterpreter {
+public:
+  /// Begins executing \p P (body cloned) on \p Env.
+  StepInterpreter(const Program &P, MachineEnv &Env,
+                  InterpreterOptions Opts = InterpreterOptions());
+
+  /// Begins executing a bare command \p C under the declarations of \p P.
+  /// Used by the property checkers to run single labeled commands.
+  StepInterpreter(const Program &P, CmdPtr C, Memory InitialMemory,
+                  MachineEnv &Env,
+                  InterpreterOptions Opts = InterpreterOptions());
+
+  /// Whether the configuration has reached ⟨stop, m, E, G⟩.
+  bool done() const { return Current == nullptr; }
+
+  /// Performs exactly one transition. No-op when done.
+  void step();
+
+  /// Steps until done or the step limit is hit; returns the final trace.
+  Trace runToCompletion();
+
+  const Memory &memory() const { return M; }
+  Memory &memory() { return M; }
+  uint64_t clock() const { return G; }
+  const Trace &trace() const { return T; }
+  const Cmd *current() const { return Current.get(); }
+  const MitigationState &mitigationState() const { return MitState; }
+
+private:
+  uint64_t stepBase(const Cmd &C, Label Read, Label Write);
+  void record(const std::string &Var, bool IsArray, uint64_t Index,
+              int64_t Value);
+  /// One transition of \p C; returns the continuation command (nullptr for
+  /// stop).
+  CmdPtr stepCmd(CmdPtr C);
+
+  const Program &P;
+  MachineEnv &Env;
+  InterpreterOptions Opts;
+  const MitigationScheme &Scheme;
+  Memory M;
+  MitigationState OwnMitState;
+  MitigationState &MitState;
+  std::unordered_map<unsigned, Label> PcLabels;
+  CmdPtr Current;
+  Trace T;
+  uint64_t G = 0;
+};
+
+} // namespace zam
+
+#endif // ZAM_SEM_STEPINTERPRETER_H

@@ -1,0 +1,43 @@
+//===- TraceDump.h - Human-readable trace rendering -------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text rendering of execution traces: the event timeline a coresident
+/// adversary would see (optionally restricted to an adversary level) and
+/// the mitigate-command summary. Used by the zamc CLI and handy in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_TRACEDUMP_H
+#define ZAM_SEM_TRACEDUMP_H
+
+#include "lattice/SecurityLattice.h"
+#include "sem/Event.h"
+
+#include <optional>
+#include <string>
+
+namespace zam {
+
+/// Renders the assignment-event timeline, one line per event:
+/// `t=123        x := 7   [L]`. When \p Adversary is set, only events the
+/// adversary observes (Γ(x) ⊑ ℓA) are included — the (x, v, t) sequence of
+/// Sec. 6.1.
+std::string dumpEvents(const Trace &T, const SecurityLattice &Lat,
+                       std::optional<Label> Adversary = std::nullopt);
+
+/// Renders one line per executed mitigate:
+/// `mitigate #0 [pc L, lev H]: body 406 cycles, padded to 4096`.
+std::string dumpMitigations(const Trace &T, const SecurityLattice &Lat);
+
+/// Full dump: events, mitigations, then the termination summary.
+std::string dumpTrace(const Trace &T, const SecurityLattice &Lat,
+                      std::optional<Label> Adversary = std::nullopt);
+
+} // namespace zam
+
+#endif // ZAM_SEM_TRACEDUMP_H

@@ -1,0 +1,84 @@
+//===- Diagnostics.h - Error reporting for zam ------------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine. Library code never throws; fallible phases
+/// (lexing, parsing, type checking) report into a DiagnosticEngine and the
+/// caller inspects it. Messages follow the LLVM style: start lowercase, no
+/// trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SUPPORT_DIAGNOSTICS_H
+#define ZAM_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace zam {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// A single reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "error: 3:7: message" (location omitted when unknown).
+  std::string str() const;
+};
+
+/// Collects diagnostics produced by one compilation phase.
+///
+/// The engine is append-only; phases report via error()/warning()/note() and
+/// callers test hasErrors() afterwards.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+
+  /// All diagnostics joined by newlines; convenient for test assertions and
+  /// tool output.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+/// Aborts the process after printing \p Message to stderr. Used for
+/// violations of internal invariants that must be caught even in release
+/// builds (e.g. a hardware model breaking the software/hardware contract).
+[[noreturn]] void reportFatalError(const char *Message);
+
+} // namespace zam
+
+#endif // ZAM_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,53 @@
+//===- Rng.h - Deterministic random number generation -----------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded xoshiro256** generator. All randomness in zam (workload
+/// generation, property-based test inputs, random program generation) flows
+/// through this class so that every experiment is reproducible from a seed —
+/// a requirement for the deterministic-execution Property 2 checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SUPPORT_RNG_H
+#define ZAM_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace zam {
+
+/// xoshiro256** 1.0 (public-domain algorithm by Blackman & Vigna), seeded via
+/// splitmix64 so that any 64-bit seed yields a well-mixed state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x2254064) { reseed(Seed); }
+
+  void reseed(uint64_t Seed);
+
+  /// Uniform 64-bit value.
+  uint64_t next();
+
+  /// Uniform value in [0, Bound) using rejection sampling; Bound must be > 0.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Uniform value in the inclusive range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Bernoulli trial; \p Percent in [0,100].
+  bool chance(unsigned Percent);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace zam
+
+#endif // ZAM_SUPPORT_RNG_H

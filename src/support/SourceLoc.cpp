@@ -1,0 +1,15 @@
+//===- SourceLoc.cpp ------------------------------------------------------===//
+
+#include "support/SourceLoc.h"
+
+#include <cstdio>
+
+using namespace zam;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%u:%u", Line, Col);
+  return Buf;
+}

@@ -1,0 +1,41 @@
+//===- SourceLoc.h - Source locations for the zam language -----*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column source locations used by the lexer, parser, and
+/// diagnostics. A default-constructed location is "unknown" (line 0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SUPPORT_SOURCELOC_H
+#define ZAM_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace zam {
+
+/// A position in a source buffer. Lines and columns are 1-based; a value of
+/// zero means "unknown" (e.g. for programmatically built ASTs).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &Other) const = default;
+
+  /// Renders as "line:col", or "<unknown>" for invalid locations.
+  std::string str() const;
+};
+
+} // namespace zam
+
+#endif // ZAM_SUPPORT_SOURCELOC_H

@@ -1,0 +1,56 @@
+//===- LabelInference.cpp -------------------------------------------------===//
+
+#include "types/LabelInference.h"
+
+#include "sem/StaticLabels.h"
+#include "support/Casting.h"
+
+using namespace zam;
+
+static void fill(Cmd &C, Label Pc, const Program &P) {
+  const SecurityLattice &Lat = P.lattice();
+  if (!C.isSeq()) {
+    TimingLabels &L = C.labels();
+    // The least write label satisfies pc ⊑ ew and the array extension's
+    // address-dependence constraint (the step's data-dependent addresses
+    // may be installed into ew-level machine state).
+    if (!L.Write)
+      L.Write = Lat.join(Pc, stepAddressLabel(C, P));
+    if (!L.Read)
+      L.Read = *L.Write;
+  }
+  switch (C.kind()) {
+  case Cmd::Kind::Skip:
+  case Cmd::Kind::Assign:
+  case Cmd::Kind::ArrayAssign:
+  case Cmd::Kind::Sleep:
+  case Cmd::Kind::MitigateEnd:
+    return;
+  case Cmd::Kind::Seq: {
+    auto &S = cast<SeqCmd>(C);
+    fill(S.first(), Pc, P);
+    fill(S.second(), Pc, P);
+    return;
+  }
+  case Cmd::Kind::If: {
+    auto &I = cast<IfCmd>(C);
+    Label BranchPc = Lat.join(Pc, exprLabel(I.cond(), P));
+    fill(I.thenCmd(), BranchPc, P);
+    fill(I.elseCmd(), BranchPc, P);
+    return;
+  }
+  case Cmd::Kind::While: {
+    auto &W = cast<WhileCmd>(C);
+    fill(W.body(), Lat.join(Pc, exprLabel(W.cond(), P)), P);
+    return;
+  }
+  case Cmd::Kind::Mitigate:
+    fill(cast<MitigateCmd>(C).body(), Pc, P);
+    return;
+  }
+}
+
+void zam::inferTimingLabels(Program &P) {
+  if (P.hasBody())
+    fill(P.body(), P.lattice().bottom(), P);
+}

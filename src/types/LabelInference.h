@@ -1,0 +1,33 @@
+//===- LabelInference.h - Inference of timing labels ------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fills in missing [er, ew] annotations with the least restrictive labels
+/// satisfying the typing rules, "reducing the burden on programmers"
+/// (Sec. 2.2). The least write label satisfying the universal premise
+/// pc ⊑ ew is ew = pc, and the paper notes er = ew is the best-performance
+/// choice on cache-based hardware (Sec. 5.1), so inference chooses
+/// er = ew = pc(c). Annotations already present are preserved.
+///
+/// Inference is syntactic and always succeeds; whether the completed
+/// program is secure is then decided by the TypeChecker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_TYPES_LABELINFERENCE_H
+#define ZAM_TYPES_LABELINFERENCE_H
+
+#include "lang/Ast.h"
+
+namespace zam {
+
+/// Fills missing timing labels in place with er = ew = pc(c).
+void inferTimingLabels(Program &P);
+
+} // namespace zam
+
+#endif // ZAM_TYPES_LABELINFERENCE_H

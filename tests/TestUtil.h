@@ -1,0 +1,59 @@
+//===- TestUtil.h - Shared test fixtures ------------------------*- C++ -*-===//
+//
+// Part of the zam project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_TESTS_TESTUTIL_H
+#define ZAM_TESTS_TESTUTIL_H
+
+#include "hw/HardwareModels.h"
+#include "lang/Parser.h"
+#include "lattice/SecurityLattice.h"
+#include "support/Diagnostics.h"
+
+#include "gtest/gtest.h"
+
+namespace zam {
+namespace test {
+
+/// The two-point lattice shared by most tests.
+inline const TwoPointLattice &lh() {
+  static const TwoPointLattice Lat;
+  return Lat;
+}
+
+inline Label low() { return TwoPointLattice::low(); }
+inline Label high() { return TwoPointLattice::high(); }
+
+/// The three-level lattice of the Sec. 6 examples.
+inline const TotalOrderLattice &lmh() {
+  static const TotalOrderLattice Lat({"L", "M", "H"});
+  return Lat;
+}
+
+/// Parses \p Source over \p Lat, failing the test on diagnostics.
+inline Program parseOrDie(const std::string &Source,
+                          const SecurityLattice &Lat = lh()) {
+  DiagnosticEngine Diags;
+  std::optional<Program> P = parseProgram(Source, Lat, Diags);
+  EXPECT_TRUE(P.has_value()) << Diags.str();
+  if (!P)
+    return Program(Lat);
+  return std::move(*P);
+}
+
+/// All three hardware designs, for parameterized tests.
+inline std::vector<HwKind> allHwKinds() {
+  return {HwKind::NoPartition, HwKind::NoFill, HwKind::Partitioned};
+}
+
+/// The two designs that claim to satisfy the security properties.
+inline std::vector<HwKind> secureHwKinds() {
+  return {HwKind::NoFill, HwKind::Partitioned};
+}
+
+} // namespace test
+} // namespace zam
+
+#endif // ZAM_TESTS_TESTUTIL_H

@@ -1,0 +1,147 @@
+//===- ast_test.cpp - AST structure, cloning, vars1, numbering -------------===//
+
+#include "lang/Ast.h"
+#include "lang/PrettyPrinter.h"
+#include "lang/ProgramBuilder.h"
+#include "support/Casting.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+using namespace zam;
+using namespace zam::test;
+
+static bool containsVar(const std::vector<std::string> &Vars,
+                        const std::string &Name) {
+  return std::find(Vars.begin(), Vars.end(), Name) != Vars.end();
+}
+
+TEST(Ast, CloneIsDeepAndPreservesAttributes) {
+  ProgramBuilder B(lh());
+  B.var("x", low());
+  B.var("h", high());
+  CmdPtr C = B.ifc(B.v("h"), B.assign("x", B.lit(1), low(), low()),
+                   B.skip(high(), high()), low(), high());
+  C->setNodeId(7);
+  CmdPtr Copy = C->clone();
+  EXPECT_EQ(Copy->nodeId(), 7u);
+  EXPECT_EQ(*Copy->labels().Read, low());
+  EXPECT_EQ(*Copy->labels().Write, high());
+  // Mutating the copy's branch must not affect the original.
+  auto &CopyIf = cast<IfCmd>(*Copy);
+  CopyIf.thenCmd().labels().Read = high();
+  EXPECT_EQ(*cast<IfCmd>(*C).thenCmd().labels().Read, low());
+}
+
+TEST(Ast, Vars1Assignment) {
+  ProgramBuilder B(lh());
+  CmdPtr C = B.assign("x", B.add(B.v("y"), B.v("z")));
+  std::vector<std::string> Vars = vars1(*C);
+  EXPECT_TRUE(containsVar(Vars, "x"));
+  EXPECT_TRUE(containsVar(Vars, "y"));
+  EXPECT_TRUE(containsVar(Vars, "z"));
+}
+
+TEST(Ast, Vars1IfExcludesBranches) {
+  // Property 6's vars1 contains only the guard for compound commands: the
+  // branches are not evaluated in the next step.
+  ProgramBuilder B(lh());
+  CmdPtr C = B.ifc(B.v("g"), B.assign("a", B.lit(1)), B.assign("b", B.lit(2)));
+  std::vector<std::string> Vars = vars1(*C);
+  EXPECT_TRUE(containsVar(Vars, "g"));
+  EXPECT_FALSE(containsVar(Vars, "a"));
+  EXPECT_FALSE(containsVar(Vars, "b"));
+}
+
+TEST(Ast, Vars1WhileExcludesBody) {
+  ProgramBuilder B(lh());
+  CmdPtr C = B.whilec(B.v("n"), B.assign("x", B.v("y")));
+  std::vector<std::string> Vars = vars1(*C);
+  EXPECT_TRUE(containsVar(Vars, "n"));
+  EXPECT_FALSE(containsVar(Vars, "x"));
+  EXPECT_FALSE(containsVar(Vars, "y"));
+}
+
+TEST(Ast, Vars1SeqIsFirstCommand) {
+  ProgramBuilder B(lh());
+  CmdPtr C = B.seq(B.assign("x", B.v("a")), B.assign("y", B.v("b")));
+  std::vector<std::string> Vars = vars1(*C);
+  EXPECT_TRUE(containsVar(Vars, "x"));
+  EXPECT_TRUE(containsVar(Vars, "a"));
+  EXPECT_FALSE(containsVar(Vars, "y"));
+  EXPECT_FALSE(containsVar(Vars, "b"));
+}
+
+TEST(Ast, Vars1SkipIsEmpty) {
+  ProgramBuilder B(lh());
+  EXPECT_TRUE(vars1(*B.skip()).empty());
+}
+
+TEST(Ast, Vars1MitigateOnlyEstimate) {
+  ProgramBuilder B(lh());
+  CmdPtr C = B.mitigate(B.v("n"), high(), B.assign("x", B.v("y")));
+  std::vector<std::string> Vars = vars1(*C);
+  EXPECT_TRUE(containsVar(Vars, "n"));
+  EXPECT_FALSE(containsVar(Vars, "x"));
+}
+
+TEST(Ast, Vars1ArrayRead) {
+  ProgramBuilder B(lh());
+  CmdPtr C = B.assign("x", B.idx("a", B.v("i")));
+  std::vector<std::string> Vars = vars1(*C);
+  EXPECT_TRUE(containsVar(Vars, "a"));
+  EXPECT_TRUE(containsVar(Vars, "i"));
+}
+
+TEST(Ast, NumberingIsDenseAndPreorder) {
+  ProgramBuilder B(lh());
+  B.var("x", low());
+  B.body(B.seq(B.assign("x", B.lit(1)),
+               B.ifc(B.v("x"), B.skip(), B.skip())));
+  Program P = B.take();
+  // Primitives are numbered in preorder; Seq spine nodes come after, so
+  // code addresses are invariant under `;` re-association.
+  const auto &S = cast<SeqCmd>(P.body());
+  EXPECT_EQ(S.first().nodeId(), 0u);
+  const auto &If = cast<IfCmd>(S.second());
+  EXPECT_EQ(If.nodeId(), 1u);
+  EXPECT_EQ(If.thenCmd().nodeId(), 2u);
+  EXPECT_EQ(If.elseCmd().nodeId(), 3u);
+  EXPECT_EQ(P.body().nodeId(), 4u); // The Seq node itself.
+}
+
+TEST(Ast, ProgramCloneIsIndependent) {
+  ProgramBuilder B(lh());
+  B.var("x", low(), 3);
+  B.body(B.assign("x", B.lit(1)));
+  Program P = B.take();
+  Program Q = P.clone();
+  Q.vars()[0].Init[0] = 99;
+  EXPECT_EQ(P.vars()[0].Init[0], 3);
+  EXPECT_EQ(printProgram(P).find("99"), std::string::npos);
+}
+
+TEST(Ast, BinOpSpellings) {
+  EXPECT_STREQ(binOpSpelling(BinOpKind::Add), "+");
+  EXPECT_STREQ(binOpSpelling(BinOpKind::Shl), "<<");
+  EXPECT_STREQ(binOpSpelling(BinOpKind::LogicalAnd), "&&");
+  EXPECT_STREQ(unOpSpelling(UnOpKind::BitNot), "~");
+}
+
+TEST(Ast, SeqVectorBuilderNestsRight) {
+  ProgramBuilder B(lh());
+  CmdPtr C = B.seq(B.skip(), B.skip(), B.skip());
+  const auto &S = cast<SeqCmd>(*C);
+  EXPECT_TRUE(isa<SkipCmd>(S.first()));
+  EXPECT_TRUE(isa<SeqCmd>(S.second()));
+}
+
+TEST(Ast, TimingLabelsCompleteness) {
+  ProgramBuilder B(lh());
+  CmdPtr Unlabeled = B.skip();
+  EXPECT_FALSE(Unlabeled->labels().complete());
+  CmdPtr Labeled = B.skip(low(), high());
+  EXPECT_TRUE(Labeled->labels().complete());
+}

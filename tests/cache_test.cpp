@@ -1,0 +1,161 @@
+//===- cache_test.cpp - Set-associative cache model -------------------------===//
+
+#include "hw/Cache.h"
+
+#include "gtest/gtest.h"
+
+using namespace zam;
+
+namespace {
+CacheConfig smallConfig() {
+  CacheConfig C;
+  C.NumSets = 4;
+  C.Assoc = 2;
+  C.BlockBytes = 32;
+  C.Latency = 1;
+  return C;
+}
+
+/// Address that maps to \p Set with tag \p Tag under smallConfig().
+Addr addrFor(unsigned Set, uint64_t Tag) {
+  return (Tag * 4 + Set) * 32;
+}
+} // namespace
+
+TEST(Cache, MissThenHit) {
+  Cache C(smallConfig());
+  Addr A = addrFor(0, 1);
+  EXPECT_FALSE(C.lookup(A));
+  C.install(A);
+  EXPECT_TRUE(C.lookup(A));
+}
+
+TEST(Cache, SameBlockSharesLine) {
+  Cache C(smallConfig());
+  C.install(addrFor(0, 1));
+  // Any address within the same 32-byte block hits.
+  EXPECT_TRUE(C.lookup(addrFor(0, 1) + 31));
+  EXPECT_FALSE(C.lookup(addrFor(0, 1) + 32)); // Next block, next set.
+}
+
+TEST(Cache, SetsAreIndependent) {
+  Cache C(smallConfig());
+  C.install(addrFor(0, 1));
+  EXPECT_FALSE(C.probe(addrFor(1, 1)));
+  EXPECT_TRUE(C.probe(addrFor(0, 1)));
+}
+
+TEST(Cache, LruEviction) {
+  Cache C(smallConfig()); // 2-way.
+  Addr A = addrFor(2, 1), B = addrFor(2, 2), D = addrFor(2, 3);
+  C.install(A);
+  C.install(B);
+  C.install(D); // Evicts A (LRU).
+  EXPECT_FALSE(C.probe(A));
+  EXPECT_TRUE(C.probe(B));
+  EXPECT_TRUE(C.probe(D));
+}
+
+TEST(Cache, LookupPromotesToMru) {
+  Cache C(smallConfig());
+  Addr A = addrFor(2, 1), B = addrFor(2, 2), D = addrFor(2, 3);
+  C.install(A);
+  C.install(B);
+  EXPECT_TRUE(C.lookup(A)); // A becomes MRU; B is now LRU.
+  C.install(D);             // Evicts B.
+  EXPECT_TRUE(C.probe(A));
+  EXPECT_FALSE(C.probe(B));
+}
+
+TEST(Cache, ProbeDoesNotDisturbLru) {
+  Cache C(smallConfig());
+  Addr A = addrFor(2, 1), B = addrFor(2, 2), D = addrFor(2, 3);
+  C.install(A);
+  C.install(B);
+  EXPECT_TRUE(C.probe(A)); // No promotion: A stays LRU.
+  C.install(D);            // Evicts A.
+  EXPECT_FALSE(C.probe(A));
+  EXPECT_TRUE(C.probe(B));
+}
+
+TEST(Cache, InstallExistingPromotes) {
+  Cache C(smallConfig());
+  Addr A = addrFor(2, 1), B = addrFor(2, 2), D = addrFor(2, 3);
+  C.install(A);
+  C.install(B);
+  C.install(A); // Re-install promotes, must not duplicate.
+  C.install(D); // Evicts B.
+  EXPECT_TRUE(C.probe(A));
+  EXPECT_FALSE(C.probe(B));
+  EXPECT_TRUE(C.probe(D));
+}
+
+TEST(Cache, RemoveInvalidates) {
+  Cache C(smallConfig());
+  Addr A = addrFor(1, 5);
+  C.install(A);
+  C.remove(A);
+  EXPECT_FALSE(C.probe(A));
+  C.remove(A); // Removing an absent block is a no-op.
+  EXPECT_FALSE(C.probe(A));
+}
+
+TEST(Cache, ResetFlushes) {
+  Cache C(smallConfig());
+  C.install(addrFor(0, 1));
+  C.install(addrFor(3, 7));
+  C.reset();
+  EXPECT_FALSE(C.probe(addrFor(0, 1)));
+  EXPECT_FALSE(C.probe(addrFor(3, 7)));
+}
+
+TEST(Cache, EqualityIncludesLruOrder) {
+  Cache C1(smallConfig()), C2(smallConfig());
+  Addr A = addrFor(2, 1), B = addrFor(2, 2);
+  C1.install(A);
+  C1.install(B);
+  C2.install(B);
+  C2.install(A);
+  // Same contents, different LRU order: not equal (LRU order affects
+  // future timing, so it is part of the machine-environment state).
+  EXPECT_FALSE(C1 == C2);
+  EXPECT_TRUE(C2.lookup(B)); // Promote B: orders now match.
+  EXPECT_TRUE(C1 == C2);
+}
+
+TEST(Cache, RandomizeIsDeterministicPerSeed) {
+  Cache C1(smallConfig()), C2(smallConfig());
+  Rng R1(42), R2(42);
+  C1.randomize(R1);
+  C2.randomize(R2);
+  EXPECT_TRUE(C1 == C2);
+  Rng R3(43);
+  Cache C3(smallConfig());
+  C3.randomize(R3);
+  EXPECT_FALSE(C1 == C3); // Overwhelmingly likely.
+}
+
+TEST(Cache, TlbGeometry) {
+  // A TLB is a cache with page-sized blocks.
+  CacheConfig TlbCfg;
+  TlbCfg.NumSets = 16;
+  TlbCfg.Assoc = 4;
+  TlbCfg.BlockBytes = 4096;
+  TlbCfg.Latency = 30;
+  Cache Tlb(TlbCfg);
+  Tlb.install(0x10000000);
+  EXPECT_TRUE(Tlb.probe(0x10000000 + 4095)); // Same page.
+  EXPECT_FALSE(Tlb.probe(0x10000000 + 4096)); // Next page.
+  EXPECT_EQ(Tlb.latency(), 30u);
+}
+
+TEST(Cache, DirectMappedConflicts) {
+  CacheConfig Cfg = smallConfig();
+  Cfg.Assoc = 1;
+  Cache C(Cfg);
+  Addr A = addrFor(0, 1), B = addrFor(0, 2);
+  C.install(A);
+  C.install(B); // Conflict miss evicts A immediately.
+  EXPECT_FALSE(C.probe(A));
+  EXPECT_TRUE(C.probe(B));
+}

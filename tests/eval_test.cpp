@@ -1,0 +1,193 @@
+//===- eval_test.cpp - Expression evaluation and static labels -------------===//
+
+#include "sem/Eval.h"
+#include "sem/StaticLabels.h"
+
+#include "hw/HardwareModels.h"
+#include "lang/Parser.h"
+#include "lang/ProgramBuilder.h"
+#include "support/Casting.h"
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <limits>
+
+using namespace zam;
+using namespace zam::test;
+
+//===----------------------------------------------------------------------===//
+// Operator semantics (total, deterministic, no UB)
+//===----------------------------------------------------------------------===//
+
+TEST(ApplyBinOp, Arithmetic) {
+  EXPECT_EQ(applyBinOp(BinOpKind::Add, 2, 3), 5);
+  EXPECT_EQ(applyBinOp(BinOpKind::Sub, 2, 3), -1);
+  EXPECT_EQ(applyBinOp(BinOpKind::Mul, -4, 3), -12);
+  EXPECT_EQ(applyBinOp(BinOpKind::Div, 7, 2), 3);
+  EXPECT_EQ(applyBinOp(BinOpKind::Mod, 7, 2), 1);
+}
+
+TEST(ApplyBinOp, DivisionByZeroYieldsZero) {
+  EXPECT_EQ(applyBinOp(BinOpKind::Div, 5, 0), 0);
+  EXPECT_EQ(applyBinOp(BinOpKind::Mod, 5, 0), 0);
+}
+
+TEST(ApplyBinOp, Int64MinOverflowCases) {
+  int64_t Min = std::numeric_limits<int64_t>::min();
+  EXPECT_EQ(applyBinOp(BinOpKind::Div, Min, -1), Min); // Wraps, no trap.
+  EXPECT_EQ(applyBinOp(BinOpKind::Mod, Min, -1), 0);
+}
+
+TEST(ApplyBinOp, AdditionWrapsModulo2To64) {
+  int64_t Max = std::numeric_limits<int64_t>::max();
+  EXPECT_EQ(applyBinOp(BinOpKind::Add, Max, 1),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(ApplyBinOp, ShiftsMaskTheCount) {
+  EXPECT_EQ(applyBinOp(BinOpKind::Shl, 1, 64), 1);  // 64 & 63 == 0.
+  EXPECT_EQ(applyBinOp(BinOpKind::Shl, 1, 65), 2);  // 65 & 63 == 1.
+  EXPECT_EQ(applyBinOp(BinOpKind::Shr, -1, 1),
+            std::numeric_limits<int64_t>::max()); // Logical shift.
+}
+
+TEST(ApplyBinOp, ComparisonsAndLogic) {
+  EXPECT_EQ(applyBinOp(BinOpKind::Lt, 1, 2), 1);
+  EXPECT_EQ(applyBinOp(BinOpKind::Ge, 1, 2), 0);
+  EXPECT_EQ(applyBinOp(BinOpKind::LogicalAnd, 5, 0), 0);
+  EXPECT_EQ(applyBinOp(BinOpKind::LogicalAnd, 5, -1), 1);
+  EXPECT_EQ(applyBinOp(BinOpKind::LogicalOr, 0, 0), 0);
+  EXPECT_EQ(applyBinOp(BinOpKind::BitXor, 0b1100, 0b1010), 0b0110);
+}
+
+TEST(ApplyUnOp, AllOperators) {
+  EXPECT_EQ(applyUnOp(UnOpKind::Neg, 5), -5);
+  EXPECT_EQ(applyUnOp(UnOpKind::Neg, std::numeric_limits<int64_t>::min()),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(applyUnOp(UnOpKind::LogicalNot, 0), 1);
+  EXPECT_EQ(applyUnOp(UnOpKind::LogicalNot, 7), 0);
+  EXPECT_EQ(applyUnOp(UnOpKind::BitNot, 0), -1);
+}
+
+//===----------------------------------------------------------------------===//
+// Pure evaluation
+//===----------------------------------------------------------------------===//
+
+namespace {
+Program exprProgram() {
+  ProgramBuilder B(lh());
+  B.var("x", low(), 10);
+  B.var("h", high(), 3);
+  B.array("a", low(), 4, {10, 20, 30, 40});
+  B.body(B.skip());
+  return B.take();
+}
+} // namespace
+
+TEST(EvalPure, VariablesAndArrays) {
+  Program P = exprProgram();
+  Memory M = Memory::fromProgram(P);
+  ProgramBuilder B(lh());
+  EXPECT_EQ(evalExprPure(*B.v("x"), M), 10);
+  EXPECT_EQ(evalExprPure(*B.idx("a", B.lit(2)), M), 30);
+  EXPECT_EQ(evalExprPure(*B.idx("a", B.lit(6)), M), 30); // Wraps.
+  EXPECT_EQ(evalExprPure(*B.add(B.v("x"), B.mul(B.v("h"), B.lit(4))), M), 22);
+}
+
+TEST(EvalPure, NoShortCircuit) {
+  // Logical operators evaluate both sides: timing must not depend on
+  // operand values beyond vars1.
+  Program P = exprProgram();
+  Memory M = Memory::fromProgram(P);
+  ProgramBuilder B(lh());
+  // 0 && (a[h] read) — the array read still happens; with a wrapping index
+  // this is observable only through timing, which is the point.
+  EXPECT_EQ(evalExprPure(
+                *B.land(B.lit(0), B.idx("a", B.v("h"))), M),
+            0);
+}
+
+//===----------------------------------------------------------------------===//
+// Timed evaluation
+//===----------------------------------------------------------------------===//
+
+TEST(EvalTimed, ChargesAluAndMemoryCosts) {
+  Program P = exprProgram();
+  Memory M = Memory::fromProgram(P, CostModel().DataBase);
+  auto Env = createMachineEnv(HwKind::NoPartition, lh(), MachineEnvConfig());
+  CostModel Costs;
+
+  // Literal: free.
+  uint64_t Cycles = 0;
+  ProgramBuilder B(lh());
+  evalExprTimed(*B.lit(5), M, *Env, low(), low(), Costs, Cycles);
+  EXPECT_EQ(Cycles, 0u);
+
+  // Variable: one (cold) data access.
+  Cycles = 0;
+  evalExprTimed(*B.v("x"), M, *Env, low(), low(), Costs, Cycles);
+  EXPECT_GT(Cycles, Costs.AluOp);
+
+  // Warm variable: L1 hit.
+  Cycles = 0;
+  evalExprTimed(*B.v("x"), M, *Env, low(), low(), Costs, Cycles);
+  EXPECT_EQ(Cycles, MachineEnvConfig().L1D.Latency);
+
+  // x + x (both warm): two hits + one ALU op.
+  Cycles = 0;
+  evalExprTimed(*B.add(B.v("x"), B.v("x")), M, *Env, low(), low(), Costs,
+                Cycles);
+  EXPECT_EQ(Cycles, 2 * MachineEnvConfig().L1D.Latency + Costs.AluOp);
+}
+
+TEST(EvalTimed, AgreesWithPureOnValues) {
+  Program P = exprProgram();
+  Memory M = Memory::fromProgram(P, CostModel().DataBase);
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  DiagnosticEngine Diags;
+  Parser Pr("(x + a[1]) * 3 - (a[x] & h)", lh(), Diags);
+  ExprPtr E = Pr.parseExprOnly();
+  ASSERT_TRUE(E) << Diags.str();
+  uint64_t Cycles = 0;
+  EXPECT_EQ(evalExprTimed(*E, M, *Env, low(), low(), CostModel(), Cycles),
+            evalExprPure(*E, M));
+}
+
+//===----------------------------------------------------------------------===//
+// Static expression labels
+//===----------------------------------------------------------------------===//
+
+TEST(StaticLabels, ExpressionLabels) {
+  Program P = exprProgram();
+  ProgramBuilder B(lh());
+  EXPECT_EQ(exprLabel(*B.lit(1), P), low());
+  EXPECT_EQ(exprLabel(*B.v("x"), P), low());
+  EXPECT_EQ(exprLabel(*B.v("h"), P), high());
+  EXPECT_EQ(exprLabel(*B.add(B.v("x"), B.v("h")), P), high());
+  // Array read joins the element label with the index label.
+  EXPECT_EQ(exprLabel(*B.idx("a", B.lit(0)), P), low());
+  EXPECT_EQ(exprLabel(*B.idx("a", B.v("h")), P), high());
+}
+
+TEST(StaticLabels, PcLabels) {
+  Program P = parseOrDie("var h : H;\nvar l : L;\n"
+                         "l := 1;\n"
+                         "if h then { h := 2 } else { skip };\n"
+                         "while l do { l := 0 };\n"
+                         "mitigate (1, H) { h := 3 }");
+  auto Pc = computePcLabels(P);
+  // Walk the body to find specific nodes.
+  const auto &S1 = cast<SeqCmd>(P.body());
+  const auto &Assign = S1.first(); // l := 1 at pc L.
+  EXPECT_EQ(Pc.at(Assign.nodeId()), low());
+  const auto &S2 = cast<SeqCmd>(S1.second());
+  const auto &If = cast<IfCmd>(S2.first());
+  EXPECT_EQ(Pc.at(If.nodeId()), low());
+  EXPECT_EQ(Pc.at(If.thenCmd().nodeId()), high()); // High guard.
+  const auto &S3 = cast<SeqCmd>(S2.second());
+  const auto &While = cast<WhileCmd>(S3.first());
+  EXPECT_EQ(Pc.at(While.body().nodeId()), low()); // Low guard.
+  const auto &Mit = cast<MitigateCmd>(S3.second());
+  // Mitigate does not raise pc (T-MTG types the body under the same pc).
+  EXPECT_EQ(Pc.at(Mit.body().nodeId()), low());
+}

@@ -1,0 +1,176 @@
+//===- lattice_test.cpp - Security lattices and label sets ----------------===//
+
+#include "lattice/LabelSet.h"
+#include "lattice/SecurityLattice.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace zam;
+using namespace zam::test;
+
+TEST(TwoPointLattice, Ordering) {
+  const TwoPointLattice &Lat = lh();
+  EXPECT_TRUE(Lat.flowsTo(low(), high()));
+  EXPECT_FALSE(Lat.flowsTo(high(), low()));
+  EXPECT_TRUE(Lat.flowsTo(low(), low()));
+  EXPECT_TRUE(Lat.flowsTo(high(), high()));
+}
+
+TEST(TwoPointLattice, JoinMeet) {
+  const TwoPointLattice &Lat = lh();
+  EXPECT_EQ(Lat.join(low(), high()), high());
+  EXPECT_EQ(Lat.join(low(), low()), low());
+  EXPECT_EQ(Lat.meet(low(), high()), low());
+  EXPECT_EQ(Lat.meet(high(), high()), high());
+  EXPECT_EQ(Lat.bottom(), low());
+  EXPECT_EQ(Lat.top(), high());
+}
+
+TEST(TwoPointLattice, Names) {
+  const TwoPointLattice &Lat = lh();
+  EXPECT_EQ(Lat.name(low()), "L");
+  EXPECT_EQ(Lat.name(high()), "H");
+  EXPECT_EQ(Lat.byName("L"), low());
+  EXPECT_EQ(Lat.byName("H"), high());
+  EXPECT_FALSE(Lat.byName("M").has_value());
+}
+
+TEST(TwoPointLattice, SatisfiesAxioms) { EXPECT_TRUE(lh().verify()); }
+
+TEST(TotalOrderLattice, ThreeLevels) {
+  const TotalOrderLattice &Lat = lmh();
+  ASSERT_EQ(Lat.size(), 3u);
+  Label L = *Lat.byName("L");
+  Label M = *Lat.byName("M");
+  Label H = *Lat.byName("H");
+  EXPECT_TRUE(Lat.flowsTo(L, M));
+  EXPECT_TRUE(Lat.flowsTo(M, H));
+  EXPECT_TRUE(Lat.flowsTo(L, H));
+  EXPECT_FALSE(Lat.flowsTo(H, M));
+  EXPECT_EQ(Lat.join(L, M), M);
+  EXPECT_EQ(Lat.meet(M, H), M);
+  EXPECT_TRUE(Lat.verify());
+}
+
+TEST(TotalOrderLattice, FiveLevelsSatisfyAxioms) {
+  TotalOrderLattice Lat({"P0", "P1", "P2", "P3", "P4"});
+  EXPECT_TRUE(Lat.verify());
+  EXPECT_EQ(Lat.name(Lat.top()), "P4");
+}
+
+TEST(PowersetLattice, SubsetOrdering) {
+  PowersetLattice Lat({"Alice", "Bob"});
+  ASSERT_EQ(Lat.size(), 4u);
+  Label A = Lat.singleton(0);
+  Label B = Lat.singleton(1);
+  EXPECT_TRUE(Lat.incomparable(A, B));
+  EXPECT_EQ(Lat.join(A, B), Lat.top());
+  EXPECT_EQ(Lat.meet(A, B), Lat.bottom());
+  EXPECT_TRUE(Lat.flowsTo(A, Lat.top()));
+  EXPECT_TRUE(Lat.flowsTo(Lat.bottom(), B));
+  EXPECT_EQ(Lat.name(Lat.bottom()), "{}");
+  EXPECT_EQ(Lat.name(Lat.top()), "{Alice,Bob}");
+}
+
+TEST(PowersetLattice, ThreePrincipalsSatisfyAxioms) {
+  PowersetLattice Lat({"A", "B", "C"});
+  EXPECT_EQ(Lat.size(), 8u);
+  EXPECT_TRUE(Lat.verify());
+}
+
+TEST(LabelSet, BasicOperations) {
+  const TwoPointLattice &Lat = lh();
+  LabelSet S(Lat);
+  EXPECT_TRUE(S.empty());
+  S.insert(high());
+  EXPECT_TRUE(S.contains(high()));
+  EXPECT_FALSE(S.contains(low()));
+  EXPECT_EQ(S.count(), 1u);
+  S.erase(high());
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(LabelSet, Printing) {
+  const TotalOrderLattice &Lat = lmh();
+  LabelSet S(Lat, {*Lat.byName("L"), *Lat.byName("H")});
+  EXPECT_EQ(S.str(Lat), "{L, H}");
+}
+
+TEST(LabelSet, ExcludeObservable) {
+  // Sec. 6.2 example: L ⊑ M ⊑ H, adversary at M, L = {M, H} → LeA = {H}.
+  const TotalOrderLattice &Lat = lmh();
+  Label M = *Lat.byName("M");
+  Label H = *Lat.byName("H");
+  LabelSet L(Lat, {M, H});
+  LabelSet LeA = excludeObservable(Lat, L, M);
+  EXPECT_EQ(LeA.count(), 1u);
+  EXPECT_TRUE(LeA.contains(H));
+}
+
+TEST(LabelSet, UpwardClosure) {
+  // Sec. 6.3 example: L = {M}, ℓA = L → LeA = {M}, LeA↑ = {M, H}.
+  const TotalOrderLattice &Lat = lmh();
+  Label L = *Lat.byName("L");
+  Label M = *Lat.byName("M");
+  Label H = *Lat.byName("H");
+  LabelSet Set(Lat, {M});
+  LabelSet LeA = excludeObservable(Lat, Set, L);
+  EXPECT_TRUE(LeA.contains(M));
+  LabelSet Up = upwardClosure(Lat, LeA);
+  EXPECT_EQ(Up.count(), 2u);
+  EXPECT_TRUE(Up.contains(M));
+  EXPECT_TRUE(Up.contains(H));
+  EXPECT_FALSE(Up.contains(L));
+
+  LabelSet Combined = unobservableUpwardClosure(Lat, Set, L);
+  EXPECT_EQ(Combined, Up);
+}
+
+TEST(LabelSet, UpwardClosureInPowerset) {
+  PowersetLattice Lat({"A", "B"});
+  Label A = Lat.singleton(0);
+  LabelSet S(Lat, {A});
+  LabelSet Up = upwardClosure(Lat, S);
+  // {A}↑ = {{A}, {A,B}}.
+  EXPECT_EQ(Up.count(), 2u);
+  EXPECT_TRUE(Up.contains(A));
+  EXPECT_TRUE(Up.contains(Lat.top()));
+  EXPECT_FALSE(Up.contains(Lat.singleton(1)));
+}
+
+TEST(LabelSet, AdversaryAboveSecretsSeesNothing) {
+  // When every source level flows to the adversary, LeA is empty.
+  const TwoPointLattice &Lat = lh();
+  LabelSet S(Lat, {low(), high()});
+  LabelSet LeA = excludeObservable(Lat, S, high());
+  EXPECT_TRUE(LeA.empty());
+  EXPECT_TRUE(upwardClosure(Lat, LeA).empty());
+}
+
+// Property sweep: upward closure is idempotent and extensive on random sets.
+class UpwardClosureProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpwardClosureProperty, IdempotentAndExtensive) {
+  PowersetLattice Lat({"A", "B", "C"});
+  unsigned Mask = static_cast<unsigned>(GetParam());
+  LabelSet S(Lat);
+  for (unsigned I = 0; I != Lat.size(); ++I)
+    if (Mask & (1u << I))
+      S.insert(Label::fromIndex(I));
+  LabelSet Up = upwardClosure(Lat, S);
+  // Extensive: S ⊆ S↑.
+  for (Label L : S.members())
+    EXPECT_TRUE(Up.contains(L));
+  // Idempotent: (S↑)↑ = S↑.
+  EXPECT_EQ(upwardClosure(Lat, Up), Up);
+  // Upward closed: any level above a member is a member.
+  for (Label Member : Up.members())
+    for (Label Candidate : Lat.allLabels())
+      if (Lat.flowsTo(Member, Candidate)) {
+        EXPECT_TRUE(Up.contains(Candidate));
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSets, UpwardClosureProperty,
+                         ::testing::Range(0, 256, 37));

@@ -1,0 +1,200 @@
+//===- leakage_test.cpp - Quantitative leakage machinery (Secs. 6-7) -------===//
+
+#include "analysis/Leakage.h"
+
+#include "hw/HardwareModels.h"
+#include "types/LabelInference.h"
+#include "types/TypeChecker.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace zam;
+using namespace zam::test;
+
+namespace {
+Program wellTyped(const std::string &Source,
+                  const SecurityLattice &Lat = lh()) {
+  Program P = parseOrDie(Source, Lat);
+  inferTimingLabels(P);
+  DiagnosticEngine Diags;
+  EXPECT_TRUE(typeCheck(P, Diags)) << Diags.str();
+  return P;
+}
+
+LeakageSpec highSecretSweep(std::initializer_list<int64_t> Values) {
+  LeakageSpec Spec;
+  Spec.SourceLevels = LabelSet(lh(), {high()});
+  Spec.Adversary = low();
+  for (int64_t V : Values)
+    Spec.Variations.push_back(SecretAssignment{{{"h", V}}, {}});
+  return Spec;
+}
+} // namespace
+
+TEST(LeakageBound, ClosedForm) {
+  // |LeA↑| · log2(K+1) · (1 + log2 T).
+  EXPECT_DOUBLE_EQ(leakageBoundBits(1, 0, 1000), 0.0); // K = 0 ⇒ no leak.
+  EXPECT_DOUBLE_EQ(leakageBoundBits(1, 1, 1024), 1.0 * 1.0 * 11.0);
+  EXPECT_DOUBLE_EQ(leakageBoundBits(2, 3, 1024), 2.0 * 2.0 * 11.0);
+  // Polylogarithmic in T: doubling T adds one bit per (level × log(K+1)).
+  double B1 = leakageBoundBits(1, 1, 1 << 20);
+  double B2 = leakageBoundBits(1, 1, 1 << 21);
+  EXPECT_DOUBLE_EQ(B2 - B1, 1.0);
+}
+
+TEST(Leakage, UnmitigatedSleepLeaksEverything) {
+  // Without mitigation the adversary distinguishes every secret value via
+  // the final low assignment's timestamp. (The program is deliberately
+  // ill-typed — no mitigate — so we bypass the checker.)
+  Program P = parseOrDie("var h : H;\nvar l : L;\nsleep(h); l := 1");
+  inferTimingLabels(P);
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  LeakageResult R =
+      measureLeakage(P, *Env, highSecretSweep({0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(R.DistinctObservations, 8u);
+  EXPECT_DOUBLE_EQ(R.QBits, 3.0);
+}
+
+TEST(Leakage, MitigatedSleepLeaksAtMostScheduleBits) {
+  Program P = wellTyped("var h : H;\nvar l : L;\n"
+                        "mitigate (1, H) { sleep(h) @[H,H] };\nl := 1");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  LeakageResult R =
+      measureLeakage(P, *Env, highSecretSweep({0, 1, 2, 3, 4, 5, 6, 7}));
+  // Secrets 0..7 after the entry overhead collapse onto very few
+  // power-of-two durations.
+  EXPECT_LT(R.DistinctObservations, 8u);
+  EXPECT_TRUE(R.TheoremTwoHolds);
+  EXPECT_EQ(R.RelevantMitigates, 1u);
+}
+
+TEST(Leakage, NoSecretsNoObservations) {
+  Program P = wellTyped("var h : H;\nvar l : L;\nl := 3");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  LeakageResult R = measureLeakage(P, *Env, highSecretSweep({1, 2, 3}));
+  EXPECT_EQ(R.DistinctObservations, 1u);
+  EXPECT_DOUBLE_EQ(R.QBits, 0.0);
+  EXPECT_EQ(R.RelevantMitigates, 0u);
+  EXPECT_DOUBLE_EQ(R.ClosedFormBoundBits, 0.0);
+}
+
+TEST(Leakage, HighMitigatesAreExcludedFromTheProjection) {
+  // A mitigate whose pc is high (inside if h) is not part of the
+  // Definition 2 projection; only the outer low-context one counts.
+  Program P = wellTyped(
+      "var h : H;\nvar l : L;\n"
+      "mitigate (1, H) {\n"
+      "  if h then { mitigate (1, H) { h := h + 1 } } else { skip }\n"
+      "};\nl := 1");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  LeakageResult R = measureLeakage(P, *Env, highSecretSweep({0, 1}));
+  EXPECT_EQ(R.RelevantMitigates, 1u);
+  EXPECT_TRUE(R.MitigatesLowDeterministic);
+}
+
+TEST(Leakage, TimingVectorKeyProjection) {
+  Trace T;
+  MitigateRecord LowCtx;
+  LowCtx.Eta = 0;
+  LowCtx.PcLabel = low();
+  LowCtx.Level = high();
+  LowCtx.Duration = 64;
+  MitigateRecord HighCtx = LowCtx;
+  HighCtx.Eta = 1;
+  HighCtx.PcLabel = high();
+  HighCtx.Duration = 32;
+  MitigateRecord LowLevel = LowCtx;
+  LowLevel.Eta = 2;
+  LowLevel.Level = low();
+  LowLevel.Duration = 16;
+  T.Mitigations = {LowCtx, HighCtx, LowLevel};
+
+  LabelSet Up = unobservableUpwardClosure(
+      lh(), LabelSet(lh(), {high()}), low()); // = {H}.
+  std::string Key = timingVectorKey(T, lh(), Up);
+  // Only LowCtx (pc ∉ {H}, lev ∈ {H}) contributes.
+  EXPECT_EQ(Key, "64;");
+
+  std::vector<unsigned> Ids = mitigateIdentityProjection(T, Up);
+  EXPECT_EQ(Ids, (std::vector<unsigned>{0, 2}));
+}
+
+TEST(Leakage, SecretVariationOutsideUpwardSetAborts) {
+  Program P = wellTyped("var h : H;\nvar l : L;\nl := 1");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  LeakageSpec Spec;
+  Spec.SourceLevels = LabelSet(lh(), {high()});
+  Spec.Adversary = low();
+  // Varying the *low* variable is outside LeA↑ — the analysis must refuse.
+  Spec.Variations.push_back(SecretAssignment{{{"l", 5}}, {}});
+  EXPECT_DEATH(measureLeakage(P, *Env, Spec), "outside LeA");
+}
+
+TEST(Leakage, ArraySecretsSupported) {
+  Program P = wellTyped("var a : H[4];\nvar h : H;\nvar l : L;\n"
+                        "mitigate (8, H) { h := a[0] + a[1] @[H,H] };\n"
+                        "l := 1");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  LeakageSpec Spec;
+  Spec.SourceLevels = LabelSet(lh(), {high()});
+  Spec.Adversary = low();
+  Spec.Variations.push_back(
+      SecretAssignment{{}, {{"a", {1, 2, 3, 4}}}});
+  Spec.Variations.push_back(
+      SecretAssignment{{}, {{"a", {4, 3, 2, 1}}}});
+  LeakageResult R = measureLeakage(P, *Env, Spec);
+  EXPECT_TRUE(R.TheoremTwoHolds);
+}
+
+TEST(Leakage, MisdeliveredAdversarySeesEverythingAtTop) {
+  // An adversary at ⊤ observes all assignments, but then no level counts
+  // as secret (LeA = ∅): Q measures flows from nothing, hence 0.
+  // (The low assignment precedes the high one: T-ASGN raises τ to Γ(x).)
+  Program P = wellTyped("var h : H;\nvar l : L;\nl := 2; h := 1");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  LeakageSpec Spec;
+  Spec.SourceLevels = LabelSet(lh(), {high()});
+  Spec.Adversary = high();
+  Spec.Variations.push_back(SecretAssignment{});
+  LeakageResult R = measureLeakage(P, *Env, Spec);
+  EXPECT_EQ(R.DistinctObservations, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Entropy-based measures (Definition 1 bounds them)
+//===----------------------------------------------------------------------===//
+
+TEST(Leakage, ShannonIsBoundedByQAndMinEntropyEqualsQ) {
+  // Deterministic channel, uniform prior: I(S;O) = H(O) ≤ log2 |O| = Q,
+  // and min-entropy leakage equals Q exactly — the Sec. 6.2 remark that the
+  // counting measure "bounds those of Shannon entropy and min-entropy".
+  Program P = parseOrDie("var h : H;\nvar l : L;\nsleep(h & 3); l := 1");
+  inferTimingLabels(P);
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  // Eight secrets folding onto four timing classes (h & 3), non-uniformly
+  // keyed so H(O) < log2 |O| would only happen with unequal classes; here
+  // classes are equal-sized, so H(O) = Q.
+  LeakageResult R = measureLeakage(P, *Env,
+                                   highSecretSweep({0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(R.DistinctObservations, 4u);
+  EXPECT_DOUBLE_EQ(R.QBits, 2.0);
+  EXPECT_DOUBLE_EQ(R.MinEntropyBits, R.QBits);
+  EXPECT_LE(R.ShannonBits, R.QBits + 1e-12);
+  EXPECT_DOUBLE_EQ(R.ShannonBits, 2.0); // Equal-sized classes.
+}
+
+TEST(Leakage, ShannonStrictlyBelowQForSkewedClasses) {
+  Program P = parseOrDie("var h : H;\nvar l : L;\nsleep(h / 7); l := 1");
+  inferTimingLabels(P);
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  // Secrets 0..6 collapse to one class; 7 forms its own: skewed 7:1 split.
+  LeakageResult R = measureLeakage(P, *Env,
+                                   highSecretSweep({0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(R.DistinctObservations, 2u);
+  EXPECT_DOUBLE_EQ(R.QBits, 1.0);
+  EXPECT_LT(R.ShannonBits, R.QBits); // H(7/8, 1/8) ≈ 0.54 bits.
+  EXPECT_NEAR(R.ShannonBits, 0.5436, 1e-3);
+}

@@ -1,0 +1,105 @@
+//===- memory_test.cpp - Memory layout and equivalences --------------------===//
+
+#include "sem/Memory.h"
+
+#include "lang/ProgramBuilder.h"
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace zam;
+using namespace zam::test;
+
+namespace {
+Program declProgram() {
+  ProgramBuilder B(lh());
+  B.var("l", low(), 3);
+  B.var("h", high(), 7);
+  B.array("al", low(), 4, {1, 2});
+  B.array("ah", high(), 2, {5, 6});
+  B.body(B.skip());
+  return B.take();
+}
+} // namespace
+
+TEST(Memory, InitializationFromDeclarations) {
+  Memory M = Memory::fromProgram(declProgram());
+  EXPECT_EQ(M.load("l"), 3);
+  EXPECT_EQ(M.load("h"), 7);
+  EXPECT_EQ(M.loadElem("al", 0), 1);
+  EXPECT_EQ(M.loadElem("al", 1), 2);
+  EXPECT_EQ(M.loadElem("al", 2), 0); // Zero-extended.
+  EXPECT_EQ(M.labelOf("h"), high());
+  EXPECT_EQ(M.labelOf("al"), low());
+}
+
+TEST(Memory, ContiguousWordLayout) {
+  Memory M = Memory::fromProgram(declProgram(), 0x1000);
+  EXPECT_EQ(M.addrOf("l"), 0x1000u);
+  EXPECT_EQ(M.addrOf("h"), 0x1008u);
+  EXPECT_EQ(M.addrOfElem("al", 0), 0x1010u);
+  EXPECT_EQ(M.addrOfElem("al", 3), 0x1028u);
+  EXPECT_EQ(M.addrOfElem("ah", 1), 0x1038u);
+}
+
+TEST(Memory, StoreAndLoad) {
+  Memory M = Memory::fromProgram(declProgram());
+  M.store("l", 42);
+  EXPECT_EQ(M.load("l"), 42);
+  M.storeElem("al", 2, -9);
+  EXPECT_EQ(M.loadElem("al", 2), -9);
+}
+
+TEST(Memory, IndexWrapping) {
+  Memory M = Memory::fromProgram(declProgram());
+  // Indices wrap modulo the size (total semantics, no traps).
+  EXPECT_EQ(M.wrapIndex("al", 5), 1u);
+  EXPECT_EQ(M.wrapIndex("al", -1), 3u);
+  EXPECT_EQ(M.wrapIndex("al", -5), 3u);
+  M.storeElem("al", 4, 77); // Wraps to index 0.
+  EXPECT_EQ(M.loadElem("al", 0), 77);
+}
+
+TEST(Memory, LowEquivalenceIgnoresHighVariables) {
+  Memory M1 = Memory::fromProgram(declProgram());
+  Memory M2 = Memory::fromProgram(declProgram());
+  M2.store("h", 999);
+  M2.storeElem("ah", 0, 999);
+  EXPECT_TRUE(M1.equivalentUpTo(M2, low(), lh()));
+  EXPECT_FALSE(M1.equivalentUpTo(M2, high(), lh()));
+  M2.store("l", 999);
+  EXPECT_FALSE(M1.equivalentUpTo(M2, low(), lh()));
+}
+
+TEST(Memory, ProjectionEquality) {
+  Memory M1 = Memory::fromProgram(declProgram());
+  Memory M2 = Memory::fromProgram(declProgram());
+  M2.store("h", 999);
+  EXPECT_TRUE(M1.projectionEquals(M2, low()));
+  EXPECT_FALSE(M1.projectionEquals(M2, high()));
+  M1.store("h", 999);
+  M1.store("l", 1);
+  EXPECT_TRUE(M1.projectionEquals(M2, high()));
+  EXPECT_FALSE(M1.projectionEquals(M2, low()));
+}
+
+TEST(Memory, ArraysCompareElementwise) {
+  Memory M1 = Memory::fromProgram(declProgram());
+  Memory M2 = Memory::fromProgram(declProgram());
+  M2.storeElem("al", 3, 1);
+  EXPECT_FALSE(M1.equivalentUpTo(M2, low(), lh()));
+}
+
+TEST(Memory, ThreeLevelEquivalence) {
+  ProgramBuilder B(lmh());
+  Label L = *lmh().byName("L"), M = *lmh().byName("M"), H = *lmh().byName("H");
+  B.var("x", L).var("y", M).var("z", H);
+  B.body(B.skip());
+  Program P = B.take();
+  Memory A = Memory::fromProgram(P);
+  Memory C = Memory::fromProgram(P);
+  C.store("z", 1);
+  EXPECT_TRUE(A.equivalentUpTo(C, M, lmh()));
+  C.store("y", 1);
+  EXPECT_FALSE(A.equivalentUpTo(C, M, lmh()));
+  EXPECT_TRUE(A.equivalentUpTo(C, L, lmh()));
+}

@@ -1,0 +1,176 @@
+//===- mitigation_test.cpp - Predictive mitigation (Sec. 7, Fig. 6) --------===//
+
+#include "sem/Mitigation.h"
+
+#include "hw/HardwareModels.h"
+#include "sem/FullInterpreter.h"
+#include "types/LabelInference.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <set>
+
+using namespace zam;
+using namespace zam::test;
+
+TEST(FastDoubling, Schedule) {
+  FastDoublingScheme S;
+  EXPECT_EQ(S.predict(10, 0), 10u);
+  EXPECT_EQ(S.predict(10, 1), 20u);
+  EXPECT_EQ(S.predict(10, 5), 320u);
+  // predict(n,ℓ) = max(n,1)·2^Miss: a zero estimate behaves as 1.
+  EXPECT_EQ(S.predict(0, 3), 8u);
+}
+
+TEST(FastDoubling, ShiftIsCapped) {
+  FastDoublingScheme S;
+  EXPECT_EQ(S.predict(1, 40), 1ull << 40);
+  EXPECT_EQ(S.predict(1, 100), 1ull << 40); // No overflow.
+}
+
+TEST(LinearScheme, Schedule) {
+  LinearScheme S;
+  EXPECT_EQ(S.predict(10, 0), 10u);
+  EXPECT_EQ(S.predict(10, 3), 40u);
+}
+
+TEST(MitigationState, NoMispredictionLeavesMissUntouched) {
+  MitigationState St(lh(), fastDoublingScheme(), PenaltyPolicy::PerLevel);
+  auto Out = St.settle(100, high(), 60);
+  EXPECT_FALSE(Out.Mispredicted);
+  EXPECT_EQ(Out.Duration, 100u);
+  EXPECT_EQ(St.misses(high()), 0u);
+}
+
+TEST(MitigationState, MispredictionDoublesUntilCovered) {
+  MitigationState St(lh(), fastDoublingScheme(), PenaltyPolicy::PerLevel);
+  // Elapsed 900 with estimate 100: 100→200→400→800→1600.
+  auto Out = St.settle(100, high(), 900);
+  EXPECT_TRUE(Out.Mispredicted);
+  EXPECT_EQ(Out.Duration, 1600u);
+  EXPECT_EQ(St.misses(high()), 4u);
+}
+
+TEST(MitigationState, ExactBoundaryCountsAsMiss) {
+  // Fig. 6 loop condition: while (elapsed >= predict) Miss++.
+  MitigationState St(lh(), fastDoublingScheme(), PenaltyPolicy::PerLevel);
+  auto Out = St.settle(100, high(), 100);
+  EXPECT_TRUE(Out.Mispredicted);
+  EXPECT_EQ(Out.Duration, 200u);
+}
+
+TEST(MitigationState, PerLevelPolicyIsolatesLevels) {
+  const TotalOrderLattice &Lat = lmh();
+  Label M = *Lat.byName("M"), H = *Lat.byName("H");
+  MitigationState St(Lat, fastDoublingScheme(), PenaltyPolicy::PerLevel);
+  St.settle(10, H, 500);
+  EXPECT_GT(St.misses(H), 0u);
+  EXPECT_EQ(St.misses(M), 0u); // Local penalty policy: no cross-charging.
+  EXPECT_EQ(St.predict(10, M), 10u);
+}
+
+TEST(MitigationState, GlobalPolicySharesPenalty) {
+  const TotalOrderLattice &Lat = lmh();
+  Label M = *Lat.byName("M"), H = *Lat.byName("H");
+  MitigationState St(Lat, fastDoublingScheme(), PenaltyPolicy::Global);
+  St.settle(10, H, 500);
+  EXPECT_EQ(St.misses(M), St.misses(H)); // One shared counter.
+  EXPECT_GT(St.predict(10, M), 10u);
+}
+
+TEST(MitigationState, ResetClearsMisses) {
+  MitigationState St(lh(), fastDoublingScheme(), PenaltyPolicy::PerLevel);
+  St.settle(1, high(), 1000);
+  St.reset();
+  EXPECT_EQ(St.misses(high()), 0u);
+  EXPECT_EQ(St.predict(1, high()), 1u);
+}
+
+TEST(MitigationState, DurationAlwaysExceedsElapsed) {
+  MitigationState St(lh(), fastDoublingScheme(), PenaltyPolicy::PerLevel);
+  Rng R(9);
+  for (int I = 0; I != 200; ++I) {
+    uint64_t Elapsed = R.nextBelow(1 << 20);
+    int64_t Estimate = static_cast<int64_t>(R.nextBelow(1 << 10));
+    auto Out = St.settle(Estimate, high(), Elapsed);
+    EXPECT_GT(Out.Duration, Elapsed);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: mitigated durations are schedule-valued
+//===----------------------------------------------------------------------===//
+
+TEST(Mitigation, PaddedDurationsComeFromTheSchedule) {
+  // Run sleep(h) under mitigate(1,H) for many h; the mitigate duration must
+  // always be a power of two (the fast-doubling schedule with estimate 1),
+  // exactly the "powers of 2" behavior described in Sec. 2.3.
+  for (int64_t H : {0, 1, 3, 10, 100, 500, 1000}) {
+    Program P = parseOrDie("var h : H = " + std::to_string(H) + ";\n"
+                           "mitigate (1, H) { sleep(h) @[H,H] }");
+    inferTimingLabels(P);
+    auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+    RunResult R = runFull(P, *Env);
+    ASSERT_EQ(R.T.Mitigations.size(), 1u);
+    uint64_t D = R.T.Mitigations[0].Duration;
+    EXPECT_EQ(D & (D - 1), 0u) << "duration " << D << " for h=" << H;
+    EXPECT_GT(D, static_cast<uint64_t>(H));
+  }
+}
+
+TEST(Mitigation, DistinctDurationsAreLogarithmicInRange) {
+  // Over secrets in [0, 1000], the number of distinct mitigated durations
+  // is at most log2(max duration) + 1 — the quantitative heart of the
+  // leakage bound.
+  std::set<uint64_t> Durations;
+  uint64_t MaxDuration = 0;
+  for (int64_t H = 0; H <= 1000; H += 13) {
+    Program P = parseOrDie("var h : H = " + std::to_string(H) + ";\n"
+                           "mitigate (1, H) { sleep(h) @[H,H] }");
+    inferTimingLabels(P);
+    auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+    RunResult R = runFull(P, *Env);
+    Durations.insert(R.T.Mitigations[0].Duration);
+    MaxDuration = std::max(MaxDuration, R.T.Mitigations[0].Duration);
+  }
+  double Bound = std::log2(static_cast<double>(MaxDuration)) + 1;
+  EXPECT_LE(Durations.size(), static_cast<size_t>(Bound));
+}
+
+TEST(Mitigation, EstimateExpressionIsEvaluated) {
+  Program P = parseOrDie("var n : L = 512;\nvar h : H = 3;\n"
+                         "mitigate (n * 2, H) { sleep(h) @[H,H] }");
+  inferTimingLabels(P);
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  RunResult R = runFull(P, *Env);
+  EXPECT_EQ(R.T.Mitigations[0].Duration, 1024u);
+}
+
+TEST(Mitigation, LinearSchemeProducesLinearPadding) {
+  Program P = parseOrDie("var h : H = 350;\n"
+                         "mitigate (100, H) { sleep(h) @[H,H] }");
+  inferTimingLabels(P);
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  InterpreterOptions Opts;
+  Opts.Scheme = &linearScheme();
+  RunResult R = runFull(P, *Env, Opts);
+  // Body takes ≥350; linear schedule 100,200,300,400,...
+  EXPECT_EQ(R.T.Mitigations[0].Duration % 100, 0u);
+  EXPECT_TRUE(R.T.Mitigations[0].Mispredicted);
+}
+
+TEST(Mitigation, WellPredictedBlockAddsOnlySlack) {
+  // With an accurate initial estimate, the mitigated time is the estimate
+  // itself: mitigation costs only the gap between estimate and actual.
+  // The body is sleep(h)=100 plus the cold-cache cost of reading h
+  // (~137 cycles); an estimate of 400 covers it.
+  Program P = parseOrDie("var h : H = 100;\n"
+                         "mitigate (400, H) { sleep(h) @[H,H] }");
+  inferTimingLabels(P);
+  auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
+  RunResult R = runFull(P, *Env);
+  EXPECT_FALSE(R.T.Mitigations[0].Mispredicted);
+  EXPECT_EQ(R.T.Mitigations[0].Duration, 400u);
+}

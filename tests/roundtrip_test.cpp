@@ -1,0 +1,104 @@
+//===- roundtrip_test.cpp - Printer/parser round-trip fuzzing ---------------===//
+//
+// For random generated programs: printProgram → parse → printProgram must be
+// a fixpoint, and the reparsed program must behave identically (same core
+// semantics result, same full-semantics timing).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RandomProgram.h"
+#include "hw/HardwareModels.h"
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+#include "sem/CoreInterpreter.h"
+#include "sem/FullInterpreter.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace zam;
+using namespace zam::test;
+
+namespace {
+
+/// Builds a random fully-labeled program over \p Lat.
+Program randomLabeledProgram(const SecurityLattice &Lat, Rng &R,
+                             const RandomProgramOptions &O) {
+  Program P(Lat);
+  addRandomDeclarations(P, R, O);
+  P.setBody(randomCommand(P, R, O));
+  P.number();
+  return P;
+}
+
+} // namespace
+
+class RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsAFixpoint) {
+  Rng R(1000 + GetParam());
+  RandomProgramOptions O;
+  O.MaxDepth = 3;
+  Program P = randomLabeledProgram(lh(), R, O);
+
+  std::string Printed1 = printProgram(P);
+  DiagnosticEngine Diags;
+  std::optional<Program> Reparsed = parseProgram(Printed1, lh(), Diags);
+  ASSERT_TRUE(Reparsed.has_value()) << Diags.str() << "\n" << Printed1;
+  std::string Printed2 = printProgram(*Reparsed);
+  EXPECT_EQ(Printed1, Printed2);
+}
+
+TEST_P(RoundTrip, ReparsedProgramComputesTheSameResult) {
+  Rng R(2000 + GetParam());
+  RandomProgramOptions O;
+  O.MaxDepth = 3;
+  Program P = randomLabeledProgram(lh(), R, O);
+
+  DiagnosticEngine Diags;
+  std::optional<Program> Reparsed =
+      parseProgram(printProgram(P), lh(), Diags);
+  ASSERT_TRUE(Reparsed.has_value()) << Diags.str();
+
+  CoreResult A = runCore(P);
+  CoreResult B = runCore(*Reparsed);
+  ASSERT_EQ(A.HitStepLimit, B.HitStepLimit);
+  if (!A.HitStepLimit) {
+    EXPECT_TRUE(A.FinalMemory == B.FinalMemory);
+  }
+}
+
+TEST_P(RoundTrip, ReparsedProgramHasIdenticalTiming) {
+  Rng R(3000 + GetParam());
+  RandomProgramOptions O;
+  O.MaxDepth = 3;
+  std::optional<Program> P = randomWellTypedProgram(lh(), R, O);
+  if (!P)
+    GTEST_SKIP() << "generator produced no well-typed program for this seed";
+
+  DiagnosticEngine Diags;
+  std::optional<Program> Reparsed =
+      parseProgram(printProgram(*P), lh(), Diags);
+  ASSERT_TRUE(Reparsed.has_value()) << Diags.str();
+
+  auto E1 = createMachineEnv(HwKind::Partitioned, lh());
+  auto E2 = createMachineEnv(HwKind::Partitioned, lh());
+  RunResult R1 = runFull(*P, *E1);
+  RunResult R2 = runFull(*Reparsed, *E2);
+  EXPECT_EQ(R1.T.FinalTime, R2.T.FinalTime);
+  EXPECT_TRUE(R1.FinalMemory == R2.FinalMemory);
+}
+
+TEST_P(RoundTrip, ThreeLevelLattice) {
+  Rng R(4000 + GetParam());
+  RandomProgramOptions O;
+  O.MaxDepth = 2;
+  Program P = randomLabeledProgram(lmh(), R, O);
+  std::string Printed1 = printProgram(P);
+  DiagnosticEngine Diags;
+  std::optional<Program> Reparsed = parseProgram(Printed1, lmh(), Diags);
+  ASSERT_TRUE(Reparsed.has_value()) << Diags.str() << "\n" << Printed1;
+  EXPECT_EQ(Printed1, printProgram(*Reparsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip, ::testing::Range(0, 25));

@@ -1,0 +1,184 @@
+//===- step_interp_test.cpp - The literal small-step machine ----------------===//
+//
+// White-box tests of the StepInterpreter's transition structure: these
+// check that the command component of configurations evolves exactly as the
+// paper's rules prescribe (Fig. 2 plus the S-MTGPRED rewrite of Fig. 6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/StepInterpreter.h"
+
+#include "hw/HardwareModels.h"
+#include "lang/ProgramBuilder.h"
+#include "support/Casting.h"
+#include "types/LabelInference.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace zam;
+using namespace zam::test;
+
+namespace {
+Program inferred(const std::string &Source) {
+  Program P = parseOrDie(Source);
+  inferTimingLabels(P);
+  return P;
+}
+} // namespace
+
+TEST(StepInterpreter, SkipStepsToStop) {
+  Program P = inferred("skip");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  StepInterpreter S(P, *Env);
+  EXPECT_FALSE(S.done());
+  S.step();
+  EXPECT_TRUE(S.done());
+  EXPECT_GT(S.clock(), 0u); // skip consumes real time (fetch + issue).
+}
+
+TEST(StepInterpreter, SeqStepsFirstComponent) {
+  Program P = inferred("var x : L;\nx := 1; x := 2");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  StepInterpreter S(P, *Env);
+  S.step();
+  // After c1 stops, the configuration's command is exactly c2.
+  ASSERT_FALSE(S.done());
+  const auto *A = dyn_cast<AssignCmd>(S.current());
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(S.memory().load("x"), 1);
+  S.step();
+  EXPECT_TRUE(S.done());
+  EXPECT_EQ(S.memory().load("x"), 2);
+}
+
+TEST(StepInterpreter, IfStepsToTakenBranch) {
+  Program P = inferred("var x : L = 1;\nvar y : L;\n"
+                       "if x then { y := 10 } else { y := 20 }");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  StepInterpreter S(P, *Env);
+  S.step(); // Evaluate the guard.
+  ASSERT_FALSE(S.done());
+  const auto *A = dyn_cast<AssignCmd>(S.current());
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->var(), "y");
+  S.step();
+  EXPECT_EQ(S.memory().load("y"), 10);
+}
+
+TEST(StepInterpreter, WhileUnrollsToBodySeqWhile) {
+  // while e do c → c ; while e do c when the guard holds.
+  Program P = inferred("var i : L = 2;\nwhile i > 0 do { i := i - 1 }");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  StepInterpreter S(P, *Env);
+  S.step(); // Guard evaluation (true).
+  ASSERT_FALSE(S.done());
+  const auto *Seq = dyn_cast<SeqCmd>(S.current());
+  ASSERT_NE(Seq, nullptr);
+  EXPECT_TRUE(isa<AssignCmd>(Seq->first()));
+  EXPECT_TRUE(isa<WhileCmd>(Seq->second()));
+  // Run to completion: 2 iterations.
+  while (!S.done())
+    S.step();
+  EXPECT_EQ(S.memory().load("i"), 0);
+}
+
+TEST(StepInterpreter, WhileFalseGuardStops) {
+  Program P = inferred("var i : L = 0;\nwhile i > 0 do { i := i - 1 }");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  StepInterpreter S(P, *Env);
+  S.step();
+  EXPECT_TRUE(S.done());
+}
+
+TEST(StepInterpreter, MitigateRewritesToBodyThenEnd) {
+  // (S-MTGPRED): mitigate (e,ℓ) c → c ; MitigateEnd.
+  // Body = sleep(3) plus the cold read of h (~137 cycles): 400 covers it.
+  Program P = inferred("var h : H = 3;\nmitigate (400, H) { sleep(h) @[H,H] }");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  StepInterpreter S(P, *Env);
+  S.step(); // The mitigate entry step.
+  ASSERT_FALSE(S.done());
+  const auto *Seq = dyn_cast<SeqCmd>(S.current());
+  ASSERT_NE(Seq, nullptr);
+  EXPECT_TRUE(isa<SleepCmd>(Seq->first()));
+  const auto *End = dyn_cast<MitigateEndCmd>(&Seq->second());
+  ASSERT_NE(End, nullptr);
+  EXPECT_EQ(End->estimate(), 400);
+  EXPECT_EQ(End->mitLevel(), high());
+  EXPECT_EQ(End->startTime(), S.clock()); // s_η = entry completion time.
+
+  S.step(); // sleep(h).
+  S.step(); // MitigateEnd pads.
+  EXPECT_TRUE(S.done());
+  ASSERT_EQ(S.trace().Mitigations.size(), 1u);
+  EXPECT_EQ(S.trace().Mitigations[0].Duration, 400u);
+  EXPECT_EQ(S.clock(), End->startTime() + 400);
+}
+
+TEST(StepInterpreter, MitigateEndCarriesBottomLabels) {
+  // The Fig. 6 auxiliary commands are labeled [⊥,⊥].
+  Program P = inferred("mitigate (10, H) { skip }");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  StepInterpreter S(P, *Env);
+  S.step();
+  const auto *Seq = cast<SeqCmd>(S.current());
+  const Cmd &End = Seq->second();
+  EXPECT_EQ(*End.labels().Read, lh().bottom());
+  EXPECT_EQ(*End.labels().Write, lh().bottom());
+}
+
+TEST(StepInterpreter, SingleCommandConstructor) {
+  Program Decls = parseOrDie("var a : L = 5;\nvar b : L;\nskip");
+  inferTimingLabels(Decls);
+  ProgramBuilder B(lh());
+  CmdPtr C = B.assign("b", B.mul(B.v("a"), B.v("a")), low(), low());
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  Memory M = Memory::fromProgram(Decls, CostModel().DataBase);
+  StepInterpreter S(Decls, std::move(C), M, *Env);
+  S.runToCompletion();
+  EXPECT_EQ(S.memory().load("b"), 25);
+}
+
+TEST(StepInterpreter, StepCountMatchesPrimitiveTransitions) {
+  Program P = inferred("var x : L;\nx := 1; x := 2; skip");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  StepInterpreter S(P, *Env);
+  Trace T = S.runToCompletion();
+  EXPECT_EQ(T.Steps, 3u); // Seq nodes do not consume steps.
+}
+
+TEST(StepInterpreter, StepLimitStopsDivergence) {
+  Program P = inferred("var x : L;\nwhile 1 do { x := x + 1 }");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  InterpreterOptions Opts;
+  Opts.StepLimit = 100;
+  StepInterpreter S(P, *Env, Opts);
+  Trace T = S.runToCompletion();
+  EXPECT_TRUE(T.HitStepLimit);
+  EXPECT_TRUE(S.done());
+}
+
+TEST(StepInterpreter, EventsTimedAtStepCompletion) {
+  Program P = inferred("var x : L;\nx := 7");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  StepInterpreter S(P, *Env);
+  S.step();
+  ASSERT_EQ(S.trace().Events.size(), 1u);
+  EXPECT_EQ(S.trace().Events[0].Time, S.clock());
+}
+
+TEST(StepInterpreter, SharedMitigationState) {
+  Program P = inferred("var h : H = 500;\nmitigate (1, H) { sleep(h) @[H,H] }");
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  MitigationState Shared(lh(), fastDoublingScheme(), PenaltyPolicy::PerLevel);
+  InterpreterOptions Opts;
+  Opts.SharedMitState = &Shared;
+  StepInterpreter S1(P, *Env, Opts);
+  S1.runToCompletion();
+  EXPECT_GT(Shared.misses(high()), 0u);
+  unsigned After = Shared.misses(high());
+  StepInterpreter S2(P, *Env, Opts);
+  S2.runToCompletion();
+  EXPECT_EQ(Shared.misses(high()), After); // Schedule already covers it.
+}

@@ -1,0 +1,67 @@
+//===- tracedump_test.cpp - Trace rendering --------------------------------===//
+
+#include "sem/TraceDump.h"
+
+#include "hw/HardwareModels.h"
+#include "sem/FullInterpreter.h"
+#include "types/LabelInference.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace zam;
+using namespace zam::test;
+
+namespace {
+Trace runTrace(const std::string &Source) {
+  Program P = parseOrDie(Source);
+  inferTimingLabels(P);
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  return runFull(P, *Env).T;
+}
+} // namespace
+
+TEST(TraceDump, EventsIncludeLabelsAndTimes) {
+  Trace T = runTrace("var l : L;\nvar h : H;\nl := 3; h := 9");
+  std::string S = dumpEvents(T, lh());
+  EXPECT_NE(S.find("l := 3   [L]"), std::string::npos);
+  EXPECT_NE(S.find("h := 9   [H]"), std::string::npos);
+  EXPECT_NE(S.find("t="), std::string::npos);
+}
+
+TEST(TraceDump, AdversaryProjectionHidesHighEvents) {
+  Trace T = runTrace("var l : L;\nvar h : H;\nl := 3; h := 9");
+  std::string S = dumpEvents(T, lh(), low());
+  EXPECT_NE(S.find("l := 3"), std::string::npos);
+  EXPECT_EQ(S.find("h := 9"), std::string::npos);
+}
+
+TEST(TraceDump, ArrayStoresShowTheIndex) {
+  Trace T = runTrace("var a : L[4];\na[2] := 5");
+  std::string S = dumpEvents(T, lh());
+  EXPECT_NE(S.find("a[2] := 5"), std::string::npos);
+}
+
+TEST(TraceDump, MitigationsRenderScheduleInfo) {
+  Trace T = runTrace("var h : H = 900;\nmitigate (10, H) { sleep(h) @[H,H] }");
+  std::string S = dumpMitigations(T, lh());
+  EXPECT_NE(S.find("mitigate #0 [pc L, lev H]"), std::string::npos);
+  EXPECT_NE(S.find("(mispredicted)"), std::string::npos);
+}
+
+TEST(TraceDump, FullDumpEndsWithSummary) {
+  Trace T = runTrace("var l : L;\nl := 1");
+  std::string S = dumpTrace(T, lh());
+  EXPECT_NE(S.find("terminated at G ="), std::string::npos);
+  EXPECT_NE(S.find("after 1 steps"), std::string::npos);
+}
+
+TEST(TraceDump, StepLimitNoted) {
+  Program P = parseOrDie("var x : L;\nwhile 1 do { x := x + 1 }");
+  inferTimingLabels(P);
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  InterpreterOptions Opts;
+  Opts.StepLimit = 50;
+  Trace T = runFull(P, *Env, Opts).T;
+  EXPECT_NE(dumpTrace(T, lh()).find("step limit hit"), std::string::npos);
+}

@@ -1,0 +1,356 @@
+//===- zamc.cpp - Command-line driver for the zam language -------------------===//
+//
+// Usage:
+//   zamc check  <file.zam> [options]   parse, infer labels, type-check
+//   zamc print  <file.zam> [options]   pretty-print with inferred labels
+//   zamc run    <file.zam> [options]   execute on simulated hardware
+//   zamc trace  <file.zam> [options]   execute and print the event timeline
+//   zamc leakage <file.zam> --vary var=v1,v2,... [options]
+//                                      measure Q/V over secret variations
+//   zamc audit  <file.zam> [options]   fuzz the selected hardware design
+//                                      against Properties 5-7 using the
+//                                      program's declarations
+//
+// Options:
+//   --levels L,M,H        use a total-order lattice with these level names
+//                         (default: L,H)
+//   --hw KIND             nopar | nofill | partitioned (default: partitioned)
+//   --set var=value       override a variable's initial value (repeatable)
+//   --adversary LEVEL     adversary level for `leakage` (default: bottom)
+//   --no-equal-labels     drop the commodity er=ew side condition
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Leakage.h"
+#include "analysis/PropertyCheckers.h"
+#include "analysis/RandomProgram.h"
+#include "hw/HardwareModels.h"
+#include "lang/Parser.h"
+#include "lang/PrettyPrinter.h"
+#include "sem/FullInterpreter.h"
+#include "sem/TraceDump.h"
+#include "types/LabelInference.h"
+#include "types/TypeChecker.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace zam;
+
+namespace {
+
+struct Options {
+  std::string Command;
+  std::string File;
+  std::vector<std::string> Levels = {"L", "H"};
+  HwKind Hw = HwKind::Partitioned;
+  bool EqualLabels = true;
+  std::string Adversary;
+  std::vector<std::pair<std::string, int64_t>> Overrides;
+  std::vector<std::pair<std::string, std::vector<int64_t>>> Variations;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: zamc <check|print|run|trace|leakage|audit> <file.zam>\n"
+               "  [--levels L,M,H] [--hw nopar|nofill|partitioned]\n"
+               "  [--set var=value]... [--vary var=v1,v2,...]\n"
+               "  [--adversary LEVEL] [--no-equal-labels]\n");
+  return 2;
+}
+
+std::vector<std::string> splitCommas(const std::string &S) {
+  std::vector<std::string> Out;
+  std::stringstream Ss(S);
+  std::string Item;
+  while (std::getline(Ss, Item, ','))
+    Out.push_back(Item);
+  return Out;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  if (Argc < 3)
+    return false;
+  Opts.Command = Argv[1];
+  Opts.File = Argv[2];
+  for (int I = 3; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--levels") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Levels = splitCommas(V);
+    } else if (Arg == "--hw") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (!std::strcmp(V, "nopar"))
+        Opts.Hw = HwKind::NoPartition;
+      else if (!std::strcmp(V, "nofill"))
+        Opts.Hw = HwKind::NoFill;
+      else if (!std::strcmp(V, "partitioned"))
+        Opts.Hw = HwKind::Partitioned;
+      else
+        return false;
+    } else if (Arg == "--set" || Arg == "--vary") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string Assign = V;
+      size_t Eq = Assign.find('=');
+      if (Eq == std::string::npos)
+        return false;
+      std::string Var = Assign.substr(0, Eq);
+      if (Arg == "--set") {
+        Opts.Overrides.emplace_back(Var, std::stoll(Assign.substr(Eq + 1)));
+      } else {
+        std::vector<int64_t> Values;
+        for (const std::string &Piece : splitCommas(Assign.substr(Eq + 1)))
+          Values.push_back(std::stoll(Piece));
+        Opts.Variations.emplace_back(Var, std::move(Values));
+      }
+    } else if (Arg == "--adversary") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Adversary = V;
+    } else if (Arg == "--no-equal-labels") {
+      Opts.EqualLabels = false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<SecurityLattice> makeLattice(const Options &Opts) {
+  return std::make_unique<TotalOrderLattice>(Opts.Levels);
+}
+
+bool loadFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+int checkProgram(Program &P, const Options &Opts, bool Verbose) {
+  DiagnosticEngine Diags;
+  TypeCheckOptions TOpts;
+  TOpts.RequireEqualTimingLabels = Opts.EqualLabels;
+  if (!typeCheck(P, Diags, TOpts)) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (Verbose)
+    std::printf("%s: OK — well-typed; timing leakage is bounded by its "
+                "mitigate commands\n",
+                Opts.File.c_str());
+  return 0;
+}
+
+int cmdRun(Program &P, const Options &Opts, bool Timeline) {
+  if (int Rc = checkProgram(P, Opts, /*Verbose=*/false))
+    return Rc;
+  auto Env = createMachineEnv(Opts.Hw, P.lattice());
+  FullInterpreter Interp(P, *Env);
+  for (const auto &[Var, Value] : Opts.Overrides) {
+    if (!Interp.memory().hasVar(Var)) {
+      std::fprintf(stderr, "error: no variable '%s' to set\n", Var.c_str());
+      return 1;
+    }
+    Interp.memory().store(Var, Value);
+  }
+  RunResult R = Interp.run();
+
+  if (Timeline) {
+    std::printf("t=%-10s %s\n", "(cycles)", "event");
+    std::printf("%s", dumpEvents(R.T, P.lattice()).c_str());
+    std::printf("%s", dumpMitigations(R.T, P.lattice()).c_str());
+  }
+
+  std::printf("terminated at G = %" PRIu64 " cycles after %" PRIu64
+              " steps on %s hardware\n",
+              R.T.FinalTime, R.T.Steps, hwKindName(Opts.Hw));
+  std::printf("final memory:\n");
+  for (const MemorySlot &S : R.FinalMemory.slots()) {
+    std::printf("  %-12s [%s] = ", S.Name.c_str(),
+                P.lattice().name(S.SecLabel).c_str());
+    if (S.IsArray) {
+      std::printf("{");
+      for (size_t I = 0; I != S.Data.size() && I < 8; ++I)
+        std::printf("%s%" PRId64, I ? ", " : "", S.Data[I]);
+      if (S.Data.size() > 8)
+        std::printf(", ...");
+      std::printf("}\n");
+    } else {
+      std::printf("%" PRId64 "\n", S.Data[0]);
+    }
+  }
+  return 0;
+}
+
+int cmdLeakage(Program &P, const Options &Opts) {
+  const SecurityLattice &Lat = P.lattice();
+  if (Opts.Variations.empty()) {
+    std::fprintf(stderr, "leakage requires at least one --vary var=v1,v2\n");
+    return 2;
+  }
+  Label Adversary = Lat.bottom();
+  if (!Opts.Adversary.empty()) {
+    std::optional<Label> L = Lat.byName(Opts.Adversary);
+    if (!L) {
+      std::fprintf(stderr, "error: unknown level '%s'\n",
+                   Opts.Adversary.c_str());
+      return 2;
+    }
+    Adversary = *L;
+  }
+
+  LeakageSpec Spec;
+  Spec.Adversary = Adversary;
+  LabelSet Sources(Lat);
+  size_t MaxLen = 0;
+  for (const auto &[Var, Values] : Opts.Variations) {
+    const VarDecl *D = P.findVar(Var);
+    if (!D) {
+      std::fprintf(stderr, "error: no variable '%s' to vary\n", Var.c_str());
+      return 2;
+    }
+    Sources.insert(D->SecLabel);
+    MaxLen = std::max(MaxLen, Values.size());
+  }
+  Spec.SourceLevels = Sources;
+  for (size_t I = 0; I != MaxLen; ++I) {
+    SecretAssignment A;
+    for (const auto &[Var, Values] : Opts.Variations)
+      A.Scalars.emplace_back(Var, Values[I % Values.size()]);
+    Spec.Variations.push_back(std::move(A));
+  }
+
+  auto Env = createMachineEnv(Opts.Hw, Lat);
+  LeakageResult R = measureLeakage(P, *Env, Spec);
+  std::printf("adversary at %s; %zu secret variations from levels %s\n",
+              Lat.name(Adversary).c_str(), Spec.Variations.size(),
+              Sources.str(Lat).c_str());
+  std::printf("distinguishable observations: %u  (Q = %.2f bits)\n",
+              R.DistinctObservations, R.QBits);
+  std::printf("Shannon leakage %.2f bits, min-entropy leakage %.2f bits\n",
+              R.ShannonBits, R.MinEntropyBits);
+  std::printf("distinct mitigate timing vectors: %u  (log2|V| = %.2f bits)\n",
+              R.DistinctTimingVectors, R.VBits);
+  std::printf("Theorem 2 (Q <= log|V|): %s\n",
+              R.TheoremTwoHolds ? "holds" : "VIOLATED");
+  std::printf("Sec. 7 closed-form bound: %.2f bits (K=%" PRIu64
+              ", T=%" PRIu64 ")\n",
+              R.ClosedFormBoundBits, R.RelevantMitigates, R.MaxFinalTime);
+  return 0;
+}
+
+int cmdAudit(Program &P, const Options &Opts) {
+  const SecurityLattice &Lat = P.lattice();
+  auto Env = createMachineEnv(Opts.Hw, Lat);
+  Rng R(0xA0D17);
+  RandomProgramOptions O;
+  O.MaxDepth = 2;
+  O.EqualTimingLabels = false;
+
+  // Random commands over the *program's own* declarations.
+  unsigned Violations5 = 0, Violations6 = 0, Violations7 = 0;
+  const unsigned Trials = 150;
+  for (unsigned I = 0; I != Trials; ++I) {
+    CmdPtr C = randomCommand(P, R, O);
+    Memory M = Memory::fromProgram(P, CostModel().DataBase);
+    randomizeMemoryValues(M, R);
+    auto E = Env->clone();
+    E->randomize(R);
+    if (!checkWriteLabel(P, *C, M, *E).Holds)
+      ++Violations5;
+
+    Label Er = *activeCommand(*C).labels().Read;
+    Memory M2 = M;
+    auto E2 = E->clone();
+    E2->perturbAbove(Er, R);
+    if (!checkReadLabel(P, *C, M, M2, *E, *E2).Holds)
+      ++Violations6;
+
+    for (Label Level : Lat.allLabels()) {
+      Memory M3 = M;
+      for (const MemorySlot &S : M.slots())
+        if (!Lat.flowsTo(S.SecLabel, Level))
+          for (int64_t &V : M3.slot(S.Name).Data)
+            V = R.nextInRange(-64, 64);
+      auto E3 = E->clone();
+      E3->perturbAbove(Level, R);
+      if (!checkSingleStepNI(P, *C, M, M3, *E, *E3, Level).Holds) {
+        ++Violations7;
+        break;
+      }
+    }
+  }
+
+  std::printf("auditing %s against the software/hardware contract"
+              " (%u random steps over this program's declarations):\n",
+              Env->describe().c_str(), Trials);
+  auto Report = [&](const char *Name, unsigned V) {
+    std::printf("  %-28s %s", Name, V ? "FAIL" : "PASS");
+    if (V)
+      std::printf(" (%u/%u violations)", V, Trials);
+    std::printf("\n");
+  };
+  Report("Property 5 (write label)", Violations5);
+  Report("Property 6 (read label)", Violations6);
+  Report("Property 7 (single-step NI)", Violations7);
+  return (Violations5 || Violations6 || Violations7) ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage();
+
+  std::string Source;
+  if (!loadFile(Opts.File, Source)) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Opts.File.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<SecurityLattice> Lat = makeLattice(Opts);
+  DiagnosticEngine Diags;
+  std::optional<Program> P = parseProgram(Source, *Lat, Diags);
+  if (!P) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  inferTimingLabels(*P);
+
+  if (Opts.Command == "check")
+    return checkProgram(*P, Opts, /*Verbose=*/true);
+  if (Opts.Command == "print") {
+    std::printf("%s", printProgram(*P).c_str());
+    return 0;
+  }
+  if (Opts.Command == "run")
+    return cmdRun(*P, Opts, /*Timeline=*/false);
+  if (Opts.Command == "trace")
+    return cmdRun(*P, Opts, /*Timeline=*/true);
+  if (Opts.Command == "leakage")
+    return cmdLeakage(*P, Opts);
+  if (Opts.Command == "audit")
+    return cmdAudit(*P, Opts);
+  return usage();
+}
