@@ -7,17 +7,20 @@
 // invalid ones. Lower plot: mitigated — all curves coincide and carry no
 // information about the secret table.
 //
-// Output: one row per attempt with the six series (3 secrets x 2 modes),
-// then the Fig. 7 verdicts.
+// Runs on the zam_exp harness: the six sessions (3 secrets x 2 modes) are
+// independent deterministic series and fan out over the worker pool;
+// statistics, the attempt table and the optional --json report all come
+// from exp::Report.
 //
 //===----------------------------------------------------------------------===//
 
 #include "apps/LoginApp.h"
+#include "exp/Harness.h"
+#include "exp/Scenario.h"
 #include "hw/HardwareModels.h"
 
 #include <cinttypes>
 #include <cstdio>
-#include <set>
 #include <vector>
 
 using namespace zam;
@@ -49,16 +52,14 @@ std::vector<uint64_t> runSession(const SecurityLattice &Lat,
   return Times;
 }
 
-double average(const std::vector<uint64_t> &V) {
-  uint64_t Sum = 0;
-  for (uint64_t X : V)
-    Sum += X;
-  return V.empty() ? 0.0 : static_cast<double>(Sum) / V.size();
-}
-
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Harness = parseHarnessArgs(Argc, Argv);
+  if (!Harness.Ok)
+    return 2;
+  ParallelRunner Runner(Harness.Threads);
+
   TwoPointLattice Lat;
   Rng TableRng(2254078);
 
@@ -71,11 +72,15 @@ int main() {
   // initial predictions are fixed before the secret table is chosen, so the
   // prediction schedule itself cannot encode the secret. We take the
   // worst case over the candidate tables (110% of the max sampled body).
+  // The three calibrations are independent (seeded Rng each) and fan out.
+  auto Estimates =
+      Runner.map(3, [&](size_t I) -> std::pair<int64_t, int64_t> {
+        Rng CalibRng(7 + I);
+        auto Env = createMachineEnv(HwKind::Partitioned, Lat);
+        return calibrateLoginEstimates(Lat, Tables[I], *Env, 30, CalibRng);
+      });
   int64_t E1 = 1, E2 = 1;
-  for (unsigned I = 0; I != 3; ++I) {
-    Rng CalibRng(7 + I);
-    auto Env = createMachineEnv(HwKind::Partitioned, Lat);
-    auto [A, B] = calibrateLoginEstimates(Lat, Tables[I], *Env, 30, CalibRng);
+  for (const auto &[A, B] : Estimates) {
     E1 = std::max(E1, A);
     E2 = std::max(E2, B);
   }
@@ -90,47 +95,55 @@ int main() {
   Padded.Estimate1 = E1;
   Padded.Estimate2 = E2;
 
-  std::vector<uint64_t> Unmitigated[3], Mitigated[3];
-  for (unsigned I = 0; I != 3; ++I) {
-    Unmitigated[I] = runSession(Lat, Tables[I], Plain);
-    Mitigated[I] = runSession(Lat, Tables[I], Padded);
-  }
+  Report R("fig7_login_timing");
+  std::vector<SeriesSpec> Specs;
+  for (unsigned I = 0; I != 3; ++I)
+    Specs.push_back({"unmit/" + std::to_string(ValidCounts[I]),
+                     [&, I] { return runSession(Lat, Tables[I], Plain); }});
+  for (unsigned I = 0; I != 3; ++I)
+    Specs.push_back({"mit/" + std::to_string(ValidCounts[I]),
+                     [&, I] { return runSession(Lat, Tables[I], Padded); }});
+  runSeriesInto(R, Specs, Runner);
+  R.setIndex("attempt", {});
+  R.setScalar("calibrated_lookup_estimate", static_cast<double>(E1));
+  R.setScalar("calibrated_check_estimate", static_cast<double>(E2));
 
-  std::printf("=== Fig. 7: login time per attempt (cycles) ===\n");
-  std::printf("%-8s %-27s %-27s\n", "", "unmitigated (secrets: #valid)",
-              "mitigated (secrets: #valid)");
-  std::printf("%-8s %8s %8s %8s  %8s %8s %8s\n", "attempt", "10", "50", "100",
-              "10", "50", "100");
-  for (unsigned A = 0; A < Attempts; A += 5)
-    std::printf("%-8u %8" PRIu64 " %8" PRIu64 " %8" PRIu64 "  %8" PRIu64
-                " %8" PRIu64 " %8" PRIu64 "\n",
-                A, Unmitigated[0][A], Unmitigated[1][A], Unmitigated[2][A],
-                Mitigated[0][A], Mitigated[1][A], Mitigated[2][A]);
+  std::printf("=== Fig. 7: login time per attempt (cycles; secrets = #valid"
+              " usernames) ===\n");
+  std::printf("%s", R.renderTable(/*Stride=*/5).c_str());
 
   std::printf("\n=== shape checks (paper's findings) ===\n");
   std::printf("unmitigated averages: %.0f / %.0f / %.0f cycles"
               " (curves separate by secret)\n",
-              average(Unmitigated[0]), average(Unmitigated[1]),
-              average(Unmitigated[2]));
+              R.seriesAverage("unmit/10"), R.seriesAverage("unmit/50"),
+              R.seriesAverage("unmit/100"));
 
   // Valid vs invalid distinguishable in the unmitigated 10-valid run.
-  std::vector<uint64_t> Valid(Unmitigated[0].begin(),
-                              Unmitigated[0].begin() + 10);
-  std::vector<uint64_t> Invalid(Unmitigated[0].begin() + 10,
-                                Unmitigated[0].end());
+  const Series &Unmit10 = *R.find("unmit/10");
+  std::vector<double> Valid(Unmit10.Values.begin(),
+                            Unmit10.Values.begin() + 10);
+  std::vector<double> Invalid(Unmit10.Values.begin() + 10,
+                              Unmit10.Values.end());
+  bool Separates = average(Valid) > 1.2 * average(Invalid);
   std::printf("unmitigated (10 valid): avg valid %.0f vs avg invalid %.0f"
               " -> adversary separates them: %s\n",
-              average(Valid), average(Invalid),
-              average(Valid) > 1.2 * average(Invalid) ? "YES" : "no");
+              average(Valid), average(Invalid), Separates ? "YES" : "no");
 
-  // Mitigated curves coincide: same multiset of times across secrets.
-  bool Coincide = Mitigated[0] == Mitigated[1] && Mitigated[1] == Mitigated[2];
+  // Mitigated curves coincide: same series of times across secrets.
+  bool Coincide =
+      R.coincide("mit/10", "mit/50") && R.coincide("mit/50", "mit/100");
   std::printf("mitigated curves coincide across secrets: %s\n",
               Coincide ? "YES (execution time does not depend on secrets)"
                        : "no — INVESTIGATE");
 
-  std::set<uint64_t> Distinct(Mitigated[0].begin(), Mitigated[0].end());
+  size_t Distinct = R.find("mit/10")->stats().Distinct;
   std::printf("distinct mitigated attempt times within a session: %zu\n",
-              Distinct.size());
+              Distinct);
+
+  R.setVerdict("valid_invalid_separate_unmitigated", Separates);
+  R.setVerdict("mitigated_curves_coincide", Coincide);
+  R.setScalar("distinct_mitigated_times", static_cast<double>(Distinct));
+  if (!emitReportJson(R, Harness))
+    return 2;
   return Coincide ? 0 : 1;
 }

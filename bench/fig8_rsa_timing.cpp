@@ -7,15 +7,19 @@
 // key and message (the paper reports exactly 32,001,922 cycles for every
 // decryption).
 //
+// Runs on the zam_exp harness: the four series (2 keys x 2 modes) are
+// independent sessions and fan out over the worker pool.
+//
 //===----------------------------------------------------------------------===//
 
 #include "apps/RsaApp.h"
 #include "crypto/ToyRsa.h"
+#include "exp/Harness.h"
+#include "exp/Scenario.h"
 #include "hw/HardwareModels.h"
 
 #include <cinttypes>
 #include <cstdio>
-#include <set>
 #include <vector>
 
 using namespace zam;
@@ -53,16 +57,14 @@ std::vector<uint64_t> runSeries(const SecurityLattice &Lat, const RsaKey &Key,
   return Times;
 }
 
-double average(const std::vector<uint64_t> &V) {
-  uint64_t Sum = 0;
-  for (uint64_t X : V)
-    Sum += X;
-  return static_cast<double>(Sum) / V.size();
-}
-
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Harness = parseHarnessArgs(Argc, Argv);
+  if (!Harness.Ok)
+    return 2;
+  ParallelRunner Runner(Harness.Threads);
+
   TwoPointLattice Lat;
   Rng KeyRng1(1001), KeyRng2(2002), MsgRng(3003), CalRng(4004);
   RsaKey KeyA = generateRsaKey(KeyRng1, ModulusBits);
@@ -74,7 +76,8 @@ int main() {
   auto MsgsB = makeCiphertexts(KeyB, MsgRng);
 
   // Calibrate once, taking the larger per-block estimate so the prediction
-  // does not encode the key.
+  // does not encode the key. The two calibrations share one machine
+  // environment and Rng stream, so they stay serial.
   auto CalEnv = createMachineEnv(HwKind::Partitioned, Lat);
   int64_t Est = std::max(calibrateRsaEstimate(Lat, KeyA, *CalEnv, 6, CalRng,
                                               BlocksPerMessage),
@@ -83,36 +86,58 @@ int main() {
   std::printf("calibrated per-block initial prediction: %" PRId64 " cycles\n\n",
               Est);
 
-  auto PlainA =
-      runSeries(Lat, KeyA, RsaMitigationMode::Unmitigated, 1, MsgsA);
-  auto PlainB =
-      runSeries(Lat, KeyB, RsaMitigationMode::Unmitigated, 1, MsgsB);
-  auto PaddedA = runSeries(Lat, KeyA, RsaMitigationMode::PerBlock, Est, MsgsA);
-  auto PaddedB = runSeries(Lat, KeyB, RsaMitigationMode::PerBlock, Est, MsgsB);
+  Report R("fig8_rsa_timing");
+  runSeriesInto(
+      R,
+      {{"plain keyA",
+        [&] {
+          return runSeries(Lat, KeyA, RsaMitigationMode::Unmitigated, 1,
+                           MsgsA);
+        }},
+       {"plain keyB",
+        [&] {
+          return runSeries(Lat, KeyB, RsaMitigationMode::Unmitigated, 1,
+                           MsgsB);
+        }},
+       {"mitig keyA",
+        [&] {
+          return runSeries(Lat, KeyA, RsaMitigationMode::PerBlock, Est,
+                           MsgsA);
+        }},
+       {"mitig keyB",
+        [&] {
+          return runSeries(Lat, KeyB, RsaMitigationMode::PerBlock, Est,
+                           MsgsB);
+        }}},
+      Runner);
+  R.setIndex("message", {});
+  R.setScalar("calibrated_per_block_estimate", static_cast<double>(Est));
 
   std::printf("=== Fig. 8: decryption time per message (cycles) ===\n");
-  std::printf("%-8s %12s %12s   %12s %12s\n", "message", "plain keyA",
-              "plain keyB", "mitig keyA", "mitig keyB");
-  for (unsigned I = 0; I < Messages; I += 5)
-    std::printf("%-8u %12" PRIu64 " %12" PRIu64 "   %12" PRIu64 " %12" PRIu64
-                "\n",
-                I, PlainA[I], PlainB[I], PaddedA[I], PaddedB[I]);
+  std::printf("%s", R.renderTable(/*Stride=*/5).c_str());
 
   std::printf("\n=== shape checks (paper's findings) ===\n");
+  double AvgA = R.seriesAverage("plain keyA");
+  double AvgB = R.seriesAverage("plain keyB");
   std::printf("unmitigated averages: keyA %.0f vs keyB %.0f -> keys"
               " distinguishable: %s\n",
-              average(PlainA), average(PlainB),
-              average(PlainA) != average(PlainB) ? "YES" : "no");
+              AvgA, AvgB, AvgA != AvgB ? "YES" : "no");
 
-  std::set<uint64_t> MitigatedTimes(PaddedA.begin(), PaddedA.end());
-  MitigatedTimes.insert(PaddedB.begin(), PaddedB.end());
-  bool Constant = MitigatedTimes.size() == 1;
+  // One constant across both keys and all messages: each mitigated series
+  // is flat and the two series are identical.
+  bool Constant = R.find("mitig keyA")->allEqual() &&
+                  R.coincide("mitig keyA", "mitig keyB");
   std::printf("mitigated time is one constant for both keys and all"
               " messages: %s",
               Constant ? "YES" : "no");
   if (Constant)
-    std::printf(" (exactly %" PRIu64 " cycles; paper: exactly 32,001,922)",
-                *MitigatedTimes.begin());
+    std::printf(" (exactly %.0f cycles; paper: exactly 32,001,922)",
+                R.find("mitig keyA")->Values.front());
   std::printf("\n");
+
+  R.setVerdict("keys_distinguishable_unmitigated", AvgA != AvgB);
+  R.setVerdict("mitigated_time_constant", Constant);
+  if (!emitReportJson(R, Harness))
+    return 2;
   return Constant ? 0 : 1;
 }

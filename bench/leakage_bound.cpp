@@ -9,9 +9,14 @@
 // and timing vectors (|V|) against the closed-form bound, and compares with
 // the unmitigated program, where Q tracks the number of secrets exactly.
 //
+// Runs on the zam_exp harness: each measureLeakage call fans its secret
+// variations out over the worker pool (--threads / ZAM_THREADS), and the
+// sweep is recorded via exp::Report (--json).
+//
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Leakage.h"
+#include "exp/Harness.h"
 #include "hw/HardwareModels.h"
 #include "lang/Parser.h"
 #include "types/LabelInference.h"
@@ -38,7 +43,8 @@ Program buildProgram(const SecurityLattice &Lat, bool Mitigated) {
 }
 
 LeakageResult measure(const Program &P, const SecurityLattice &Lat,
-                      int64_t MaxSecret, unsigned NumSecrets) {
+                      int64_t MaxSecret, unsigned NumSecrets,
+                      unsigned Threads) {
   auto Env =
       createMachineEnv(HwKind::Partitioned, Lat, MachineEnvConfig());
   LeakageSpec Spec;
@@ -49,33 +55,51 @@ LeakageResult measure(const Program &P, const SecurityLattice &Lat,
         {{"h", static_cast<int64_t>(
                    (static_cast<uint64_t>(MaxSecret) * I) / NumSecrets)}},
         {}});
-  return measureLeakage(P, *Env, Spec);
+  return measureLeakage(P, *Env, Spec, InterpreterOptions(), Threads);
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Harness = parseHarnessArgs(Argc, Argv);
+  if (!Harness.Ok)
+    return 2;
+
   TwoPointLattice Lat;
   Program Mitigated = buildProgram(Lat, true);
   Program Plain = buildProgram(Lat, false);
 
-  std::printf("=== leakage vs elapsed time (64 secrets per row) ===\n");
-  std::printf("%-12s %18s %18s %14s %12s\n", "max secret",
-              "unmitigated Q bits", "mitigated Q bits", "log2|V| bits",
-              "Sec.7 bound");
+  const int64_t MaxSecrets[] = {1000, 10'000, 100'000, 1'000'000,
+                                10'000'000};
+  std::vector<double> Index;
+  std::vector<double> PlainQ, MitQ, MitV, Bound;
   bool BoundHolds = true;
-  for (int64_t MaxSecret : {1000ll, 10'000ll, 100'000ll, 1'000'000ll,
-                            10'000'000ll}) {
-    LeakageResult RPlain = measure(Plain, Lat, MaxSecret, 64);
-    LeakageResult RMit = measure(Mitigated, Lat, MaxSecret, 64);
+  for (int64_t MaxSecret : MaxSecrets) {
+    LeakageResult RPlain =
+        measure(Plain, Lat, MaxSecret, 64, Harness.Threads);
+    LeakageResult RMit =
+        measure(Mitigated, Lat, MaxSecret, 64, Harness.Threads);
     if (RMit.VBits > RMit.ClosedFormBoundBits + 1e-9)
       BoundHolds = false;
     if (!RMit.TheoremTwoHolds)
       BoundHolds = false;
-    std::printf("%-12" PRId64 " %18.2f %18.2f %14.2f %12.2f\n", MaxSecret,
-                RPlain.QBits, RMit.QBits, RMit.VBits,
-                RMit.ClosedFormBoundBits);
+    Index.push_back(static_cast<double>(MaxSecret));
+    PlainQ.push_back(RPlain.QBits);
+    MitQ.push_back(RMit.QBits);
+    MitV.push_back(RMit.VBits);
+    Bound.push_back(RMit.ClosedFormBoundBits);
   }
+
+  Report R("leakage_bound");
+  R.setIndex("max secret", Index);
+  R.addSeries("unmitigated Q bits", PlainQ);
+  R.addSeries("mitigated Q bits", MitQ);
+  R.addSeries("log2|V| bits", MitV);
+  R.addSeries("Sec.7 bound", Bound);
+  R.setVerdict("bound_holds", BoundHolds);
+
+  std::printf("=== leakage vs elapsed time (64 secrets per row) ===\n");
+  std::printf("%s", R.renderTable().c_str());
 
   std::printf("\n=== shape checks ===\n");
   std::printf("unmitigated leakage tracks log2(#secrets) = 6 bits per row\n");
@@ -89,5 +113,7 @@ int main() {
   for (unsigned Size = 1; Size <= 2; ++Size)
     std::printf("  |LeA^| = %u -> bound %.1f bits\n", Size,
                 leakageBoundBits(Size, 7, 1 << 20));
+  if (!emitReportJson(R, Harness))
+    return 2;
   return BoundHolds ? 0 : 1;
 }

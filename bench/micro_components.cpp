@@ -81,7 +81,9 @@ void BM_FullInterpreterLoop(benchmark::State &State) {
   Program P = loopProgram();
   for (auto _ : State) {
     auto Env = createMachineEnv(HwKind::Partitioned, lat());
-    RunResult R = runFull(P, *Env);
+    // The Prepare hook pokes the accumulator's start value before run().
+    RunResult R =
+        runFull(P, *Env, [](Memory &M) { M.store("acc", 1); });
     benchmark::DoNotOptimize(R.T.FinalTime);
   }
   State.SetItemsProcessed(State.iterations() * 3002); // Steps per run.

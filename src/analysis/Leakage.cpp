@@ -2,6 +2,8 @@
 
 #include "analysis/Leakage.h"
 
+#include "exp/ParallelRunner.h"
+#include "exp/Scenario.h"
 #include "support/Diagnostics.h"
 
 #include <cinttypes>
@@ -58,57 +60,79 @@ zam::mitigateIdentityProjection(const Trace &T, const LabelSet &UnobsUpward) {
   return Out;
 }
 
+namespace {
+
+/// Everything one variation's run contributes to the measurement; computed
+/// in a worker, reduced serially in submission order.
+struct VariationRecord {
+  std::string ObservationKey;
+  std::string TimingKey;
+  std::vector<unsigned> Identity;
+  uint64_t FinalTime = 0;
+  uint64_t Relevant = 0;
+};
+
+} // namespace
+
 LeakageResult zam::measureLeakage(const Program &P,
                                   const MachineEnv &EnvTemplate,
                                   const LeakageSpec &Spec,
-                                  InterpreterOptions Opts) {
+                                  InterpreterOptions Opts, unsigned Threads) {
   const SecurityLattice &Lat = P.lattice();
   const LabelSet UnobsUpward =
       unobservableUpwardClosure(Lat, Spec.SourceLevels, Spec.Adversary);
 
+  const Memory Base = Memory::fromProgram(P, Opts.Costs.DataBase);
+  const Scenario Scn(P, EnvTemplate, Opts);
+  const ParallelRunner Runner(Threads);
+
+  // The enumeration over secret variations is the hottest loop of the
+  // quantitative analysis: every run is deterministic and independent, so
+  // it fans out over the worker pool. Workers share only the immutable
+  // program, lattice, base memory and environment template.
+  std::vector<VariationRecord> Records =
+      Runner.map(Spec.Variations.size(), [&](size_t Index) {
+        const SecretAssignment &Variation = Spec.Variations[Index];
+        RunSpec RS;
+        RS.Prepare = [&](Memory &M) {
+          Variation.applyTo(M);
+          // Validate that the variation only touches LeA↑ variables;
+          // anything else would measure flows Definition 1 does not
+          // quantify over.
+          for (const MemorySlot &S : M.slots()) {
+            const MemorySlot &B = Base.slot(S.Name);
+            if (S.Data != B.Data && !UnobsUpward.contains(S.SecLabel))
+              reportFatalError(
+                  "secret variation modifies a variable outside LeA-upward");
+          }
+        };
+        RunResult R = Scn.run(RS);
+
+        VariationRecord Rec;
+        Rec.ObservationKey = R.T.observationKey(Spec.Adversary, Lat);
+        Rec.TimingKey = timingVectorKey(R.T, Lat, UnobsUpward);
+        Rec.Identity = mitigateIdentityProjection(R.T, UnobsUpward);
+        Rec.FinalTime = R.T.FinalTime;
+        for (const MitigateRecord &M : R.T.Mitigations)
+          if (!UnobsUpward.contains(M.PcLabel) &&
+              UnobsUpward.contains(M.Level))
+            ++Rec.Relevant;
+        return Rec;
+      });
+
   LeakageResult Result;
   std::map<std::string, unsigned> Observations;
   std::set<std::string> TimingVectors;
-  std::vector<unsigned> FirstIdentity;
-  bool HaveFirst = false;
   Result.MitigatesLowDeterministic = true;
 
-  const Memory Base = Memory::fromProgram(P, Opts.Costs.DataBase);
-
-  for (const SecretAssignment &Variation : Spec.Variations) {
-    std::unique_ptr<MachineEnv> Env = EnvTemplate.clone();
-    FullInterpreter Interp(P, *Env, Opts);
-    Variation.applyTo(Interp.memory());
-
-    // Validate that the variation only touches LeA↑ variables; anything
-    // else would measure flows Definition 1 does not quantify over.
-    for (const MemorySlot &S : Interp.memory().slots()) {
-      const MemorySlot &B = Base.slot(S.Name);
-      if (S.Data != B.Data && !UnobsUpward.contains(S.SecLabel))
-        reportFatalError(
-            "secret variation modifies a variable outside LeA-upward");
-    }
-
-    RunResult R = Interp.run();
-    ++Observations[R.T.observationKey(Spec.Adversary, Lat)];
-    TimingVectors.insert(timingVectorKey(R.T, Lat, UnobsUpward));
-
-    std::vector<unsigned> Identity =
-        mitigateIdentityProjection(R.T, UnobsUpward);
-    if (!HaveFirst) {
-      FirstIdentity = std::move(Identity);
-      HaveFirst = true;
-    } else if (Identity != FirstIdentity) {
+  for (const VariationRecord &Rec : Records) {
+    ++Observations[Rec.ObservationKey];
+    TimingVectors.insert(Rec.TimingKey);
+    if (&Rec != &Records.front() && Rec.Identity != Records.front().Identity)
       Result.MitigatesLowDeterministic = false;
-    }
-
-    Result.MaxFinalTime = std::max(Result.MaxFinalTime, R.T.FinalTime);
-    uint64_t Relevant = 0;
-    for (const MitigateRecord &Rec : R.T.Mitigations)
-      if (!UnobsUpward.contains(Rec.PcLabel) &&
-          UnobsUpward.contains(Rec.Level))
-        ++Relevant;
-    Result.RelevantMitigates = std::max(Result.RelevantMitigates, Relevant);
+    Result.MaxFinalTime = std::max(Result.MaxFinalTime, Rec.FinalTime);
+    Result.RelevantMitigates =
+        std::max(Result.RelevantMitigates, Rec.Relevant);
   }
 
   Result.DistinctObservations = Observations.size();

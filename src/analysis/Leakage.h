@@ -81,9 +81,15 @@ struct LeakageResult {
 /// Sec. 7 bound. The program must be well-typed for the theorems to apply;
 /// this function measures regardless (benches use it to demonstrate leakage
 /// of *insecure* configurations too).
+///
+/// The variations are independent deterministic runs and fan out over a
+/// ParallelRunner with \p Threads workers (0 = auto via ZAM_THREADS /
+/// hardware_concurrency); per-run records are reduced in submission order,
+/// so the result is bit-identical for any thread count.
 LeakageResult measureLeakage(const Program &P, const MachineEnv &EnvTemplate,
                              const LeakageSpec &Spec,
-                             InterpreterOptions Opts = InterpreterOptions());
+                             InterpreterOptions Opts = InterpreterOptions(),
+                             unsigned Threads = 0);
 
 /// The Sec. 7 closed-form leakage bound in bits:
 /// |LeA↑| · log2(K+1) · (1 + log2 T), zero when K = 0.

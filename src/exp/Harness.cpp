@@ -1,0 +1,45 @@
+//===- Harness.cpp --------------------------------------------------------===//
+
+#include "exp/Harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace zam;
+
+HarnessOptions zam::parseHarnessArgs(int Argc, char **Argv) {
+  HarnessOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--threads") && I + 1 < Argc) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || V > 1024) {
+        Opts.Ok = false;
+        return Opts;
+      }
+      Opts.Threads = static_cast<unsigned>(V);
+    } else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc) {
+      Opts.JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'; expected "
+                           "[--threads N] [--json FILE]\n",
+                   Argv[I]);
+      Opts.Ok = false;
+      return Opts;
+    }
+  }
+  return Opts;
+}
+
+bool zam::emitReportJson(const Report &R, const HarnessOptions &Opts) {
+  if (Opts.JsonPath.empty())
+    return true;
+  if (!R.writeJsonFile(Opts.JsonPath)) {
+    std::fprintf(stderr, "error: cannot write JSON report to '%s'\n",
+                 Opts.JsonPath.c_str());
+    return false;
+  }
+  std::printf("\nJSON report written to %s\n", Opts.JsonPath.c_str());
+  return true;
+}

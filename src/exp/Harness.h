@@ -1,0 +1,41 @@
+//===- Harness.h - Shared bench command-line handling -----------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The options every harness binary shares: `--threads N` (0 = auto via
+/// ZAM_THREADS / hardware_concurrency) and `--json <file>` (write the
+/// Report as machine-readable JSON next to the human-readable tables).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_EXP_HARNESS_H
+#define ZAM_EXP_HARNESS_H
+
+#include "exp/Report.h"
+
+#include <string>
+
+namespace zam {
+
+/// Parsed harness options.
+struct HarnessOptions {
+  unsigned Threads = 0;  ///< 0: resolve from ZAM_THREADS / hardware.
+  std::string JsonPath;  ///< Empty: no JSON output.
+  bool Ok = true;        ///< False on malformed arguments.
+};
+
+/// Parses `--threads N` and `--json FILE` from a bench's argv; unknown
+/// arguments set Ok = false (benches exit 2 with a usage line).
+HarnessOptions parseHarnessArgs(int Argc, char **Argv);
+
+/// Writes \p R to Opts.JsonPath when requested, reporting failures on
+/// stderr. \returns false on write failure.
+bool emitReportJson(const Report &R, const HarnessOptions &Opts);
+
+} // namespace zam
+
+#endif // ZAM_EXP_HARNESS_H

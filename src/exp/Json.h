@@ -1,0 +1,104 @@
+//===- Json.h - Minimal JSON document model ---------------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON value type used by the experiment harness to
+/// emit machine-readable reports (`--json`) and to round-trip them in tests.
+/// Object keys keep insertion order so that emitted documents are
+/// byte-stable across runs and thread counts — a requirement for the
+/// harness's bit-identical-output guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_EXP_JSON_H
+#define ZAM_EXP_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zam {
+
+/// A JSON document node: null, bool, number, string, array or object.
+/// Numbers remember whether they were integral so cycle counts print
+/// without a spurious fraction.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  JsonValue(bool B) : K(Kind::Bool), BoolV(B) {}
+  JsonValue(double D) : K(Kind::Number), NumV(D) {}
+  JsonValue(int64_t I)
+      : K(Kind::Number), NumV(static_cast<double>(I)), IsInt(true) {}
+  JsonValue(uint64_t U)
+      : K(Kind::Number), NumV(static_cast<double>(U)), IsInt(true) {}
+  JsonValue(int I) : JsonValue(static_cast<int64_t>(I)) {}
+  JsonValue(unsigned U) : JsonValue(static_cast<uint64_t>(U)) {}
+  JsonValue(std::string S) : K(Kind::String), StrV(std::move(S)) {}
+  JsonValue(const char *S) : K(Kind::String), StrV(S) {}
+
+  static JsonValue array() {
+    JsonValue V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  bool asBool() const { return BoolV; }
+  double asNumber() const { return NumV; }
+  const std::string &asString() const { return StrV; }
+
+  /// Array access. push() asserts the value is (or becomes) an array.
+  void push(JsonValue V);
+  size_t size() const { return Items.size(); }
+  const JsonValue &at(size_t I) const { return Items[I]; }
+
+  /// Object access: insert-or-get by key, preserving insertion order.
+  JsonValue &operator[](const std::string &Key);
+  /// Lookup without insertion; nullptr when absent or not an object.
+  const JsonValue *find(const std::string &Key) const;
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+
+  /// Structural equality. Numbers compare by value (an integral 2 equals a
+  /// parsed 2), so dump/parse round-trips compare equal.
+  bool operator==(const JsonValue &Other) const;
+  bool operator!=(const JsonValue &Other) const { return !(*this == Other); }
+
+  /// Serializes with two-space indentation and a trailing newline at the
+  /// top level. Key and element order is preserved.
+  std::string dump() const;
+
+  /// Parses a JSON document; std::nullopt on malformed input.
+  static std::optional<JsonValue> parse(const std::string &Text);
+
+private:
+  void dumpTo(std::string &Out, unsigned Depth) const;
+
+  Kind K;
+  bool BoolV = false;
+  double NumV = 0;
+  bool IsInt = false;
+  std::string StrV;
+  std::vector<JsonValue> Items;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+} // namespace zam
+
+#endif // ZAM_EXP_JSON_H

@@ -225,3 +225,12 @@ RunResult zam::runFull(const Program &P, MachineEnv &Env,
   FullInterpreter I(P, Env, Opts);
   return I.run();
 }
+
+RunResult zam::runFull(const Program &P, MachineEnv &Env,
+                       const std::function<void(Memory &)> &Prepare,
+                       InterpreterOptions Opts) {
+  FullInterpreter I(P, Env, Opts);
+  if (Prepare)
+    Prepare(I.memory());
+  return I.run();
+}

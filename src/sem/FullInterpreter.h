@@ -33,6 +33,7 @@
 #include "sem/Memory.h"
 #include "sem/Mitigation.h"
 
+#include <functional>
 #include <unordered_map>
 
 namespace zam {
@@ -100,9 +101,14 @@ private:
   bool Consumed = false;
 };
 
-/// Convenience wrapper: construct, optionally override memory via
-/// \p Prepare, run, and return the result.
+/// Convenience wrapper: construct, run, and return the result.
 RunResult runFull(const Program &P, MachineEnv &Env,
+                  InterpreterOptions Opts = InterpreterOptions());
+
+/// Convenience wrapper: construct, poke experiment-specific inputs into the
+/// initial memory via \p Prepare (may be null), run, and return the result.
+RunResult runFull(const Program &P, MachineEnv &Env,
+                  const std::function<void(Memory &)> &Prepare,
                   InterpreterOptions Opts = InterpreterOptions());
 
 } // namespace zam

@@ -18,12 +18,17 @@
 //   --set var=value       override a variable's initial value (repeatable)
 //   --adversary LEVEL     adversary level for `leakage` (default: bottom)
 //   --no-equal-labels     drop the commodity er=ew side condition
+//   --threads N           worker threads for leakage/audit fan-out
+//                         (0 = auto via ZAM_THREADS / hardware)
+//   --json FILE           also write the result as machine-readable JSON
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Leakage.h"
 #include "analysis/PropertyCheckers.h"
 #include "analysis/RandomProgram.h"
+#include "exp/Json.h"
+#include "exp/ParallelRunner.h"
 #include "hw/HardwareModels.h"
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
@@ -54,6 +59,8 @@ struct Options {
   std::string Adversary;
   std::vector<std::pair<std::string, int64_t>> Overrides;
   std::vector<std::pair<std::string, std::vector<int64_t>>> Variations;
+  unsigned Threads = 0; ///< 0: resolve from ZAM_THREADS / hardware.
+  std::string JsonPath;
 };
 
 int usage() {
@@ -61,8 +68,27 @@ int usage() {
                "usage: zamc <check|print|run|trace|leakage|audit> <file.zam>\n"
                "  [--levels L,M,H] [--hw nopar|nofill|partitioned]\n"
                "  [--set var=value]... [--vary var=v1,v2,...]\n"
-               "  [--adversary LEVEL] [--no-equal-labels]\n");
+               "  [--adversary LEVEL] [--no-equal-labels]\n"
+               "  [--threads N] [--json FILE]\n");
   return 2;
+}
+
+/// Writes \p Doc to \p Path when requested; true on success (or no-op).
+bool writeJsonIfRequested(const Options &Opts, const JsonValue &Doc) {
+  if (Opts.JsonPath.empty())
+    return true;
+  std::FILE *F = std::fopen(Opts.JsonPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Opts.JsonPath.c_str());
+    return false;
+  }
+  std::string Text = Doc.dump();
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fclose(F) == 0;
+  if (!Ok)
+    std::fprintf(stderr, "error: short write to '%s'\n",
+                 Opts.JsonPath.c_str());
+  return Ok;
 }
 
 std::vector<std::string> splitCommas(const std::string &S) {
@@ -125,6 +151,20 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Adversary = V;
     } else if (Arg == "--no-equal-labels") {
       Opts.EqualLabels = false;
+    } else if (Arg == "--threads") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      char *End = nullptr;
+      unsigned long N = std::strtoul(V, &End, 10);
+      if (End == V || *End != '\0' || N > 1024)
+        return false;
+      Opts.Threads = static_cast<unsigned>(N);
+    } else if (Arg == "--json") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.JsonPath = V;
     } else {
       return false;
     }
@@ -199,7 +239,26 @@ int cmdRun(Program &P, const Options &Opts, bool Timeline) {
       std::printf("%" PRId64 "\n", S.Data[0]);
     }
   }
-  return 0;
+
+  JsonValue Doc = JsonValue::object();
+  Doc["command"] = JsonValue("run");
+  Doc["file"] = JsonValue(Opts.File);
+  Doc["hw"] = JsonValue(hwKindName(Opts.Hw));
+  Doc["final_time"] = JsonValue(R.T.FinalTime);
+  Doc["steps"] = JsonValue(R.T.Steps);
+  JsonValue Mem = JsonValue::object();
+  for (const MemorySlot &S : R.FinalMemory.slots()) {
+    if (S.IsArray) {
+      JsonValue Arr = JsonValue::array();
+      for (int64_t V : S.Data)
+        Arr.push(JsonValue(V));
+      Mem[S.Name] = std::move(Arr);
+    } else {
+      Mem[S.Name] = JsonValue(S.Data[0]);
+    }
+  }
+  Doc["memory"] = std::move(Mem);
+  return writeJsonIfRequested(Opts, Doc) ? 0 : 1;
 }
 
 int cmdLeakage(Program &P, const Options &Opts) {
@@ -241,7 +300,8 @@ int cmdLeakage(Program &P, const Options &Opts) {
   }
 
   auto Env = createMachineEnv(Opts.Hw, Lat);
-  LeakageResult R = measureLeakage(P, *Env, Spec);
+  LeakageResult R =
+      measureLeakage(P, *Env, Spec, InterpreterOptions(), Opts.Threads);
   std::printf("adversary at %s; %zu secret variations from levels %s\n",
               Lat.name(Adversary).c_str(), Spec.Variations.size(),
               Sources.str(Lat).c_str());
@@ -256,35 +316,59 @@ int cmdLeakage(Program &P, const Options &Opts) {
   std::printf("Sec. 7 closed-form bound: %.2f bits (K=%" PRIu64
               ", T=%" PRIu64 ")\n",
               R.ClosedFormBoundBits, R.RelevantMitigates, R.MaxFinalTime);
-  return 0;
+
+  JsonValue Doc = JsonValue::object();
+  Doc["command"] = JsonValue("leakage");
+  Doc["file"] = JsonValue(Opts.File);
+  Doc["hw"] = JsonValue(hwKindName(Opts.Hw));
+  Doc["adversary"] = JsonValue(Lat.name(Adversary));
+  Doc["variations"] = JsonValue(Spec.Variations.size());
+  Doc["distinct_observations"] = JsonValue(R.DistinctObservations);
+  Doc["q_bits"] = JsonValue(R.QBits);
+  Doc["shannon_bits"] = JsonValue(R.ShannonBits);
+  Doc["min_entropy_bits"] = JsonValue(R.MinEntropyBits);
+  Doc["distinct_timing_vectors"] = JsonValue(R.DistinctTimingVectors);
+  Doc["v_bits"] = JsonValue(R.VBits);
+  Doc["theorem2_holds"] = JsonValue(R.TheoremTwoHolds);
+  Doc["mitigates_low_deterministic"] =
+      JsonValue(R.MitigatesLowDeterministic);
+  Doc["relevant_mitigates"] = JsonValue(R.RelevantMitigates);
+  Doc["max_final_time"] = JsonValue(R.MaxFinalTime);
+  Doc["closed_form_bound_bits"] = JsonValue(R.ClosedFormBoundBits);
+  return writeJsonIfRequested(Opts, Doc) ? 0 : 1;
 }
 
 int cmdAudit(Program &P, const Options &Opts) {
   const SecurityLattice &Lat = P.lattice();
   auto Env = createMachineEnv(Opts.Hw, Lat);
-  Rng R(0xA0D17);
   RandomProgramOptions O;
   O.MaxDepth = 2;
   O.EqualTimingLabels = false;
 
-  // Random commands over the *program's own* declarations.
-  unsigned Violations5 = 0, Violations6 = 0, Violations7 = 0;
+  // Random commands over the *program's own* declarations. Every trial
+  // derives its own Rng from the trial index, so the trials are independent
+  // deterministic tasks: they fan out over the worker pool and the verdict
+  // is identical for any thread count.
   const unsigned Trials = 150;
-  for (unsigned I = 0; I != Trials; ++I) {
+  struct TrialResult {
+    bool V5 = false, V6 = false, V7 = false;
+  };
+  ParallelRunner Runner(Opts.Threads);
+  std::vector<TrialResult> Results = Runner.map(Trials, [&](size_t I) {
+    Rng R(0xA0D17 ^ (0x9E3779B97F4A7C15ULL * (I + 1)));
+    TrialResult Out;
     CmdPtr C = randomCommand(P, R, O);
     Memory M = Memory::fromProgram(P, CostModel().DataBase);
     randomizeMemoryValues(M, R);
     auto E = Env->clone();
     E->randomize(R);
-    if (!checkWriteLabel(P, *C, M, *E).Holds)
-      ++Violations5;
+    Out.V5 = !checkWriteLabel(P, *C, M, *E).Holds;
 
     Label Er = *activeCommand(*C).labels().Read;
     Memory M2 = M;
     auto E2 = E->clone();
     E2->perturbAbove(Er, R);
-    if (!checkReadLabel(P, *C, M, M2, *E, *E2).Holds)
-      ++Violations6;
+    Out.V6 = !checkReadLabel(P, *C, M, M2, *E, *E2).Holds;
 
     for (Label Level : Lat.allLabels()) {
       Memory M3 = M;
@@ -295,10 +379,18 @@ int cmdAudit(Program &P, const Options &Opts) {
       auto E3 = E->clone();
       E3->perturbAbove(Level, R);
       if (!checkSingleStepNI(P, *C, M, M3, *E, *E3, Level).Holds) {
-        ++Violations7;
+        Out.V7 = true;
         break;
       }
     }
+    return Out;
+  });
+
+  unsigned Violations5 = 0, Violations6 = 0, Violations7 = 0;
+  for (const TrialResult &T : Results) {
+    Violations5 += T.V5;
+    Violations6 += T.V6;
+    Violations7 += T.V7;
   }
 
   std::printf("auditing %s against the software/hardware contract"
@@ -313,7 +405,22 @@ int cmdAudit(Program &P, const Options &Opts) {
   Report("Property 5 (write label)", Violations5);
   Report("Property 6 (read label)", Violations6);
   Report("Property 7 (single-step NI)", Violations7);
-  return (Violations5 || Violations6 || Violations7) ? 1 : 0;
+
+  bool Pass = !(Violations5 || Violations6 || Violations7);
+  JsonValue Doc = JsonValue::object();
+  Doc["command"] = JsonValue("audit");
+  Doc["file"] = JsonValue(Opts.File);
+  Doc["hw"] = JsonValue(hwKindName(Opts.Hw));
+  Doc["trials"] = JsonValue(Trials);
+  JsonValue V = JsonValue::object();
+  V["property5_write_label"] = JsonValue(Violations5);
+  V["property6_read_label"] = JsonValue(Violations6);
+  V["property7_single_step_ni"] = JsonValue(Violations7);
+  Doc["violations"] = std::move(V);
+  Doc["pass"] = JsonValue(Pass);
+  if (!writeJsonIfRequested(Opts, Doc))
+    return 1;
+  return Pass ? 0 : 1;
 }
 
 } // namespace
