@@ -24,6 +24,7 @@
 #include "exp/Harness.h"
 #include "exp/Scenario.h"
 #include "hw/HardwareModels.h"
+#include "obs/Telemetry.h"
 
 #include <cinttypes>
 #include <cstdio>
@@ -138,6 +139,24 @@ int main(int Argc, char **Argv) {
 
   R.setScalar("language_total_cycles", static_cast<double>(LangTotal));
   R.setScalar("system_total_cycles", static_cast<double>(SysTotal));
+
+  // Telemetry of record: the 10-block message decrypted once under each
+  // mode on fresh environments, counters side by side under lang./sys.
+  // prefixes (mispredictions and padding show the doubling staircase).
+  for (auto [Prefix, Mode] :
+       {std::pair<const char *, RsaMitigationMode>{
+            "lang.", RsaMitigationMode::PerBlock},
+        {"sys.", RsaMitigationMode::WholeRun}}) {
+    RsaProgramConfig Config;
+    Config.Mode = Mode;
+    Config.Estimate = PerBlockEst;
+    Config.MaxBlocks = MaxBlocks;
+    auto Env = createMachineEnv(HwKind::Partitioned, Lat);
+    Program P = buildRsaProgram(Lat, Key, Config);
+    RunResult Rep = runFull(
+        P, *Env, [&](Memory &M) { setRsaMessage(M, Messages.back()); });
+    collectRunMetrics(R.metrics(), Rep.T, Rep.Hw, Lat, Prefix);
+  }
   R.setVerdict("language_level_faster", Faster);
   R.setVerdict("never_meaningfully_slower", NeverMeaningfullySlower);
   if (!emitReportJson(R, Harness))

@@ -15,6 +15,7 @@
 #include "exp/Scenario.h"
 #include "hw/HardwareModels.h"
 #include "lang/Parser.h"
+#include "obs/Phase.h"
 #include "types/LabelInference.h"
 
 #include <chrono>
@@ -25,12 +26,20 @@ using namespace zam;
 
 namespace {
 
-/// Milliseconds of wall-clock spent in \p Fn.
-template <typename Fn> double timeMs(Fn &&Fn_) {
+/// Wall-clock phase breakdown of the whole baseline, printed at the end.
+/// Wall-clock never enters the report's metrics object (must stay
+/// deterministic); the trajectory scalars carry the timings instead.
+PhaseProfiler Phases;
+
+/// Milliseconds of wall-clock spent in \p Fn, also accumulated into the
+/// phase profiler under \p Phase.
+template <typename Fn> double timeMs(const char *Phase, Fn &&Fn_) {
   auto Start = std::chrono::steady_clock::now();
   Fn_();
   auto End = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::milli>(End - Start).count();
+  double Ms = std::chrono::duration<double, std::milli>(End - Start).count();
+  Phases.add(Phase, Ms);
+  return Ms;
 }
 
 LeakageResult measureOnce(const Program &P, const SecurityLattice &Lat,
@@ -118,8 +127,10 @@ int main(int Argc, char **Argv) {
 
   // Leakage enumeration: 4096 secret variations per measurement.
   LeakageResult L1, LN;
-  double LeakMs1 = timeMs([&] { L1 = measureOnce(*P, Lat, 1); });
-  double LeakMsN = timeMs([&] { LN = measureOnce(*P, Lat, Wide); });
+  double LeakMs1 =
+      timeMs("leakage/1thread", [&] { L1 = measureOnce(*P, Lat, 1); });
+  double LeakMsN =
+      timeMs("leakage/wide", [&] { LN = measureOnce(*P, Lat, Wide); });
   bool LeakSame = sameLeakage(L1, LN);
   std::printf("leakage enumeration (4096 runs): %.1f ms at 1 thread, "
               "%.1f ms at %u threads (speedup %.2fx), identical: %s\n",
@@ -134,9 +145,10 @@ int main(int Argc, char **Argv) {
     Tables[I] = makeLoginTable(100, ValidCounts[I], TableRng);
 
   std::string Batch1, BatchN;
-  double LoginMs1 = timeMs([&] { Batch1 = loginBatchJson(Lat, Tables, 1); });
+  double LoginMs1 =
+      timeMs("login/1thread", [&] { Batch1 = loginBatchJson(Lat, Tables, 1); });
   double LoginMsN =
-      timeMs([&] { BatchN = loginBatchJson(Lat, Tables, Wide); });
+      timeMs("login/wide", [&] { BatchN = loginBatchJson(Lat, Tables, Wide); });
   bool LoginSame = Batch1 == BatchN;
   std::printf("login batch (6 sessions x 100 attempts): %.1f ms at 1 "
               "thread, %.1f ms at %u threads (speedup %.2fx), "
@@ -159,6 +171,7 @@ int main(int Argc, char **Argv) {
   R.setVerdict("leakage_identical", LeakSame);
   R.setVerdict("login_json_bit_identical", LoginSame);
 
+  std::printf("\n-- phases (wall clock) --\n%s", Phases.render().c_str());
   std::printf("\n%s", R.renderSummary().c_str());
   if (!emitReportJson(R, Harness))
     return 2;

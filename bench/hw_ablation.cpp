@@ -18,6 +18,7 @@
 #include "exp/Harness.h"
 #include "exp/Scenario.h"
 #include "hw/HardwareModels.h"
+#include "obs/Telemetry.h"
 
 #include <cinttypes>
 #include <cstdio>
@@ -99,6 +100,21 @@ int main(int Argc, char **Argv) {
                   Login / LoginBase);
     Rep.setScalar(std::string("rsa_overhead_") + hwKindName(Kind),
                   Rsa / RsaBase);
+  }
+
+  // Telemetry of record: one login attempt per design on fresh
+  // environments, prefixed by design name — the hit/miss/line-fill split
+  // is precisely what differs between the three realizations.
+  for (HwKind Kind : Kinds) {
+    LoginProgramConfig Config;
+    Config.Mitigated = false;
+    auto Env = createMachineEnv(Kind, Lat);
+    Program P = buildLoginProgram(Lat, Table, Config);
+    RunResult RepRun = runFull(P, *Env, [&](Memory &M) {
+      setLoginRequest(M, "user0", "x");
+    });
+    collectRunMetrics(Rep.metrics(), RepRun.T, RepRun.Hw, Lat,
+                      std::string(hwKindName(Kind)) + ".");
   }
 
   std::printf("\n=== shape checks ===\n");

@@ -226,6 +226,8 @@ JsonValue Report::toJson() const {
       Obj[K] = JsonValue(V);
     Doc["text"] = std::move(Obj);
   }
+  if (!Metrics.empty())
+    Doc["metrics"] = Metrics.toJson();
   JsonValue SeriesArr = JsonValue::array();
   for (const Series &S : AllSeries) {
     JsonValue Obj = JsonValue::object();

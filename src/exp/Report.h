@@ -18,7 +18,8 @@
 #ifndef ZAM_EXP_REPORT_H
 #define ZAM_EXP_REPORT_H
 
-#include "exp/Json.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
 
 #include <cstdint>
 #include <string>
@@ -81,6 +82,14 @@ public:
   /// The verdict value; \p Default when unset.
   bool verdict(const std::string &Key, bool Default = false) const;
 
+  /// The report's telemetry counters (see obs/Telemetry.h for the naming
+  /// scheme). Benches fill this from representative deterministic runs;
+  /// serialized as the "metrics" JSON object when non-empty. Only
+  /// deterministic, machine-independent values belong here — the bench
+  /// byte-stability audits cover this object too.
+  MetricsRegistry &metrics() { return Metrics; }
+  const MetricsRegistry &metrics() const { return Metrics; }
+
   /// Renders all series as aligned columns, one row per index, emitting
   /// every \p Stride-th row (benches print every 5th attempt).
   std::string renderTable(size_t Stride = 1) const;
@@ -90,6 +99,7 @@ public:
 
   /// The machine-readable form:
   /// { "title", "scalars": {...}, "verdicts": {...}, "text": {...},
+  ///   "metrics": {...},
   ///   "series": [ { "name", "values": [...], "stats": {...} } ] }
   JsonValue toJson() const;
   /// Writes toJson().dump() to \p Path; false on I/O failure.
@@ -103,6 +113,7 @@ private:
   std::vector<std::pair<std::string, double>> Scalars;
   std::vector<std::pair<std::string, bool>> Verdicts;
   std::vector<std::pair<std::string, std::string>> Texts;
+  MetricsRegistry Metrics;
 };
 
 } // namespace zam

@@ -13,55 +13,88 @@ Cache::Cache(const CacheConfig &Config) : Config(Config) {
   Sets.resize(Config.NumSets);
 }
 
-bool Cache::lookup(Addr A) {
-  std::vector<uint64_t> &Set = Sets[setOf(A)];
-  uint64_t Tag = tagOf(A);
-  auto It = std::find(Set.begin(), Set.end(), Tag);
+/// Finds the line with \p Tag in a (possibly const) set.
+static auto findLine(auto &Set, uint64_t Tag) {
+  return std::find_if(Set.begin(), Set.end(),
+                      [Tag](const auto &L) { return L.Tag == Tag; });
+}
+
+bool Cache::lookup(Addr A, bool MarkDirty) {
+  std::vector<Line> &Set = Sets[setOf(A)];
+  auto It = findLine(Set, tagOf(A));
   if (It == Set.end())
     return false;
   // Promote to MRU.
+  Line L = *It;
+  L.Dirty |= MarkDirty;
   Set.erase(It);
-  Set.insert(Set.begin(), Tag);
+  Set.insert(Set.begin(), L);
   return true;
 }
 
 bool Cache::probe(Addr A) const {
-  const std::vector<uint64_t> &Set = Sets[setOf(A)];
+  const std::vector<Line> &Set = Sets[setOf(A)];
   uint64_t Tag = tagOf(A);
-  return std::find(Set.begin(), Set.end(), Tag) != Set.end();
+  return std::any_of(Set.begin(), Set.end(),
+                     [Tag](const Line &L) { return L.Tag == Tag; });
 }
 
-void Cache::install(Addr A) {
-  std::vector<uint64_t> &Set = Sets[setOf(A)];
+void Cache::install(Addr A, bool Dirty) {
+  std::vector<Line> &Set = Sets[setOf(A)];
   uint64_t Tag = tagOf(A);
-  auto It = std::find(Set.begin(), Set.end(), Tag);
-  if (It != Set.end())
+  auto It = findLine(Set, Tag);
+  if (It != Set.end()) {
+    Dirty |= It->Dirty;
     Set.erase(It);
-  else if (Set.size() == Config.Assoc)
-    Set.pop_back(); // Evict LRU.
-  Set.insert(Set.begin(), Tag);
+  } else {
+    ++Events.LineFills;
+    if (Set.size() == Config.Assoc) {
+      // Evict LRU.
+      ++Events.Evictions;
+      if (Set.back().Dirty)
+        ++Events.Writebacks;
+      Set.pop_back();
+    }
+  }
+  Set.insert(Set.begin(), Line{Tag, Dirty});
 }
 
 void Cache::remove(Addr A) {
-  std::vector<uint64_t> &Set = Sets[setOf(A)];
-  uint64_t Tag = tagOf(A);
-  auto It = std::find(Set.begin(), Set.end(), Tag);
-  if (It != Set.end())
+  std::vector<Line> &Set = Sets[setOf(A)];
+  auto It = findLine(Set, tagOf(A));
+  if (It != Set.end()) {
+    if (It->Dirty)
+      ++Events.Writebacks;
     Set.erase(It);
+  }
 }
 
 void Cache::reset() {
-  for (std::vector<uint64_t> &Set : Sets)
+  for (std::vector<Line> &Set : Sets)
     Set.clear();
 }
 
 void Cache::randomize(Rng &R, double FillFraction) {
   reset();
-  for (std::vector<uint64_t> &Set : Sets)
+  for (std::vector<Line> &Set : Sets)
     for (unsigned Way = 0; Way != Config.Assoc; ++Way)
       if (R.nextDouble() < FillFraction) {
         uint64_t Tag = R.nextBelow(1u << 16);
-        if (std::find(Set.begin(), Set.end(), Tag) == Set.end())
-          Set.push_back(Tag);
+        if (findLine(Set, Tag) == Set.end())
+          Set.push_back(Line{Tag, false});
       }
+}
+
+bool Cache::operator==(const Cache &Other) const {
+  if (Config != Other.Config || Sets.size() != Other.Sets.size())
+    return false;
+  for (size_t S = 0; S != Sets.size(); ++S) {
+    const std::vector<Line> &A = Sets[S], &B = Other.Sets[S];
+    if (A.size() != B.size())
+      return false;
+    for (size_t W = 0; W != A.size(); ++W)
+      if (A[W].Tag != B[W].Tag)
+        return false;
+  }
+  return true;
 }

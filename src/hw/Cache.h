@@ -13,6 +13,13 @@
 /// public cache partition without violating single-step noninterference
 /// (Property 7). The same class models TLBs (block size = page size).
 ///
+/// For telemetry each line additionally carries a dirty bit and the cache
+/// keeps eviction/writeback/line-fill counters. Both are *observational
+/// only*: writebacks add no latency (the timing model is unchanged from the
+/// paper's), and neither participates in state equality, so the projected
+/// equivalences of Sec. 3.3 — and the noninterference properties built on
+/// them — see exactly the (tag, LRU-order) state they always did.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ZAM_HW_CACHE_H
@@ -26,7 +33,17 @@
 
 namespace zam {
 
-/// One cache-like structure. State per set is the list of resident tags in
+/// Telemetry counters maintained by one Cache (see CacheLevelStats for the
+/// merged per-structure view).
+struct CacheEvents {
+  uint64_t Evictions = 0;
+  uint64_t Writebacks = 0;
+  uint64_t LineFills = 0;
+
+  bool operator==(const CacheEvents &Other) const = default;
+};
+
+/// One cache-like structure. State per set is the list of resident lines in
 /// LRU order (front = most recently used). Replacement is strict LRU.
 class Cache {
 public:
@@ -35,41 +52,58 @@ public:
   const CacheConfig &config() const { return Config; }
   uint64_t latency() const { return Config.Latency; }
 
-  /// Hit test that promotes the line to MRU on a hit. \returns true on hit.
-  bool lookup(Addr A);
+  /// Hit test that promotes the line to MRU on a hit; \p MarkDirty
+  /// additionally sets the line's dirty bit (stores). \returns true on hit.
+  bool lookup(Addr A, bool MarkDirty = false);
 
   /// Hit test with no state change at all (used for no-fill accesses and
   /// for hits that may not disturb another partition's LRU state).
   bool probe(Addr A) const;
 
   /// Installs the block containing \p A as MRU, evicting the LRU way if the
-  /// set is full. Installing a resident block just promotes it.
-  void install(Addr A);
+  /// set is full. Installing a resident block just promotes it (the dirty
+  /// bit accumulates: a clean install does not launder a dirty line).
+  void install(Addr A, bool Dirty = false);
 
   /// Removes the block containing \p A if resident (consistency moves in
-  /// the partitioned design).
+  /// the partitioned design). Counts a writeback if the line was dirty.
   void remove(Addr A);
 
-  /// Flushes all contents.
+  /// Flushes all contents (event counters are preserved; resetEvents()
+  /// clears those).
   void reset();
 
   /// Fills the cache with random resident tags; \p FillFraction in [0,1].
   /// Used by property-based tests to explore machine-environment states.
   void randomize(Rng &R, double FillFraction = 0.5);
 
+  const CacheEvents &events() const { return Events; }
+  void resetEvents() { Events = CacheEvents(); }
+
   /// Structural equality of (tags, valid bits, LRU order): the projected
-  /// equivalence of Sec. 3.3 at the granularity of one structure.
-  bool operator==(const Cache &Other) const = default;
+  /// equivalence of Sec. 3.3 at the granularity of one structure. Dirty
+  /// bits and event counters are telemetry, not machine state visible to
+  /// the timing model, so they deliberately do not participate.
+  bool operator==(const Cache &Other) const;
 
 private:
-  uint64_t tagOf(Addr A) const { return A / Config.BlockBytes / Config.NumSets; }
+  /// One resident line. Only Tag is machine state; Dirty is telemetry.
+  struct Line {
+    uint64_t Tag = 0;
+    bool Dirty = false;
+  };
+
+  uint64_t tagOf(Addr A) const {
+    return A / Config.BlockBytes / Config.NumSets;
+  }
   unsigned setOf(Addr A) const {
     return static_cast<unsigned>((A / Config.BlockBytes) % Config.NumSets);
   }
 
   CacheConfig Config;
-  /// Sets[S] = resident tags of set S in MRU-to-LRU order.
-  std::vector<std::vector<uint64_t>> Sets;
+  /// Sets[S] = resident lines of set S in MRU-to-LRU order.
+  std::vector<std::vector<Line>> Sets;
+  CacheEvents Events;
 };
 
 } // namespace zam

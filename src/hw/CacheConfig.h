@@ -57,17 +57,30 @@ struct MachineEnvConfig {
   uint64_t MemLatency = 100; ///< Penalty beyond L2 on an L2 miss.
 };
 
-/// Hit/miss counters for one run; purely observational (never fed back into
-/// timing), used by the benchmark harnesses.
+/// Counters for one cache-like structure; purely observational (never fed
+/// back into timing). Hits/Misses are counted at the access sites;
+/// Evictions/Writebacks/LineFills are maintained by the Cache itself and
+/// merged in by MachineEnv::stats().
+struct CacheLevelStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;  ///< LRU replacements of a valid line.
+  uint64_t Writebacks = 0; ///< Dirty lines retired (evicted or removed).
+  uint64_t LineFills = 0;  ///< Installs of a not-yet-resident block.
+
+  uint64_t accesses() const { return Hits + Misses; }
+
+  bool operator==(const CacheLevelStats &Other) const = default;
+};
+
+/// Per-structure counters for one run, consumed by the telemetry layer
+/// (obs/Telemetry.h) and the benchmark harnesses.
 struct HwStats {
-  uint64_t L1DHit = 0, L1DMiss = 0;
-  uint64_t L2DHit = 0, L2DMiss = 0;
-  uint64_t L1IHit = 0, L1IMiss = 0;
-  uint64_t L2IHit = 0, L2IMiss = 0;
-  uint64_t DTlbHit = 0, DTlbMiss = 0;
-  uint64_t ITlbHit = 0, ITlbMiss = 0;
+  CacheLevelStats L1D, L2D, L1I, L2I, DTlb, ITlb;
 
   void reset() { *this = HwStats(); }
+
+  bool operator==(const HwStats &Other) const = default;
 };
 
 } // namespace zam

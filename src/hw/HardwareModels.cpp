@@ -22,6 +22,8 @@ const char *zam::hwKindName(HwKind Kind) {
 
 MachineEnv::~MachineEnv() = default;
 
+HwObserver::~HwObserver() = default;
+
 bool MachineEnv::equivalentUpTo(const MachineEnv &Other, Label L) const {
   for (Label Lv : Lat->allLabels())
     if (Lat->flowsTo(Lv, L) && !projectionEquals(Other, Lv))
@@ -62,43 +64,48 @@ UnifiedHwBase::UnifiedHwBase(HwKind Kind, const SecurityLattice &Lat,
 
 namespace {
 /// Walks one TLB + two-level cache path. \p Fill selects between normal
-/// operation and no-fill probing (no installs, no LRU updates).
+/// operation and no-fill probing (no installs, no LRU updates). \p IsStore
+/// marks the L1 line dirty (telemetry only; writebacks add no latency).
+/// Miss flags are reported through \p Acc.
 uint64_t unifiedPath(Cache &Tlb, Cache &L1, Cache &L2, Addr A, bool Fill,
-                     uint64_t MemLatency, uint64_t &TlbHits,
-                     uint64_t &TlbMisses, uint64_t &L1Hits, uint64_t &L1Misses,
-                     uint64_t &L2Hits, uint64_t &L2Misses) {
+                     bool IsStore, uint64_t MemLatency,
+                     CacheLevelStats &TlbStats, CacheLevelStats &L1Stats,
+                     CacheLevelStats &L2Stats, HwAccess &Acc) {
   uint64_t Cycles = 0;
 
   bool TlbHit = Fill ? Tlb.lookup(A) : Tlb.probe(A);
   if (TlbHit) {
-    ++TlbHits;
+    ++TlbStats.Hits;
   } else {
-    ++TlbMisses;
+    ++TlbStats.Misses;
+    Acc.TlbMiss = true;
     Cycles += Tlb.latency();
     if (Fill)
       Tlb.install(A);
   }
 
   Cycles += L1.latency();
-  bool L1Hit = Fill ? L1.lookup(A) : L1.probe(A);
+  bool L1Hit = Fill ? L1.lookup(A, IsStore) : L1.probe(A);
   if (L1Hit) {
-    ++L1Hits;
+    ++L1Stats.Hits;
     return Cycles;
   }
-  ++L1Misses;
+  ++L1Stats.Misses;
+  Acc.L1Miss = true;
 
   Cycles += L2.latency();
   bool L2Hit = Fill ? L2.lookup(A) : L2.probe(A);
   if (L2Hit) {
-    ++L2Hits;
+    ++L2Stats.Hits;
   } else {
-    ++L2Misses;
+    ++L2Stats.Misses;
+    Acc.L2Miss = true;
     Cycles += MemLatency;
     if (Fill)
       L2.install(A);
   }
   if (Fill)
-    L1.install(A);
+    L1.install(A, IsStore);
   return Cycles;
 }
 } // namespace
@@ -107,17 +114,51 @@ uint64_t UnifiedHwBase::dataAccess(Addr A, bool IsStore, Label Read,
                                    Label Write) {
   assert(lattice().contains(Read) && lattice().contains(Write) &&
          "labels from another lattice");
-  return unifiedPath(DTlb, L1D, L2D, A, mayFill(Write), Config.MemLatency,
-                     Stats.DTlbHit, Stats.DTlbMiss, Stats.L1DHit,
-                     Stats.L1DMiss, Stats.L2DHit, Stats.L2DMiss);
+  HwAccess Acc;
+  Acc.A = A;
+  Acc.IsData = true;
+  Acc.IsStore = IsStore;
+  Acc.Cycles =
+      unifiedPath(DTlb, L1D, L2D, A, mayFill(Write), IsStore, Config.MemLatency,
+                  Stats.DTlb, Stats.L1D, Stats.L2D, Acc);
+  notifyAccess(Acc);
+  return Acc.Cycles;
 }
 
 uint64_t UnifiedHwBase::fetch(Addr A, Label Read, Label Write) {
   assert(lattice().contains(Read) && lattice().contains(Write) &&
          "labels from another lattice");
-  return unifiedPath(ITlb, L1I, L2I, A, mayFill(Write), Config.MemLatency,
-                     Stats.ITlbHit, Stats.ITlbMiss, Stats.L1IHit,
-                     Stats.L1IMiss, Stats.L2IHit, Stats.L2IMiss);
+  HwAccess Acc;
+  Acc.A = A;
+  Acc.Cycles = unifiedPath(ITlb, L1I, L2I, A, mayFill(Write), /*IsStore=*/false,
+                           Config.MemLatency, Stats.ITlb, Stats.L1I, Stats.L2I,
+                           Acc);
+  notifyAccess(Acc);
+  return Acc.Cycles;
+}
+
+/// Folds one cache's event counters into the merged per-structure view.
+static void mergeEvents(CacheLevelStats &S, const CacheEvents &E) {
+  S.Evictions += E.Evictions;
+  S.Writebacks += E.Writebacks;
+  S.LineFills += E.LineFills;
+}
+
+HwStats UnifiedHwBase::stats() const {
+  HwStats S = Stats;
+  mergeEvents(S.L1D, L1D.events());
+  mergeEvents(S.L2D, L2D.events());
+  mergeEvents(S.L1I, L1I.events());
+  mergeEvents(S.L2I, L2I.events());
+  mergeEvents(S.DTlb, DTlb.events());
+  mergeEvents(S.ITlb, ITlb.events());
+  return S;
+}
+
+void UnifiedHwBase::resetStats() {
+  Stats.reset();
+  for (Cache *C : {&L1D, &L2D, &L1I, &L2I, &DTlb, &ITlb})
+    C->resetEvents();
 }
 
 bool UnifiedHwBase::projectionEquals(const MachineEnv &Other, Label L) const {
@@ -190,8 +231,8 @@ PartitionedHw::PartitionedHw(const SecurityLattice &Lat,
   ITlb = makePartitions(Config.ITlb);
 }
 
-bool PartitionedHw::partLookup(Partitioned &P, Addr A, Label Read,
-                               Label Write) {
+bool PartitionedHw::partLookup(Partitioned &P, Addr A, Label Read, Label Write,
+                               bool MarkDirty) {
   const SecurityLattice &Lat = lattice();
   for (unsigned I = 0, E = P.size(); I != E; ++I) {
     Label Level = Label::fromIndex(I);
@@ -201,7 +242,7 @@ bool PartitionedHw::partLookup(Partitioned &P, Addr A, Label Read,
     // A hit may promote LRU state only when ew ⊑ level (Property 5);
     // otherwise the partition is probed without modification.
     if (Lat.flowsTo(Write, Level)) {
-      if (P[I].lookup(A))
+      if (P[I].lookup(A, MarkDirty))
         return true;
     } else if (P[I].probe(A)) {
       return true;
@@ -210,7 +251,8 @@ bool PartitionedHw::partLookup(Partitioned &P, Addr A, Label Read,
   return false;
 }
 
-void PartitionedHw::partInstall(Partitioned &P, Addr A, Label Write) {
+void PartitionedHw::partInstall(Partitioned &P, Addr A, Label Write,
+                                bool Dirty) {
   const SecurityLattice &Lat = lattice();
   // Consistency: keep a single copy. A stale copy may only be removed from
   // levels the write label permits modifying (ew ⊑ level).
@@ -219,45 +261,55 @@ void PartitionedHw::partInstall(Partitioned &P, Addr A, Label Write) {
     if (Level != Write && Lat.flowsTo(Write, Level))
       P[I].remove(A);
   }
-  P[Write.index()].install(A);
+  P[Write.index()].install(A, Dirty);
 }
 
 uint64_t PartitionedHw::accessHierarchy(Partitioned &Tlb, Partitioned &L1,
                                         Partitioned &L2, Addr A, Label Read,
-                                        Label Write, bool IsData) {
+                                        Label Write, bool IsData,
+                                        bool IsStore) {
   uint64_t Cycles = 0;
 
-  uint64_t &TlbHit = IsData ? Stats.DTlbHit : Stats.ITlbHit;
-  uint64_t &TlbMiss = IsData ? Stats.DTlbMiss : Stats.ITlbMiss;
-  uint64_t &L1Hit = IsData ? Stats.L1DHit : Stats.L1IHit;
-  uint64_t &L1Miss = IsData ? Stats.L1DMiss : Stats.L1IMiss;
-  uint64_t &L2Hit = IsData ? Stats.L2DHit : Stats.L2IHit;
-  uint64_t &L2Miss = IsData ? Stats.L2DMiss : Stats.L2IMiss;
+  CacheLevelStats &TlbStats = IsData ? Stats.DTlb : Stats.ITlb;
+  CacheLevelStats &L1Stats = IsData ? Stats.L1D : Stats.L1I;
+  CacheLevelStats &L2Stats = IsData ? Stats.L2D : Stats.L2I;
+
+  HwAccess Acc;
+  Acc.A = A;
+  Acc.IsData = IsData;
+  Acc.IsStore = IsStore;
 
   if (partLookup(Tlb, A, Read, Write)) {
-    ++TlbHit;
+    ++TlbStats.Hits;
   } else {
-    ++TlbMiss;
+    ++TlbStats.Misses;
+    Acc.TlbMiss = true;
     Cycles += Tlb[0].latency();
     partInstall(Tlb, A, Write);
   }
 
   Cycles += L1[0].latency();
-  if (partLookup(L1, A, Read, Write)) {
-    ++L1Hit;
+  if (partLookup(L1, A, Read, Write, IsStore)) {
+    ++L1Stats.Hits;
+    Acc.Cycles = Cycles;
+    notifyAccess(Acc);
     return Cycles;
   }
-  ++L1Miss;
+  ++L1Stats.Misses;
+  Acc.L1Miss = true;
 
   Cycles += L2[0].latency();
   if (partLookup(L2, A, Read, Write)) {
-    ++L2Hit;
+    ++L2Stats.Hits;
   } else {
-    ++L2Miss;
+    ++L2Stats.Misses;
+    Acc.L2Miss = true;
     Cycles += Config.MemLatency;
     partInstall(L2, A, Write);
   }
-  partInstall(L1, A, Write);
+  partInstall(L1, A, Write, IsStore);
+  Acc.Cycles = Cycles;
+  notifyAccess(Acc);
   return Cycles;
 }
 
@@ -265,13 +317,15 @@ uint64_t PartitionedHw::dataAccess(Addr A, bool IsStore, Label Read,
                                    Label Write) {
   assert(lattice().contains(Read) && lattice().contains(Write) &&
          "labels from another lattice");
-  return accessHierarchy(DTlb, L1D, L2D, A, Read, Write, /*IsData=*/true);
+  return accessHierarchy(DTlb, L1D, L2D, A, Read, Write, /*IsData=*/true,
+                         IsStore);
 }
 
 uint64_t PartitionedHw::fetch(Addr A, Label Read, Label Write) {
   assert(lattice().contains(Read) && lattice().contains(Write) &&
          "labels from another lattice");
-  return accessHierarchy(ITlb, L1I, L2I, A, Read, Write, /*IsData=*/false);
+  return accessHierarchy(ITlb, L1I, L2I, A, Read, Write, /*IsData=*/false,
+                         /*IsStore=*/false);
 }
 
 std::unique_ptr<MachineEnv> PartitionedHw::clone() const {
@@ -304,4 +358,22 @@ void PartitionedHw::perturbAbove(Label L, Rng &R) {
     for (unsigned I = 0, E = P->size(); I != E; ++I)
       if (!lattice().flowsTo(Label::fromIndex(I), L))
         (*P)[I].randomize(R);
+}
+
+HwStats PartitionedHw::stats() const {
+  HwStats S = Stats;
+  CacheLevelStats *Levels[] = {&S.L1D, &S.L2D, &S.L1I, &S.L2I, &S.DTlb,
+                               &S.ITlb};
+  const Partitioned *Parts[] = {&L1D, &L2D, &L1I, &L2I, &DTlb, &ITlb};
+  for (unsigned I = 0; I != 6; ++I)
+    for (const Cache &C : *Parts[I])
+      mergeEvents(*Levels[I], C.events());
+  return S;
+}
+
+void PartitionedHw::resetStats() {
+  Stats.reset();
+  for (Partitioned *P : {&L1D, &L2D, &L1I, &L2I, &DTlb, &ITlb})
+    for (Cache &C : *P)
+      C.resetEvents();
 }

@@ -48,6 +48,8 @@ public:
   void reset() override;
   void randomize(Rng &R) override;
   void perturbAbove(Label L, Rng &R) override;
+  HwStats stats() const override;
+  void resetStats() override;
 
 protected:
   UnifiedHwBase(HwKind Kind, const SecurityLattice &Lat,
@@ -101,6 +103,8 @@ public:
   void reset() override;
   void randomize(Rng &R) override;
   void perturbAbove(Label L, Rng &R) override;
+  HwStats stats() const override;
+  void resetStats() override;
 
   /// The per-partition configuration actually used for \p Full (sets divided
   /// by the number of levels). Exposed for tests.
@@ -113,15 +117,18 @@ private:
   Partitioned makePartitions(const CacheConfig &Full) const;
 
   /// Searches partitions at levels ⊑ er. On a hit, promotes LRU only when
-  /// ew ⊑ level (Property 5). \returns true on hit.
-  bool partLookup(Partitioned &P, Addr A, Label Read, Label Write);
+  /// ew ⊑ level (Property 5); \p MarkDirty marks the line dirty on a
+  /// promoting hit (telemetry only). \returns true on hit.
+  bool partLookup(Partitioned &P, Addr A, Label Read, Label Write,
+                  bool MarkDirty = false);
 
   /// Moves any copy resident above \p Write down to the \p Write partition
   /// and installs the block there.
-  void partInstall(Partitioned &P, Addr A, Label Write);
+  void partInstall(Partitioned &P, Addr A, Label Write, bool Dirty = false);
 
   uint64_t accessHierarchy(Partitioned &Tlb, Partitioned &L1, Partitioned &L2,
-                           Addr A, Label Read, Label Write, bool IsData);
+                           Addr A, Label Read, Label Write, bool IsData,
+                           bool IsStore);
 
   Partitioned L1D, L2D, L1I, L2I, DTlb, ITlb;
 };

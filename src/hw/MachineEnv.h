@@ -44,6 +44,28 @@ enum class HwKind {
 
 const char *hwKindName(HwKind Kind);
 
+/// One completed hardware access, as reported to a HwObserver. Purely
+/// observational: produced after the access's latency is fixed.
+struct HwAccess {
+  Addr A = 0;
+  bool IsData = false;  ///< Data access (vs instruction fetch).
+  bool IsStore = false; ///< Store (data accesses only).
+  bool TlbMiss = false;
+  bool L1Miss = false;
+  bool L2Miss = false; ///< Implies L1Miss; the access went to memory.
+  uint64_t Cycles = 0; ///< Latency charged for this access.
+};
+
+/// Telemetry hook: receives every hardware access while installed via
+/// MachineEnv::setObserver(). Implementations must not mutate the
+/// environment. The interpreter installs one to build cache-miss timelines
+/// (see obs/TraceSink.h).
+class HwObserver {
+public:
+  virtual ~HwObserver();
+  virtual void onAccess(const HwAccess &Access) = 0;
+};
+
 /// Abstract machine environment.
 class MachineEnv {
 public:
@@ -95,8 +117,21 @@ public:
   /// E1 ~ℓ E2 that differ above ℓ. A no-op for designs with no such state.
   virtual void perturbAbove(Label L, Rng &R) = 0;
 
-  const HwStats &stats() const { return Stats; }
-  void resetStats() { Stats.reset(); }
+  /// Counters for the run so far: the hit/miss tallies kept at the access
+  /// sites merged with the eviction/writeback/line-fill events kept by each
+  /// Cache (summed over partitions in the partitioned design). Returned by
+  /// value because of that merge.
+  virtual HwStats stats() const { return Stats; }
+
+  /// Clears all counters (hit/miss tallies and per-cache events).
+  virtual void resetStats() { Stats.reset(); }
+
+  /// Installs \p Observer to receive every subsequent access (nullptr to
+  /// detach). Observers are deliberately NOT copied by clone(): clones may
+  /// be driven from other threads, and an inherited observer would be a
+  /// shared mutable sink.
+  void setObserver(HwObserver *Observer) { Obs = Observer; }
+  HwObserver *observer() const { return Obs; }
 
   /// One-line description for logs and bench output.
   std::string describe() const;
@@ -106,10 +141,22 @@ protected:
              const MachineEnvConfig &Config)
       : Kind(Kind), Lat(&Lat), Config(Config) {}
 
+  /// Copies all state except the observer (see setObserver()).
+  MachineEnv(const MachineEnv &Other)
+      : Kind(Other.Kind), Lat(Other.Lat), Config(Other.Config),
+        Stats(Other.Stats) {}
+  MachineEnv &operator=(const MachineEnv &) = delete;
+
+  void notifyAccess(const HwAccess &Access) {
+    if (Obs)
+      Obs->onAccess(Access);
+  }
+
   HwKind Kind;
   const SecurityLattice *Lat;
   MachineEnvConfig Config;
   HwStats Stats;
+  HwObserver *Obs = nullptr;
 };
 
 /// Factory: builds a machine environment of the given design over \p Lat

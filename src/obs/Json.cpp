@@ -1,6 +1,6 @@
 //===- Json.cpp -----------------------------------------------------------===//
 
-#include "exp/Json.h"
+#include "obs/Json.h"
 
 #include "support/Diagnostics.h"
 

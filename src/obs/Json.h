@@ -6,16 +6,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small self-contained JSON value type used by the experiment harness to
-/// emit machine-readable reports (`--json`) and to round-trip them in tests.
-/// Object keys keep insertion order so that emitted documents are
+/// A small self-contained JSON value type shared by the telemetry layer
+/// (metrics registries, trace sinks) and the experiment harness, which uses
+/// it to emit machine-readable reports (`--json`) and to round-trip them in
+/// tests. Object keys keep insertion order so that emitted documents are
 /// byte-stable across runs and thread counts — a requirement for the
 /// harness's bit-identical-output guarantee.
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef ZAM_EXP_JSON_H
-#define ZAM_EXP_JSON_H
+#ifndef ZAM_OBS_JSON_H
+#define ZAM_OBS_JSON_H
 
 #include <cstdint>
 #include <optional>
@@ -101,4 +102,4 @@ private:
 
 } // namespace zam
 
-#endif // ZAM_EXP_JSON_H
+#endif // ZAM_OBS_JSON_H

@@ -1,0 +1,71 @@
+//===- Metrics.cpp --------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cstdio>
+
+using namespace zam;
+
+MetricsRegistry::Entry &MetricsRegistry::slot(const std::string &Name,
+                                              bool IsGauge) {
+  for (Entry &E : Entries)
+    if (E.Name == Name) {
+      E.IsGauge = IsGauge;
+      return E;
+    }
+  Entries.push_back(Entry{Name, IsGauge, 0, 0});
+  return Entries.back();
+}
+
+uint64_t &MetricsRegistry::counter(const std::string &Name) {
+  return slot(Name, /*IsGauge=*/false).Counter;
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string &Name) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name && !E.IsGauge)
+      return E.Counter;
+  return 0;
+}
+
+void MetricsRegistry::setGauge(const std::string &Name, double Value) {
+  slot(Name, /*IsGauge=*/true).Gauge = Value;
+}
+
+double MetricsRegistry::gaugeValue(const std::string &Name) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name && E.IsGauge)
+      return E.Gauge;
+  return 0;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &Other) {
+  for (const Entry &E : Other.Entries) {
+    if (E.IsGauge)
+      setGauge(E.Name, E.Gauge);
+    else
+      counter(E.Name) += E.Counter;
+  }
+}
+
+JsonValue MetricsRegistry::toJson() const {
+  JsonValue Doc = JsonValue::object();
+  for (const Entry &E : Entries)
+    Doc[E.Name] = E.IsGauge ? JsonValue(E.Gauge) : JsonValue(E.Counter);
+  return Doc;
+}
+
+std::string MetricsRegistry::render() const {
+  std::string Out;
+  char Buf[192];
+  for (const Entry &E : Entries) {
+    if (E.IsGauge)
+      std::snprintf(Buf, sizeof(Buf), "  %-32s %.3f\n", E.Name.c_str(),
+                    E.Gauge);
+    else
+      std::snprintf(Buf, sizeof(Buf), "  %-32s %llu\n", E.Name.c_str(),
+                    static_cast<unsigned long long>(E.Counter));
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,104 @@
+//===- Metrics.h - Named counter/gauge registry -----------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics side of the telemetry subsystem: a registry of named
+/// monotonic counters and point-in-time gauges with insertion-ordered,
+/// byte-stable serialization.
+///
+/// Design note: the simulator's hot paths (cache accesses, interpreter
+/// steps) do NOT consult a registry — they bump fixed-layout structs
+/// (`HwStats`, `Trace::Ops`) whose increments cost one add each. The
+/// registry is the *edge* representation: `obs/Telemetry.h` folds those
+/// structs into named counters after a run, and `exp::Report`, `zamc
+/// --stats` and the bench harnesses serialize the registry. The ZAM_METRIC_*
+/// macros below are for ad-hoc recording outside the hot paths; they
+/// compile to nothing when ZAM_DISABLE_TELEMETRY is defined and to a single
+/// null check when the registry pointer is not set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_OBS_METRICS_H
+#define ZAM_OBS_METRICS_H
+
+#include "obs/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zam {
+
+/// An insertion-ordered registry of named monotonic counters (uint64) and
+/// gauges (double). Lookups are linear: registries hold tens of entries and
+/// are touched at run boundaries, not per event.
+class MetricsRegistry {
+public:
+  struct Entry {
+    std::string Name;
+    bool IsGauge = false;
+    uint64_t Counter = 0;
+    double Gauge = 0;
+  };
+
+  /// Find-or-create the counter slot \p Name (created at zero).
+  uint64_t &counter(const std::string &Name);
+  /// Counter value; 0 when absent (or when \p Name is a gauge).
+  uint64_t counterValue(const std::string &Name) const;
+  void setCounter(const std::string &Name, uint64_t Value) {
+    counter(Name) = Value;
+  }
+
+  /// Sets the gauge \p Name (created on first use).
+  void setGauge(const std::string &Name, double Value);
+  /// Gauge value; 0 when absent.
+  double gaugeValue(const std::string &Name) const;
+
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+  void clear() { Entries.clear(); }
+  const std::vector<Entry> &entries() const { return Entries; }
+
+  /// Folds \p Other in: counters are summed, gauges overwritten. New names
+  /// append in \p Other's order, so merging is deterministic.
+  void merge(const MetricsRegistry &Other);
+
+  /// One flat JSON object in insertion order; counters emit as integers,
+  /// gauges as doubles.
+  JsonValue toJson() const;
+
+  /// Aligned `name value` lines for the human-readable `--stats` output.
+  std::string render() const;
+
+private:
+  Entry &slot(const std::string &Name, bool IsGauge);
+
+  std::vector<Entry> Entries;
+};
+
+} // namespace zam
+
+/// Ad-hoc recording macros. \p Reg is a `MetricsRegistry *` (may be null);
+/// when ZAM_DISABLE_TELEMETRY is defined the expansion is empty, so the
+/// expression arguments are not evaluated at all.
+#ifdef ZAM_DISABLE_TELEMETRY
+#define ZAM_METRIC_ADD(Reg, Name, Delta) ((void)0)
+#define ZAM_METRIC_GAUGE(Reg, Name, Value) ((void)0)
+#else
+#define ZAM_METRIC_ADD(Reg, Name, Delta)                                       \
+  do {                                                                         \
+    if (::zam::MetricsRegistry *ZamMetricReg_ = (Reg))                         \
+      ZamMetricReg_->counter(Name) += (Delta);                                 \
+  } while (false)
+#define ZAM_METRIC_GAUGE(Reg, Name, Value)                                     \
+  do {                                                                         \
+    if (::zam::MetricsRegistry *ZamMetricReg_ = (Reg))                         \
+      ZamMetricReg_->setGauge(Name, Value);                                    \
+  } while (false)
+#endif
+
+#endif // ZAM_OBS_METRICS_H

@@ -1,0 +1,54 @@
+//===- Phase.cpp ----------------------------------------------------------===//
+
+#include "obs/Phase.h"
+
+#include <cstdio>
+
+using namespace zam;
+
+void PhaseProfiler::ScopedPhase::close() {
+  if (!Prof)
+    return;
+  auto End = std::chrono::steady_clock::now();
+  Prof->add(Name,
+            std::chrono::duration<double, std::milli>(End - Start).count());
+  Prof = nullptr;
+}
+
+void PhaseProfiler::add(const std::string &Name, double Ms) {
+  for (Phase &P : Phases)
+    if (P.Name == Name) {
+      P.Ms += Ms;
+      ++P.Count;
+      return;
+    }
+  Phases.push_back(Phase{Name, Ms, 1});
+}
+
+double PhaseProfiler::totalMs() const {
+  double Total = 0;
+  for (const Phase &P : Phases)
+    Total += P.Ms;
+  return Total;
+}
+
+JsonValue PhaseProfiler::toJson() const {
+  JsonValue Doc = JsonValue::object();
+  for (const Phase &P : Phases)
+    Doc[P.Name + "_ms"] = JsonValue(P.Ms);
+  return Doc;
+}
+
+std::string PhaseProfiler::render() const {
+  const double Total = totalMs();
+  std::string Out;
+  char Buf[160];
+  for (const Phase &P : Phases) {
+    std::snprintf(Buf, sizeof(Buf), "  %-12s %9.3f ms  (%5.1f%%)\n",
+                  P.Name.c_str(), P.Ms, Total > 0 ? 100.0 * P.Ms / Total : 0.0);
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "  %-12s %9.3f ms\n", "total", Total);
+  Out += Buf;
+  return Out;
+}

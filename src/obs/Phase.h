@@ -1,0 +1,79 @@
+//===- Phase.h - Wall-clock phase profiler ----------------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small wall-clock profiler for the pipeline phases of the zamc driver
+/// and the bench harnesses (lex/parse, label inference, typecheck, run).
+/// Phase times are host wall-clock, so they are reported separately from
+/// the deterministic simulated-cycle metrics and never enter `exp::Report`
+/// JSON that must be byte-stable across machines or thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_OBS_PHASE_H
+#define ZAM_OBS_PHASE_H
+
+#include "obs/Json.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace zam {
+
+/// Accumulates named wall-clock phases in insertion order. Re-entering a
+/// phase name adds to its total (and bumps its entry count), so loops may
+/// profile each iteration under one name.
+class PhaseProfiler {
+public:
+  struct Phase {
+    std::string Name;
+    double Ms = 0;
+    uint64_t Count = 0;
+  };
+
+  /// RAII scope: measures from construction to destruction (or close()).
+  class ScopedPhase {
+  public:
+    ScopedPhase(PhaseProfiler &Prof, std::string Name)
+        : Prof(&Prof), Name(std::move(Name)),
+          Start(std::chrono::steady_clock::now()) {}
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+    ~ScopedPhase() { close(); }
+
+    /// Ends the phase early; the destructor becomes a no-op.
+    void close();
+
+  private:
+    PhaseProfiler *Prof;
+    std::string Name;
+    std::chrono::steady_clock::time_point Start;
+  };
+
+  ScopedPhase scope(std::string Name) { return {*this, std::move(Name)}; }
+
+  /// Records \p Ms directly against \p Name.
+  void add(const std::string &Name, double Ms);
+
+  const std::vector<Phase> &phases() const { return Phases; }
+  bool empty() const { return Phases.empty(); }
+  double totalMs() const;
+
+  /// `{"parse_ms": 0.42, ...}` in insertion order.
+  JsonValue toJson() const;
+
+  /// Aligned `phase  ms  (share)` lines for terminal output.
+  std::string render() const;
+
+private:
+  std::vector<Phase> Phases;
+};
+
+} // namespace zam
+
+#endif // ZAM_OBS_PHASE_H

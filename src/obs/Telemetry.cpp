@@ -1,0 +1,160 @@
+//===- Telemetry.cpp ------------------------------------------------------===//
+
+#include "obs/Telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace zam;
+
+static void collectLevel(MetricsRegistry &Reg, const std::string &Prefix,
+                         const char *Name, const CacheLevelStats &S) {
+  const std::string Base = Prefix + "hw." + Name + ".";
+  Reg.setCounter(Base + "hits", S.Hits);
+  Reg.setCounter(Base + "misses", S.Misses);
+  Reg.setCounter(Base + "evictions", S.Evictions);
+  Reg.setCounter(Base + "writebacks", S.Writebacks);
+  Reg.setCounter(Base + "line_fills", S.LineFills);
+}
+
+void zam::collectHwMetrics(MetricsRegistry &Reg, const HwStats &Hw,
+                           const std::string &Prefix) {
+  collectLevel(Reg, Prefix, "l1d", Hw.L1D);
+  collectLevel(Reg, Prefix, "l2d", Hw.L2D);
+  collectLevel(Reg, Prefix, "l1i", Hw.L1I);
+  collectLevel(Reg, Prefix, "l2i", Hw.L2I);
+  collectLevel(Reg, Prefix, "dtlb", Hw.DTlb);
+  collectLevel(Reg, Prefix, "itlb", Hw.ITlb);
+}
+
+void zam::collectTraceMetrics(MetricsRegistry &Reg, const Trace &T,
+                              const SecurityLattice &Lat,
+                              const std::string &Prefix) {
+  Reg.setCounter(Prefix + "interp.steps", T.Steps);
+  Reg.setCounter(Prefix + "interp.assignments", T.Ops.Assignments);
+  Reg.setCounter(Prefix + "interp.branches", T.Ops.Branches);
+  Reg.setCounter(Prefix + "interp.mitigate_entries", T.Ops.MitigateEntries);
+  Reg.setCounter(Prefix + "interp.events", T.Events.size());
+  Reg.setCounter(Prefix + "interp.final_time_cycles", T.FinalTime);
+
+  uint64_t Mispredictions = 0, PaddedIdle = 0;
+  for (const MitigateRecord &R : T.Mitigations) {
+    if (R.Mispredicted)
+      ++Mispredictions;
+    if (R.Duration > R.BodyTime)
+      PaddedIdle += R.Duration - R.BodyTime;
+  }
+  Reg.setCounter(Prefix + "mit.predictions", T.Mitigations.size());
+  Reg.setCounter(Prefix + "mit.mispredictions", Mispredictions);
+  Reg.setCounter(Prefix + "mit.padded_idle_cycles", PaddedIdle);
+  for (size_t I = 0; I != T.FinalMissTable.size(); ++I)
+    Reg.setCounter(Prefix + "mit.miss_table." +
+                       Lat.name(Label::fromIndex(static_cast<unsigned>(I))),
+                   T.FinalMissTable[I]);
+}
+
+void zam::collectRunMetrics(MetricsRegistry &Reg, const Trace &T,
+                            const HwStats &Hw, const SecurityLattice &Lat,
+                            const std::string &Prefix) {
+  collectTraceMetrics(Reg, T, Lat, Prefix);
+  collectHwMetrics(Reg, Hw, Prefix);
+}
+
+std::optional<TraceFormat> zam::parseTraceFormat(const std::string &Name) {
+  if (Name == "jsonl")
+    return TraceFormat::Jsonl;
+  if (Name == "chrome")
+    return TraceFormat::Chrome;
+  return std::nullopt;
+}
+
+std::unique_ptr<TraceSink> zam::makeTraceSink(TraceFormat Format) {
+  switch (Format) {
+  case TraceFormat::Jsonl:
+    return std::make_unique<JsonlTraceSink>();
+  case TraceFormat::Chrome:
+    return std::make_unique<ChromeTraceSink>();
+  }
+  return nullptr;
+}
+
+static std::string hexAddr(Addr A) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx", static_cast<unsigned long long>(A));
+  return Buf;
+}
+
+size_t zam::exportTrace(TraceSink &Sink, const Trace &T,
+                        const SecurityLattice &Lat,
+                        const TraceExportOptions &Opts) {
+  std::vector<TraceRecord> Records;
+
+  if (Opts.IncludeEvents)
+    for (const AssignEvent &E : T.Events) {
+      // The Sec. 6.1 projection: an adversary at ℓA sees (x, v, t) iff
+      // Γ(x) ⊑ ℓA.
+      if (Opts.Adversary && !Lat.flowsTo(E.VarLabel, *Opts.Adversary))
+        continue;
+      TraceRecord R;
+      R.RecordKind = TraceRecord::Kind::Instant;
+      R.Name = "assign " + E.Var;
+      if (E.IsArrayStore)
+        R.Name += "[" + std::to_string(E.ElemIndex) + "]";
+      R.Category = "interp";
+      R.Ts = E.Time;
+      R.Args.emplace_back("value", std::to_string(E.Value));
+      R.Args.emplace_back("label", Lat.name(E.VarLabel));
+      Records.push_back(std::move(R));
+    }
+
+  if (Opts.IncludeMitigations)
+    for (const MitigateRecord &M : T.Mitigations) {
+      // Mitigate spans are kept under any adversary: the padded duration is
+      // a schedule value the mitigator makes public by construction.
+      TraceRecord R;
+      R.RecordKind = TraceRecord::Kind::Span;
+      R.Name = "mitigate#" + std::to_string(M.Eta);
+      R.Category = "mit";
+      R.Ts = M.Start;
+      R.Dur = M.Duration;
+      R.Args.emplace_back("level", Lat.name(M.Level));
+      R.Args.emplace_back("pc", Lat.name(M.PcLabel));
+      R.Args.emplace_back("estimate", std::to_string(M.Estimate));
+      R.Args.emplace_back("predicted", std::to_string(M.Duration));
+      R.Args.emplace_back("consumed", std::to_string(M.BodyTime));
+      R.Args.emplace_back(
+          "padded", std::to_string(M.Duration > M.BodyTime
+                                       ? M.Duration - M.BodyTime
+                                       : 0));
+      R.Args.emplace_back("mispredicted", M.Mispredicted ? "true" : "false");
+      Records.push_back(std::move(R));
+    }
+
+  // Cache misses are machine-internal: invisible to a language-level
+  // adversary, so an adversary projection drops them wholesale.
+  if (Opts.IncludeMisses && !Opts.Adversary)
+    for (const AccessSample &S : T.Misses) {
+      TraceRecord R;
+      R.RecordKind = TraceRecord::Kind::Instant;
+      R.Name = S.IsData ? "dmiss" : "imiss";
+      R.Category = "hw";
+      R.Ts = S.Time;
+      R.Args.emplace_back("addr", hexAddr(S.A));
+      R.Args.emplace_back("cycles", std::to_string(S.Cycles));
+      if (S.TlbMiss)
+        R.Args.emplace_back("tlb_miss", "true");
+      if (S.L2Miss)
+        R.Args.emplace_back("memory", "true");
+      Records.push_back(std::move(R));
+    }
+
+  // One merged, time-ordered stream. stable_sort keeps the within-category
+  // emission order for simultaneous records, so output is deterministic.
+  std::stable_sort(Records.begin(), Records.end(),
+                   [](const TraceRecord &A, const TraceRecord &B) {
+                     return A.Ts < B.Ts;
+                   });
+  for (const TraceRecord &R : Records)
+    Sink.record(R);
+  return Records.size();
+}

@@ -1,0 +1,93 @@
+//===- Telemetry.h - Metric collectors and trace export ---------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue between the deterministic run artifacts (sem::Trace, hw::HwStats)
+/// and the telemetry representations (MetricsRegistry, TraceSink). This is
+/// where the counter namespace lives:
+///
+///   hw.<structure>.{hits,misses,evictions,writebacks,line_fills}
+///     for structure in l1d, l2d, l1i, l2i, dtlb, itlb
+///   interp.{steps,assignments,branches,mitigate_entries,events,
+///           final_time_cycles}
+///   mit.{predictions,mispredictions,padded_idle_cycles}
+///   mit.miss_table.<level>   — the per-level Miss table at completion
+///
+/// and where the adversary projection of Sec. 6.1 is applied to exported
+/// timelines: with an adversary level ℓA set, assignment events survive iff
+/// Γ(x) ⊑ ℓA (the same test TraceDump uses) and cache-miss instants are
+/// dropped entirely (machine-internal state, invisible to a language-level
+/// observer). Mitigate spans are always kept: their padded durations are
+/// exactly the public schedule values the mitigator releases.
+///
+/// All collected metrics derive from deterministic run data only — no
+/// wall-clock — so they may appear in byte-stable report JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_OBS_TELEMETRY_H
+#define ZAM_OBS_TELEMETRY_H
+
+#include "hw/CacheConfig.h"
+#include "lattice/SecurityLattice.h"
+#include "obs/Metrics.h"
+#include "obs/TraceSink.h"
+#include "sem/Event.h"
+
+#include <memory>
+#include <optional>
+
+namespace zam {
+
+/// Folds \p Hw into \p Reg under `[Prefix]hw.<structure>.<counter>` names.
+void collectHwMetrics(MetricsRegistry &Reg, const HwStats &Hw,
+                      const std::string &Prefix = "");
+
+/// Folds the interpreter and mitigator counters of \p T into \p Reg under
+/// `[Prefix]interp.*` and `[Prefix]mit.*` names. \p Lat supplies the level
+/// names for the Miss-table snapshot.
+void collectTraceMetrics(MetricsRegistry &Reg, const Trace &T,
+                         const SecurityLattice &Lat,
+                         const std::string &Prefix = "");
+
+/// collectTraceMetrics + collectHwMetrics in the canonical order
+/// (interpreter, mitigator, hardware).
+void collectRunMetrics(MetricsRegistry &Reg, const Trace &T, const HwStats &Hw,
+                       const SecurityLattice &Lat,
+                       const std::string &Prefix = "");
+
+/// Serialization format for exported traces.
+enum class TraceFormat {
+  Jsonl,  ///< One JSON object per line.
+  Chrome, ///< Chrome trace-event array (chrome://tracing, Perfetto).
+};
+
+/// Parses "jsonl"/"chrome"; std::nullopt otherwise.
+std::optional<TraceFormat> parseTraceFormat(const std::string &Name);
+
+/// Builds the sink for \p Format.
+std::unique_ptr<TraceSink> makeTraceSink(TraceFormat Format);
+
+/// What exportTrace() emits.
+struct TraceExportOptions {
+  /// When set, project to this adversary level: assignment events are
+  /// filtered by Γ(x) ⊑ ℓA and cache-miss instants are dropped.
+  std::optional<Label> Adversary;
+  bool IncludeEvents = true;
+  bool IncludeMitigations = true;
+  bool IncludeMisses = true;
+};
+
+/// Streams \p T into \p Sink as one merged, time-ordered record sequence:
+/// assignment instants (cat "interp"), mitigate spans (cat "mit") and
+/// cache-miss instants (cat "hw"). \returns the number of records emitted.
+size_t exportTrace(TraceSink &Sink, const Trace &T, const SecurityLattice &Lat,
+                   const TraceExportOptions &Opts = TraceExportOptions());
+
+} // namespace zam
+
+#endif // ZAM_OBS_TELEMETRY_H

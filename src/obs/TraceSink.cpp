@@ -1,0 +1,175 @@
+//===- TraceSink.cpp ------------------------------------------------------===//
+
+#include "obs/TraceSink.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace zam;
+
+TraceSink::~TraceSink() = default;
+
+namespace {
+
+/// Appends \p S to \p Out as a quoted JSON string.
+void appendQuoted(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+/// Args values that look like integers are emitted bare; everything else is
+/// quoted.
+bool isIntegerLiteral(const std::string &S) {
+  if (S.empty())
+    return false;
+  size_t I = S[0] == '-' ? 1 : 0;
+  if (I == S.size())
+    return false;
+  for (; I != S.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(S[I])))
+      return false;
+  return true;
+}
+
+void appendArgs(std::string &Out,
+                const std::vector<std::pair<std::string, std::string>> &Args) {
+  Out += '{';
+  bool First = true;
+  for (const auto &[Key, Value] : Args) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendQuoted(Out, Key);
+    Out += ':';
+    if (isIntegerLiteral(Value))
+      Out += Value;
+    else
+      appendQuoted(Out, Value);
+  }
+  Out += '}';
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu", static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+void appendDouble(std::string &Out, double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+} // namespace
+
+void JsonlTraceSink::record(const TraceRecord &R) {
+  Out += "{\"kind\":";
+  switch (R.RecordKind) {
+  case TraceRecord::Kind::Instant:
+    Out += "\"instant\"";
+    break;
+  case TraceRecord::Kind::Span:
+    Out += "\"span\"";
+    break;
+  case TraceRecord::Kind::Counter:
+    Out += "\"counter\"";
+    break;
+  }
+  Out += ",\"name\":";
+  appendQuoted(Out, R.Name);
+  Out += ",\"cat\":";
+  appendQuoted(Out, R.Category);
+  Out += ",\"ts\":";
+  appendU64(Out, R.Ts);
+  if (R.RecordKind == TraceRecord::Kind::Span) {
+    Out += ",\"dur\":";
+    appendU64(Out, R.Dur);
+  }
+  if (R.RecordKind == TraceRecord::Kind::Counter) {
+    Out += ",\"value\":";
+    appendDouble(Out, R.Value);
+  }
+  if (!R.Args.empty()) {
+    Out += ",\"args\":";
+    appendArgs(Out, R.Args);
+  }
+  Out += "}\n";
+}
+
+unsigned ChromeTraceSink::tidFor(const std::string &Category) {
+  for (unsigned I = 0; I != Categories.size(); ++I)
+    if (Categories[I] == Category)
+      return I + 1;
+  Categories.push_back(Category);
+  return Categories.size();
+}
+
+void ChromeTraceSink::record(const TraceRecord &R) {
+  Out += First ? "[\n" : ",\n";
+  First = false;
+  Out += "{\"name\":";
+  appendQuoted(Out, R.Name);
+  Out += ",\"cat\":";
+  appendQuoted(Out, R.Category);
+  switch (R.RecordKind) {
+  case TraceRecord::Kind::Instant:
+    Out += ",\"ph\":\"i\",\"s\":\"t\"";
+    break;
+  case TraceRecord::Kind::Span:
+    Out += ",\"ph\":\"X\"";
+    break;
+  case TraceRecord::Kind::Counter:
+    Out += ",\"ph\":\"C\"";
+    break;
+  }
+  Out += ",\"pid\":1,\"tid\":";
+  appendU64(Out, tidFor(R.Category));
+  Out += ",\"ts\":";
+  appendU64(Out, R.Ts);
+  if (R.RecordKind == TraceRecord::Kind::Span) {
+    Out += ",\"dur\":";
+    appendU64(Out, R.Dur);
+  }
+  if (R.RecordKind == TraceRecord::Kind::Counter) {
+    Out += ",\"args\":{\"value\":";
+    appendDouble(Out, R.Value);
+    Out += '}';
+  } else if (!R.Args.empty()) {
+    Out += ",\"args\":";
+    appendArgs(Out, R.Args);
+  }
+  Out += '}';
+}
+
+const std::string &ChromeTraceSink::finish() {
+  if (!Finished) {
+    Out += First ? "[]\n" : "\n]\n";
+    Finished = true;
+  }
+  return Out;
+}

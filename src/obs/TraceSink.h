@@ -1,0 +1,100 @@
+//===- TraceSink.h - Structured trace output backends -----------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured-tracing side of the telemetry subsystem: a small record
+/// model (instants, spans, counters on the simulated cycle clock) and two
+/// serialization backends —
+///
+///   - JsonlTraceSink: one JSON object per line, schema documented in
+///     docs/OBSERVABILITY.md; grep/jq-friendly.
+///   - ChromeTraceSink: the Chrome trace-event JSON array format
+///     (`chrome://tracing` / Perfetto-loadable). Spans map to complete
+///     "X" events, instants to "i" events, counters to "C" events.
+///     Timestamps are simulated cycles reported in the format's µs field
+///     (1 cycle = 1 µs); both viewers treat ts as unitless.
+///
+/// Sinks buffer into a string; callers decide where bytes go. Producers
+/// (obs/Telemetry.h) emit records in nondecreasing Ts order so the Chrome
+/// backend needs no sorting pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_OBS_TRACESINK_H
+#define ZAM_OBS_TRACESINK_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zam {
+
+/// One structured trace record on the simulated cycle clock.
+struct TraceRecord {
+  enum class Kind {
+    Instant, ///< A point event (assignment, cache miss).
+    Span,    ///< An interval [Ts, Ts + Dur] (mitigate window, step).
+    Counter, ///< A sampled counter value at Ts.
+  };
+
+  Kind RecordKind = Kind::Instant;
+  std::string Name;     ///< Event name, e.g. "mitigate#0" or "assign l".
+  std::string Category; ///< Stream, e.g. "interp", "mit", "hw".
+  uint64_t Ts = 0;      ///< Start time in cycles.
+  uint64_t Dur = 0;     ///< Span length in cycles (Span only).
+  double Value = 0;     ///< Counter sample (Counter only).
+  /// Extra key/value detail; strings that parse as their own JSON scalars
+  /// are the producer's responsibility to pre-quote — sinks emit numbers
+  /// for digit-only values and quoted strings otherwise.
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Abstract consumer of trace records.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+
+  /// Consumes one record. Records must arrive in nondecreasing Ts order.
+  virtual void record(const TraceRecord &R) = 0;
+
+  /// Finalizes the serialized form (idempotent) and returns the buffer.
+  virtual const std::string &finish() = 0;
+};
+
+/// JSON-Lines backend: one object per record, keys in a fixed order
+/// (kind, name, cat, ts, then dur/value/args as applicable).
+class JsonlTraceSink final : public TraceSink {
+public:
+  void record(const TraceRecord &R) override;
+  const std::string &finish() override { return Out; }
+
+private:
+  std::string Out;
+};
+
+/// Chrome trace-event backend: a JSON array of events with ph "X" (complete
+/// span), "i" (thread-scoped instant) or "C" (counter). pid is always 1;
+/// tid encodes the category so viewers lay streams out as separate rows.
+class ChromeTraceSink final : public TraceSink {
+public:
+  void record(const TraceRecord &R) override;
+  const std::string &finish() override;
+
+private:
+  /// Stable row id for a category (registration order, starting at 1).
+  unsigned tidFor(const std::string &Category);
+
+  std::vector<std::string> Categories;
+  std::string Out;
+  bool First = true;
+  bool Finished = false;
+};
+
+} // namespace zam
+
+#endif // ZAM_OBS_TRACESINK_H

@@ -16,6 +16,7 @@
 #ifndef ZAM_SEM_EVENT_H
 #define ZAM_SEM_EVENT_H
 
+#include "hw/CacheConfig.h"
 #include "lattice/Label.h"
 #include "lattice/SecurityLattice.h"
 
@@ -46,6 +47,7 @@ struct MitigateRecord {
   unsigned Eta = 0;      ///< Source identifier η.
   Label PcLabel;         ///< pc(M_η): the runtime pc at the occurrence.
   Label Level;           ///< lev(M_η): the declared mitigation level.
+  int64_t Estimate = 0;  ///< Evaluated initial estimate n at entry.
   uint64_t Start = 0;    ///< Clock when the mitigated body began.
   uint64_t Duration = 0; ///< Padded duration (equals the final prediction).
   uint64_t BodyTime = 0; ///< Unpadded execution time of the body.
@@ -54,10 +56,47 @@ struct MitigateRecord {
   bool operator==(const MitigateRecord &Other) const = default;
 };
 
+/// Language-level operation counters for one execution — the interpreter
+/// side of the telemetry subsystem. Deterministic (derived only from the
+/// executed program), so they may appear in byte-stable report JSON. Both
+/// engines maintain them identically; the agreement tests compare them.
+struct OpCounters {
+  uint64_t Assignments = 0;     ///< Variable and array-element stores.
+  uint64_t Branches = 0;        ///< if entries plus while guard evaluations.
+  uint64_t MitigateEntries = 0; ///< mitigate commands entered.
+
+  bool operator==(const OpCounters &Other) const = default;
+};
+
+/// One hardware access that missed somewhere in the hierarchy, recorded by
+/// the big-step engine when InterpreterOptions::RecordMisses is set. Time
+/// is the global clock at the start of the surrounding evaluation step (the
+/// per-access offset within a step is not modeled at the language level).
+struct AccessSample {
+  Addr A = 0;
+  uint64_t Time = 0;   ///< Clock at the start of the enclosing step.
+  uint64_t Cycles = 0; ///< Latency charged for the access.
+  bool IsData = false;
+  bool IsStore = false;
+  bool TlbMiss = false;
+  bool L1Miss = false;
+  bool L2Miss = false;
+
+  bool operator==(const AccessSample &Other) const = default;
+};
+
 /// Everything recorded about one execution.
 struct Trace {
   std::vector<AssignEvent> Events;
   std::vector<MitigateRecord> Mitigations;
+  OpCounters Ops;
+  /// Miss timeline; populated only under InterpreterOptions::RecordMisses
+  /// (big-step engine only — never part of trace agreement or observation
+  /// keys).
+  std::vector<AccessSample> Misses;
+  /// Miss[ℓ] for every lattice level at completion (index = label index).
+  /// With the Global penalty policy every entry is the shared counter.
+  std::vector<unsigned> FinalMissTable;
   uint64_t FinalTime = 0;
   uint64_t Steps = 0;
   bool HitStepLimit = false;

@@ -86,6 +86,21 @@ void FullInterpreter::record(const std::string &Var, bool IsArray,
   T.Events.push_back(std::move(E));
 }
 
+void FullInterpreter::onAccess(const HwAccess &Access) {
+  if (!Access.TlbMiss && !Access.L1Miss)
+    return;
+  AccessSample S;
+  S.A = Access.A;
+  S.Time = G; // Clock at the start of the enclosing step.
+  S.Cycles = Access.Cycles;
+  S.IsData = Access.IsData;
+  S.IsStore = Access.IsStore;
+  S.TlbMiss = Access.TlbMiss;
+  S.L1Miss = Access.L1Miss;
+  S.L2Miss = Access.L2Miss;
+  T.Misses.push_back(S);
+}
+
 void FullInterpreter::exec(const Cmd &C) {
   if (Stopped)
     return;
@@ -111,6 +126,7 @@ void FullInterpreter::exec(const Cmd &C) {
 
   case Cmd::Kind::Assign: {
     const auto &A = cast<AssignCmd>(C);
+    ++T.Ops.Assignments;
     uint64_t Cycles = stepBase(C, Er, Ew);
     int64_t V = evalExprTimed(A.value(), M, Env, Er, Ew, Costs, Cycles);
     Cycles += Env.dataAccess(M.addrOf(A.var()), /*IsStore=*/true, Er, Ew);
@@ -122,6 +138,7 @@ void FullInterpreter::exec(const Cmd &C) {
 
   case Cmd::Kind::ArrayAssign: {
     const auto &A = cast<ArrayAssignCmd>(C);
+    ++T.Ops.Assignments;
     uint64_t Cycles = stepBase(C, Er, Ew);
     int64_t Index = evalExprTimed(A.index(), M, Env, Er, Ew, Costs, Cycles);
     int64_t V = evalExprTimed(A.value(), M, Env, Er, Ew, Costs, Cycles);
@@ -137,6 +154,7 @@ void FullInterpreter::exec(const Cmd &C) {
 
   case Cmd::Kind::If: {
     const auto &I = cast<IfCmd>(C);
+    ++T.Ops.Branches;
     uint64_t Cycles = stepBase(C, Er, Ew) + Costs.Branch;
     int64_t Guard = evalExprTimed(I.cond(), M, Env, Er, Ew, Costs, Cycles);
     G += Cycles;
@@ -147,6 +165,7 @@ void FullInterpreter::exec(const Cmd &C) {
   case Cmd::Kind::While: {
     const auto &W = cast<WhileCmd>(C);
     for (;;) {
+      ++T.Ops.Branches;
       uint64_t Cycles = stepBase(C, Er, Ew) + Costs.Branch;
       int64_t Guard = evalExprTimed(W.cond(), M, Env, Er, Ew, Costs, Cycles);
       G += Cycles;
@@ -173,6 +192,7 @@ void FullInterpreter::exec(const Cmd &C) {
 
   case Cmd::Kind::Mitigate: {
     const auto &Mit = cast<MitigateCmd>(C);
+    ++T.Ops.MitigateEntries;
     uint64_t Cycles = stepBase(C, Er, Ew);
     int64_t N =
         evalExprTimed(Mit.initialEstimate(), M, Env, Er, Ew, Costs, Cycles);
@@ -194,6 +214,7 @@ void FullInterpreter::exec(const Cmd &C) {
     auto PcIt = PcLabels.find(C.nodeId());
     R.PcLabel = PcIt != PcLabels.end() ? PcIt->second : P.lattice().bottom();
     R.Level = Mit.mitLevel();
+    R.Estimate = N;
     R.Start = Start;
     R.Duration = Out.Duration;
     R.BodyTime = Elapsed;
@@ -212,11 +233,21 @@ RunResult FullInterpreter::run() {
   if (Consumed)
     reportFatalError("FullInterpreter::run() called twice");
   Consumed = true;
+  HwObserver *Prior = nullptr;
+  if (Opts.RecordMisses) {
+    Prior = Env.observer();
+    Env.setObserver(this);
+  }
   exec(P.body());
+  if (Opts.RecordMisses)
+    Env.setObserver(Prior);
   T.FinalTime = G;
+  for (Label L : P.lattice().allLabels())
+    T.FinalMissTable.push_back(MitState.misses(L));
   RunResult R;
   R.FinalMemory = std::move(M);
   R.T = std::move(T);
+  R.Hw = Env.stats();
   return R;
 }
 

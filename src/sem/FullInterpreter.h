@@ -52,12 +52,20 @@ struct InterpreterOptions {
   /// state must be over the program's lattice; Scheme/Penalty are ignored
   /// in favor of the shared state's own.
   MitigationState *SharedMitState = nullptr;
+  /// Record a per-access miss timeline into Trace::Misses (big-step engine
+  /// only; costs an observer callback per hardware access, so it is off by
+  /// default and enabled by the trace exporters).
+  bool RecordMisses = false;
 };
 
 /// Outcome of a full-semantics run.
 struct RunResult {
   Memory FinalMemory;
   Trace T;
+  /// The machine environment's counters at completion. Cumulative for the
+  /// borrowed environment: callers wanting per-run numbers reset the env's
+  /// stats (or use a fresh clone) before running.
+  HwStats Hw;
 };
 
 /// Big-step evaluator for ⟨c, m, E, G⟩. The machine environment is borrowed
@@ -65,7 +73,7 @@ struct RunResult {
 ///
 /// Every non-Seq command in the program must carry complete [er,ew] labels
 /// (run type checking / label inference first); violations abort.
-class FullInterpreter {
+class FullInterpreter : private HwObserver {
 public:
   FullInterpreter(const Program &P, MachineEnv &Env,
                   InterpreterOptions Opts = InterpreterOptions());
@@ -86,6 +94,9 @@ private:
   void record(const std::string &Var, bool IsArray, uint64_t Index,
               int64_t Value);
   void exec(const Cmd &C);
+  /// HwObserver hook (installed only under Opts.RecordMisses): samples
+  /// accesses that missed somewhere in the hierarchy.
+  void onAccess(const HwAccess &Access) override;
 
   const Program &P;
   MachineEnv &Env;

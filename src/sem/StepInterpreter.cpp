@@ -75,6 +75,7 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
 
   case Cmd::Kind::Assign: {
     auto *A = cast<AssignCmd>(C.get());
+    ++T.Ops.Assignments;
     uint64_t Cycles = stepBase(*C, Er, Ew);
     int64_t V = evalExprTimed(A->value(), M, Env, Er, Ew, Costs, Cycles);
     Cycles += Env.dataAccess(M.addrOf(A->var()), /*IsStore=*/true, Er, Ew);
@@ -86,6 +87,7 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
 
   case Cmd::Kind::ArrayAssign: {
     auto *A = cast<ArrayAssignCmd>(C.get());
+    ++T.Ops.Assignments;
     uint64_t Cycles = stepBase(*C, Er, Ew);
     int64_t Index = evalExprTimed(A->index(), M, Env, Er, Ew, Costs, Cycles);
     int64_t V = evalExprTimed(A->value(), M, Env, Er, Ew, Costs, Cycles);
@@ -101,6 +103,7 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
 
   case Cmd::Kind::If: {
     auto *I = cast<IfCmd>(C.get());
+    ++T.Ops.Branches;
     uint64_t Cycles = stepBase(*C, Er, Ew) + Costs.Branch;
     int64_t Guard = evalExprTimed(I->cond(), M, Env, Er, Ew, Costs, Cycles);
     G += Cycles;
@@ -109,6 +112,7 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
 
   case Cmd::Kind::While: {
     auto *W = cast<WhileCmd>(C.get());
+    ++T.Ops.Branches;
     uint64_t Cycles = stepBase(*C, Er, Ew) + Costs.Branch;
     int64_t Guard = evalExprTimed(W->cond(), M, Env, Er, Ew, Costs, Cycles);
     G += Cycles;
@@ -134,6 +138,7 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
 
   case Cmd::Kind::Mitigate: {
     auto *Mit = cast<MitigateCmd>(C.get());
+    ++T.Ops.MitigateEntries;
     uint64_t Cycles = stepBase(*C, Er, Ew);
     int64_t N = evalExprTimed(Mit->initialEstimate(), M, Env, Er, Ew, Costs,
                               Cycles);
@@ -159,6 +164,7 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
     R.Eta = End->eta();
     R.PcLabel = End->pcLabel();
     R.Level = End->mitLevel();
+    R.Estimate = End->estimate();
     R.Start = End->startTime();
     R.Duration = Out.Duration;
     R.BodyTime = Elapsed;
@@ -179,11 +185,15 @@ void StepInterpreter::step() {
   if (++T.Steps > Opts.StepLimit) {
     T.HitStepLimit = true;
     Current = nullptr;
-    return;
+  } else {
+    Current = stepCmd(std::move(Current));
   }
-  Current = stepCmd(std::move(Current));
-  if (done())
+  if (done()) {
     T.FinalTime = G;
+    T.FinalMissTable.clear();
+    for (Label L : P.lattice().allLabels())
+      T.FinalMissTable.push_back(MitState.misses(L));
+  }
 }
 
 Trace StepInterpreter::runToCompletion() {

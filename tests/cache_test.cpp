@@ -149,6 +149,76 @@ TEST(Cache, TlbGeometry) {
   EXPECT_EQ(Tlb.latency(), 30u);
 }
 
+TEST(Cache, ThrashingPatternCountsEvictions) {
+  Cache C(smallConfig()); // 2-way.
+  // Thrash one set with three conflicting blocks, round-robin: after the
+  // first two installs every install evicts the LRU way.
+  Addr A = addrFor(2, 1), B = addrFor(2, 2), D = addrFor(2, 3);
+  const Addr Pattern[] = {A, B, D, A, B, D};
+  for (Addr X : Pattern)
+    if (!C.lookup(X))
+      C.install(X);
+  // 6 installs into a 2-way set: 6 line fills, 4 evictions (every install
+  // after the set filled), no lookup ever hit.
+  EXPECT_EQ(C.events().LineFills, 6u);
+  EXPECT_EQ(C.events().Evictions, 4u);
+  EXPECT_EQ(C.events().Writebacks, 0u); // All lines clean.
+  C.resetEvents();
+  EXPECT_EQ(C.events(), CacheEvents());
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback) {
+  Cache C(smallConfig()); // 2-way.
+  Addr A = addrFor(2, 1), B = addrFor(2, 2), D = addrFor(2, 3),
+       E = addrFor(2, 4);
+  C.install(A, /*Dirty=*/true);
+  C.install(B);
+  C.install(D); // Evicts dirty A: writeback.
+  EXPECT_EQ(C.events().Evictions, 1u);
+  EXPECT_EQ(C.events().Writebacks, 1u);
+  C.install(E); // Evicts clean B: no writeback.
+  EXPECT_EQ(C.events().Evictions, 2u);
+  EXPECT_EQ(C.events().Writebacks, 1u);
+}
+
+TEST(Cache, StoreHitMarksLineDirty) {
+  Cache C(smallConfig()); // 2-way.
+  Addr A = addrFor(2, 1), B = addrFor(2, 2), D = addrFor(2, 3);
+  C.install(A); // Clean install.
+  C.install(B); // MRU→LRU: [B, A].
+  EXPECT_TRUE(C.lookup(A, /*MarkDirty=*/true)); // Store hit: [A*, B].
+  C.install(D); // Evicts clean B: [D, A*].
+  EXPECT_EQ(C.events().Writebacks, 0u);
+  C.install(addrFor(2, 5)); // Evicts A, dirtied by the store above.
+  EXPECT_EQ(C.events().Writebacks, 1u);
+}
+
+TEST(Cache, RemoveDirtyLineCountsWriteback) {
+  Cache C(smallConfig());
+  Addr A = addrFor(1, 5);
+  C.install(A, /*Dirty=*/true);
+  C.remove(A); // Consistency move of a dirty line: data must be written out.
+  EXPECT_EQ(C.events().Writebacks, 1u);
+  C.install(A);
+  C.remove(A); // Clean copy: no writeback.
+  EXPECT_EQ(C.events().Writebacks, 1u);
+}
+
+TEST(Cache, EventCountersDoNotAffectEquality) {
+  Cache C1(smallConfig()), C2(smallConfig());
+  Addr A = addrFor(2, 1), B = addrFor(2, 2), D = addrFor(2, 3);
+  // C1 reaches {D, B} (MRU first) via thrashing; C2 directly. Event
+  // counters and dirty bits differ, but the machine state — the thing the
+  // noninterference properties quantify over — is identical.
+  C1.install(A, /*Dirty=*/true);
+  C1.install(B);
+  C1.install(D); // Evicts A.
+  C2.install(B, /*Dirty=*/true);
+  C2.install(D);
+  EXPECT_NE(C1.events(), C2.events());
+  EXPECT_TRUE(C1 == C2);
+}
+
 TEST(Cache, DirectMappedConflicts) {
   CacheConfig Cfg = smallConfig();
   Cfg.Assoc = 1;

@@ -10,10 +10,11 @@
 
 #include "analysis/Leakage.h"
 #include "exp/Harness.h"
-#include "exp/Json.h"
 #include "exp/ParallelRunner.h"
 #include "exp/Report.h"
 #include "exp/Scenario.h"
+#include "obs/Json.h"
+#include "obs/Telemetry.h"
 #include "types/LabelInference.h"
 
 #include "TestUtil.h"
@@ -143,12 +144,43 @@ TEST(Determinism, ReportJsonBitIdenticalAtAnyThreadCount) {
     Rep.setScalar("q_bits", L.QBits);
     Rep.setScalar("v_bits", L.VBits);
     Rep.setVerdict("theorem2", L.TheoremTwoHolds);
+    // The telemetry counters of a representative run ride along in the
+    // "metrics" object, so the byte-identity check below also proves the
+    // counters derive only from deterministic run data.
+    collectRunMetrics(Rep.metrics(), Runs[0].T, Runs[0].Hw, lh());
     return Rep.toJson().dump();
   };
 
   std::string At1 = BuildReport(1);
+  EXPECT_NE(At1.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(At1.find("interp.steps"), std::string::npos);
   EXPECT_EQ(BuildReport(2), At1);
   EXPECT_EQ(BuildReport(8), At1);
+}
+
+TEST(Determinism, RunMetricsIdenticalAcrossCloneAndThreadCount) {
+  // Per-run hardware counters come from each worker's own clone, so the
+  // same RunSpec must yield the same HwStats no matter how wide the pool
+  // is or which worker picked it up.
+  Program P = mitigatedSleep();
+  auto Env = createMachineEnv(HwKind::Partitioned, lh());
+  const Scenario Scn(P, *Env);
+  std::vector<RunSpec> Specs(8);
+  for (size_t I = 0; I != Specs.size(); ++I)
+    Specs[I].Scalars = {{"h", static_cast<int64_t>(977 * I)}};
+
+  ParallelRunner Serial(1);
+  std::vector<RunResult> Base = Scn.runAll(Specs, Serial);
+  for (unsigned Threads : {2u, 8u}) {
+    ParallelRunner Wide(Threads);
+    std::vector<RunResult> Runs = Scn.runAll(Specs, Wide);
+    ASSERT_EQ(Runs.size(), Base.size());
+    for (size_t I = 0; I != Runs.size(); ++I) {
+      EXPECT_EQ(Runs[I].Hw, Base[I].Hw) << "spec " << I;
+      EXPECT_EQ(Runs[I].T.Ops, Base[I].T.Ops) << "spec " << I;
+      EXPECT_EQ(Runs[I].T.FinalMissTable, Base[I].T.FinalMissTable);
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//

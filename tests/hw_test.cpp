@@ -62,7 +62,7 @@ TEST_P(HwLatency, FetchPathUsesInstructionCaches) {
                       cfg().MemLatency);
   EXPECT_EQ(Env->fetch(Code, low(), low()), cfg().L1I.Latency);
   // Data caches were untouched.
-  EXPECT_EQ(Env->stats().L1DHit + Env->stats().L1DMiss, 0u);
+  EXPECT_EQ(Env->stats().L1D.accesses(), 0u);
 }
 
 TEST_P(HwLatency, DeterministicReplay) {
@@ -274,12 +274,40 @@ TEST(CoarseAbstraction, HighDataMayResideInLowCacheState) {
 TEST(HwStats, CountersTrackHitsAndMisses) {
   auto Env = createMachineEnv(HwKind::Partitioned, lh(), cfg());
   Env->dataAccess(DataA, false, low(), low()); // Cold: all misses.
-  EXPECT_EQ(Env->stats().L1DMiss, 1u);
-  EXPECT_EQ(Env->stats().L2DMiss, 1u);
-  EXPECT_EQ(Env->stats().DTlbMiss, 1u);
+  EXPECT_EQ(Env->stats().L1D.Misses, 1u);
+  EXPECT_EQ(Env->stats().L2D.Misses, 1u);
+  EXPECT_EQ(Env->stats().DTlb.Misses, 1u);
+  // The cold miss filled a line at every level.
+  EXPECT_EQ(Env->stats().L1D.LineFills, 1u);
+  EXPECT_EQ(Env->stats().L2D.LineFills, 1u);
   Env->dataAccess(DataA, false, low(), low()); // Warm: all hits.
-  EXPECT_EQ(Env->stats().L1DHit, 1u);
-  EXPECT_EQ(Env->stats().DTlbHit, 1u);
+  EXPECT_EQ(Env->stats().L1D.Hits, 1u);
+  EXPECT_EQ(Env->stats().DTlb.Hits, 1u);
   Env->resetStats();
-  EXPECT_EQ(Env->stats().L1DHit + Env->stats().L1DMiss, 0u);
+  EXPECT_EQ(Env->stats().L1D.accesses(), 0u);
+  EXPECT_EQ(Env->stats().L1D.LineFills, 0u);
+}
+
+TEST(HwStats, ResetStatsClearsEveryCounterOnEveryDesign) {
+  for (HwKind Kind : allHwKinds()) {
+    auto Env = createMachineEnv(Kind, lh(), cfg());
+    // Generate traffic on both the data and instruction paths, with enough
+    // conflicting lines to force evictions.
+    const uint64_t L1Span = cfg().L1D.NumSets * cfg().L1D.BlockBytes;
+    for (unsigned I = 0; I <= cfg().L1D.Assoc + 2; ++I) {
+      Env->dataAccess(DataA + I * L1Span * 3, /*IsStore=*/true, low(), low());
+      Env->fetch(0x40000000 + I * 64, low(), low());
+    }
+    EXPECT_NE(Env->stats(), HwStats()) << hwKindName(Kind);
+    EXPECT_GT(Env->stats().L1D.Evictions, 0u) << hwKindName(Kind);
+    Env->resetStats();
+    // Every counter — hits, misses, evictions, writebacks, line fills, on
+    // every structure — must read zero again.
+    EXPECT_EQ(Env->stats(), HwStats()) << hwKindName(Kind);
+    // Resetting counters must not flush cache contents: the warm line still
+    // hits at L1 latency.
+    EXPECT_EQ(Env->dataAccess(DataA + L1Span * 3 * cfg().L1D.Assoc, false,
+                              low(), low()),
+              cfg().L1D.Latency);
+  }
 }

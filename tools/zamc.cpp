@@ -16,19 +16,29 @@
 //                         (default: L,H)
 //   --hw KIND             nopar | nofill | partitioned (default: partitioned)
 //   --set var=value       override a variable's initial value (repeatable)
-//   --adversary LEVEL     adversary level for `leakage` (default: bottom)
+//   --adversary LEVEL     adversary level for `leakage` and for projecting
+//                         exported traces (default: bottom / unprojected)
 //   --no-equal-labels     drop the commodity er=ew side condition
 //   --threads N           worker threads for leakage/audit fan-out
 //                         (0 = auto via ZAM_THREADS / hardware)
 //   --json FILE           also write the result as machine-readable JSON
+//   --stats[=FILE]        print run counters and phase timings; with =FILE,
+//                         write them as JSON instead
+//   --trace-out FILE      export the run's timeline to FILE (for leakage:
+//                         the first secret variation; for audit: one plain
+//                         run of the program body)
+//   --trace-format FMT    jsonl | chrome (default: jsonl)
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Leakage.h"
 #include "analysis/PropertyCheckers.h"
 #include "analysis/RandomProgram.h"
-#include "exp/Json.h"
 #include "exp/ParallelRunner.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Phase.h"
+#include "obs/Telemetry.h"
 #include "hw/HardwareModels.h"
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
@@ -61,15 +71,28 @@ struct Options {
   std::vector<std::pair<std::string, std::vector<int64_t>>> Variations;
   unsigned Threads = 0; ///< 0: resolve from ZAM_THREADS / hardware.
   std::string JsonPath;
+  bool Stats = false;
+  std::string StatsPath;    ///< Empty: render --stats to stdout.
+  std::string TraceOutPath; ///< Empty: no trace export.
+  TraceFormat TraceFmt = TraceFormat::Jsonl;
+  std::string BadArg; ///< The offending argument when parsing failed.
 };
 
-int usage() {
+/// Wall-clock phase breakdown (--stats): load/parse/infer/typecheck/run.
+PhaseProfiler Phases;
+
+int usage(const std::string &BadArg = "") {
+  if (!BadArg.empty())
+    std::fprintf(stderr, "error: unknown or malformed argument '%s'\n",
+                 BadArg.c_str());
   std::fprintf(stderr,
                "usage: zamc <check|print|run|trace|leakage|audit> <file.zam>\n"
                "  [--levels L,M,H] [--hw nopar|nofill|partitioned]\n"
                "  [--set var=value]... [--vary var=v1,v2,...]\n"
                "  [--adversary LEVEL] [--no-equal-labels]\n"
-               "  [--threads N] [--json FILE]\n");
+               "  [--threads N] [--json FILE]\n"
+               "  [--stats[=FILE]] [--trace-out FILE]\n"
+               "  [--trace-format jsonl|chrome]\n");
   return 2;
 }
 
@@ -107,6 +130,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   Opts.File = Argv[2];
   for (int I = 3; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    // Any early return below blames the argument under inspection.
+    Opts.BadArg = Arg;
     auto Next = [&]() -> const char * {
       return I + 1 < Argc ? Argv[++I] : nullptr;
     };
@@ -165,11 +190,93 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.JsonPath = V;
+    } else if (Arg == "--stats" || Arg.rfind("--stats=", 0) == 0) {
+      Opts.Stats = true;
+      if (Arg.size() > std::strlen("--stats")) {
+        Opts.StatsPath = Arg.substr(std::strlen("--stats="));
+        if (Opts.StatsPath.empty())
+          return false;
+      }
+    } else if (Arg == "--trace-out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.TraceOutPath = V;
+    } else if (Arg == "--trace-format") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::optional<TraceFormat> F = parseTraceFormat(V);
+      if (!F)
+        return false;
+      Opts.TraceFmt = *F;
     } else {
       return false;
     }
   }
+  Opts.BadArg.clear();
   return true;
+}
+
+/// Collects the per-run counters when --stats or --trace-out asked for them.
+bool wantsTelemetry(const Options &Opts) {
+  return Opts.Stats || !Opts.TraceOutPath.empty();
+}
+
+/// Emits what --stats asked for: rendered counter/phase tables on stdout,
+/// or a {"metrics": ..., "phases": ...} JSON file.
+bool emitStatsIfRequested(const Options &Opts, const MetricsRegistry &Reg) {
+  if (!Opts.Stats)
+    return true;
+  if (Opts.StatsPath.empty()) {
+    std::printf("-- run counters --\n%s", Reg.render().c_str());
+    std::printf("-- phases (wall clock) --\n%s", Phases.render().c_str());
+    return true;
+  }
+  JsonValue Doc = JsonValue::object();
+  Doc["metrics"] = Reg.toJson();
+  Doc["phases"] = Phases.toJson();
+  std::FILE *F = std::fopen(Opts.StatsPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Opts.StatsPath.c_str());
+    return false;
+  }
+  std::string Text = Doc.dump();
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fclose(F) == 0;
+  return Ok;
+}
+
+/// Exports \p T to --trace-out in the selected format, projected to
+/// --adversary when one was named.
+bool emitTraceIfRequested(const Options &Opts, const Trace &T,
+                          const SecurityLattice &Lat) {
+  if (Opts.TraceOutPath.empty())
+    return true;
+  TraceExportOptions EOpts;
+  if (!Opts.Adversary.empty()) {
+    EOpts.Adversary = Lat.byName(Opts.Adversary);
+    if (!EOpts.Adversary) {
+      std::fprintf(stderr, "error: unknown level '%s'\n",
+                   Opts.Adversary.c_str());
+      return false;
+    }
+  }
+  std::unique_ptr<TraceSink> Sink = makeTraceSink(Opts.TraceFmt);
+  size_t Emitted = exportTrace(*Sink, T, Lat, EOpts);
+  const std::string &Text = Sink->finish();
+  std::FILE *F = std::fopen(Opts.TraceOutPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write '%s'\n",
+                 Opts.TraceOutPath.c_str());
+    return false;
+  }
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fclose(F) == 0;
+  if (Ok)
+    std::fprintf(stderr, "wrote %zu trace records to %s\n", Emitted,
+                 Opts.TraceOutPath.c_str());
+  return Ok;
 }
 
 std::unique_ptr<SecurityLattice> makeLattice(const Options &Opts) {
@@ -187,6 +294,7 @@ bool loadFile(const std::string &Path, std::string &Out) {
 }
 
 int checkProgram(Program &P, const Options &Opts, bool Verbose) {
+  auto Scope = Phases.scope("typecheck");
   DiagnosticEngine Diags;
   TypeCheckOptions TOpts;
   TOpts.RequireEqualTimingLabels = Opts.EqualLabels;
@@ -205,7 +313,9 @@ int cmdRun(Program &P, const Options &Opts, bool Timeline) {
   if (int Rc = checkProgram(P, Opts, /*Verbose=*/false))
     return Rc;
   auto Env = createMachineEnv(Opts.Hw, P.lattice());
-  FullInterpreter Interp(P, *Env);
+  InterpreterOptions IOpts;
+  IOpts.RecordMisses = !Opts.TraceOutPath.empty();
+  FullInterpreter Interp(P, *Env, IOpts);
   for (const auto &[Var, Value] : Opts.Overrides) {
     if (!Interp.memory().hasVar(Var)) {
       std::fprintf(stderr, "error: no variable '%s' to set\n", Var.c_str());
@@ -213,7 +323,18 @@ int cmdRun(Program &P, const Options &Opts, bool Timeline) {
     }
     Interp.memory().store(Var, Value);
   }
-  RunResult R = Interp.run();
+  RunResult R = [&] {
+    auto Scope = Phases.scope("run");
+    return Interp.run();
+  }();
+
+  if (wantsTelemetry(Opts)) {
+    MetricsRegistry Reg;
+    collectRunMetrics(Reg, R.T, R.Hw, P.lattice());
+    if (!emitTraceIfRequested(Opts, R.T, P.lattice()) ||
+        !emitStatsIfRequested(Opts, Reg))
+      return 1;
+  }
 
   if (Timeline) {
     std::printf("t=%-10s %s\n", "(cycles)", "event");
@@ -302,6 +423,30 @@ int cmdLeakage(Program &P, const Options &Opts) {
   auto Env = createMachineEnv(Opts.Hw, Lat);
   LeakageResult R =
       measureLeakage(P, *Env, Spec, InterpreterOptions(), Opts.Threads);
+
+  if (wantsTelemetry(Opts)) {
+    // Counters and timeline of one representative run: the first secret
+    // variation on a fresh environment.
+    auto StatsEnv = createMachineEnv(Opts.Hw, Lat);
+    InterpreterOptions IOpts;
+    IOpts.RecordMisses = !Opts.TraceOutPath.empty();
+    RunResult Rep = [&] {
+      auto Scope = Phases.scope("run");
+      return runFull(
+          P, *StatsEnv,
+          [&](Memory &M) {
+            for (const auto &[Var, Value] : Spec.Variations.front().Scalars)
+              M.store(Var, Value);
+          },
+          IOpts);
+    }();
+    MetricsRegistry Reg;
+    collectRunMetrics(Reg, Rep.T, Rep.Hw, Lat);
+    if (!emitTraceIfRequested(Opts, Rep.T, Lat) ||
+        !emitStatsIfRequested(Opts, Reg))
+      return 1;
+  }
+
   std::printf("adversary at %s; %zu secret variations from levels %s\n",
               Lat.name(Adversary).c_str(), Spec.Variations.size(),
               Sources.str(Lat).c_str());
@@ -341,6 +486,24 @@ int cmdLeakage(Program &P, const Options &Opts) {
 int cmdAudit(Program &P, const Options &Opts) {
   const SecurityLattice &Lat = P.lattice();
   auto Env = createMachineEnv(Opts.Hw, Lat);
+
+  if (wantsTelemetry(Opts)) {
+    // The audit itself runs random single commands, not the program; the
+    // telemetry of record is one plain run of the program body.
+    auto StatsEnv = createMachineEnv(Opts.Hw, Lat);
+    InterpreterOptions IOpts;
+    IOpts.RecordMisses = !Opts.TraceOutPath.empty();
+    RunResult Rep = [&] {
+      auto Scope = Phases.scope("run");
+      return runFull(P, *StatsEnv, IOpts);
+    }();
+    MetricsRegistry Reg;
+    collectRunMetrics(Reg, Rep.T, Rep.Hw, Lat);
+    if (!emitTraceIfRequested(Opts, Rep.T, Lat) ||
+        !emitStatsIfRequested(Opts, Reg))
+      return 1;
+  }
+
   RandomProgramOptions O;
   O.MaxDepth = 2;
   O.EqualTimingLabels = false;
@@ -428,22 +591,31 @@ int cmdAudit(Program &P, const Options &Opts) {
 int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
-    return usage();
+    return usage(Opts.BadArg);
 
   std::string Source;
-  if (!loadFile(Opts.File, Source)) {
-    std::fprintf(stderr, "error: cannot read '%s'\n", Opts.File.c_str());
-    return 2;
+  {
+    auto Scope = Phases.scope("load");
+    if (!loadFile(Opts.File, Source)) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", Opts.File.c_str());
+      return 2;
+    }
   }
 
   std::unique_ptr<SecurityLattice> Lat = makeLattice(Opts);
   DiagnosticEngine Diags;
-  std::optional<Program> P = parseProgram(Source, *Lat, Diags);
+  std::optional<Program> P = [&] {
+    auto Scope = Phases.scope("parse");
+    return parseProgram(Source, *Lat, Diags);
+  }();
   if (!P) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
   }
-  inferTimingLabels(*P);
+  {
+    auto Scope = Phases.scope("infer");
+    inferTimingLabels(*P);
+  }
 
   if (Opts.Command == "check")
     return checkProgram(*P, Opts, /*Verbose=*/true);
