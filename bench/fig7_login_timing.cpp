@@ -18,6 +18,7 @@
 #include "exp/Harness.h"
 #include "exp/Scenario.h"
 #include "hw/HardwareModels.h"
+#include "obs/LeakAudit.h"
 #include "obs/Telemetry.h"
 
 #include <cinttypes>
@@ -111,6 +112,8 @@ int main(int Argc, char **Argv) {
 
   // Telemetry of record: one mitigated attempt against the first table on a
   // fresh environment — deterministic, so it is safe in byte-stable JSON.
+  // The leakage accountant prices its mitigate windows into the leak.*
+  // metrics, and --trace-out exports the run for offline zamtrace checks.
   {
     auto Env = createMachineEnv(HwKind::Partitioned, Lat);
     Program P = buildLoginProgram(Lat, Tables[0], Padded);
@@ -118,6 +121,11 @@ int main(int Argc, char **Argv) {
       setLoginRequest(M, "user0", "pass0");
     });
     collectRunMetrics(R.metrics(), Rep.T, Rep.Hw, Lat);
+    LeakAudit Audit(Lat);
+    Audit.ingest(Rep.T);
+    Audit.exportMetrics(R.metrics());
+    if (!emitBenchTrace(Rep.T, Lat, Harness))
+      return 2;
   }
 
   std::printf("=== Fig. 7: login time per attempt (cycles; secrets = #valid"

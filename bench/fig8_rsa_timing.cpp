@@ -17,6 +17,7 @@
 #include "exp/Harness.h"
 #include "exp/Scenario.h"
 #include "hw/HardwareModels.h"
+#include "obs/LeakAudit.h"
 #include "obs/Telemetry.h"
 
 #include <cinttypes>
@@ -126,6 +127,11 @@ int main(int Argc, char **Argv) {
     RunResult Rep = runFull(
         P, *Env, [&](Memory &M) { setRsaMessage(M, MsgsA[0]); });
     collectRunMetrics(R.metrics(), Rep.T, Rep.Hw, Lat);
+    LeakAudit Audit(Lat);
+    Audit.ingest(Rep.T);
+    Audit.exportMetrics(R.metrics());
+    if (!emitBenchTrace(Rep.T, Lat, Harness))
+      return 2;
   }
 
   std::printf("=== Fig. 8: decryption time per message (cycles) ===\n");

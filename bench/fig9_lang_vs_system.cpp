@@ -24,6 +24,7 @@
 #include "exp/Harness.h"
 #include "exp/Scenario.h"
 #include "hw/HardwareModels.h"
+#include "obs/LeakAudit.h"
 #include "obs/Telemetry.h"
 
 #include <cinttypes>
@@ -156,6 +157,9 @@ int main(int Argc, char **Argv) {
     RunResult Rep = runFull(
         P, *Env, [&](Memory &M) { setRsaMessage(M, Messages.back()); });
     collectRunMetrics(R.metrics(), Rep.T, Rep.Hw, Lat, Prefix);
+    LeakAudit Audit(Lat);
+    Audit.ingest(Rep.T);
+    Audit.exportMetrics(R.metrics(), Prefix);
   }
   R.setVerdict("language_level_faster", Faster);
   R.setVerdict("never_meaningfully_slower", NeverMeaningfullySlower);

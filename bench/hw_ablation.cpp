@@ -18,6 +18,7 @@
 #include "exp/Harness.h"
 #include "exp/Scenario.h"
 #include "hw/HardwareModels.h"
+#include "obs/LeakAudit.h"
 #include "obs/Telemetry.h"
 
 #include <cinttypes>
@@ -113,8 +114,11 @@ int main(int Argc, char **Argv) {
     RunResult RepRun = runFull(P, *Env, [&](Memory &M) {
       setLoginRequest(M, "user0", "x");
     });
-    collectRunMetrics(Rep.metrics(), RepRun.T, RepRun.Hw, Lat,
-                      std::string(hwKindName(Kind)) + ".");
+    const std::string Prefix = std::string(hwKindName(Kind)) + ".";
+    collectRunMetrics(Rep.metrics(), RepRun.T, RepRun.Hw, Lat, Prefix);
+    LeakAudit Audit(Lat);
+    Audit.ingest(RepRun.T);
+    Audit.exportMetrics(Rep.metrics(), Prefix);
   }
 
   std::printf("\n=== shape checks ===\n");

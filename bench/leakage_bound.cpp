@@ -19,6 +19,7 @@
 #include "exp/Harness.h"
 #include "hw/HardwareModels.h"
 #include "lang/Parser.h"
+#include "obs/LeakAudit.h"
 #include "obs/Telemetry.h"
 #include "types/LabelInference.h"
 #include "types/TypeChecker.h"
@@ -108,6 +109,9 @@ int main(int Argc, char **Argv) {
       M.store("h", MaxSecrets[std::size(MaxSecrets) - 1]);
     });
     collectRunMetrics(R.metrics(), Rep.T, Rep.Hw, Lat);
+    LeakAudit Audit(Lat);
+    Audit.ingest(Rep.T);
+    Audit.exportMetrics(R.metrics());
   }
 
   std::printf("=== leakage vs elapsed time (64 secrets per row) ===\n");

@@ -26,16 +26,6 @@ void SecretAssignment::applyTo(Memory &M) const {
   }
 }
 
-double zam::leakageBoundBits(unsigned UpwardClosureSize,
-                             uint64_t RelevantMitigates, uint64_t ElapsedTime) {
-  if (RelevantMitigates == 0)
-    return 0;
-  double LogK = std::log2(static_cast<double>(RelevantMitigates) + 1.0);
-  double LogT =
-      ElapsedTime > 0 ? std::log2(static_cast<double>(ElapsedTime)) : 0.0;
-  return static_cast<double>(UpwardClosureSize) * LogK * (1.0 + LogT);
-}
-
 std::string zam::timingVectorKey(const Trace &T, const SecurityLattice &Lat,
                                  const LabelSet &UnobsUpward) {
   std::string Key;

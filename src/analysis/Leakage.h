@@ -30,6 +30,7 @@
 #include "hw/MachineEnv.h"
 #include "lang/Ast.h"
 #include "lattice/LabelSet.h"
+#include "obs/LeakAudit.h"
 #include "sem/FullInterpreter.h"
 
 #include <cstdint>
@@ -91,10 +92,10 @@ LeakageResult measureLeakage(const Program &P, const MachineEnv &EnvTemplate,
                              InterpreterOptions Opts = InterpreterOptions(),
                              unsigned Threads = 0);
 
-/// The Sec. 7 closed-form leakage bound in bits:
-/// |LeA↑| · log2(K+1) · (1 + log2 T), zero when K = 0.
-double leakageBoundBits(unsigned UpwardClosureSize, uint64_t RelevantMitigates,
-                        uint64_t ElapsedTime);
+// The Sec. 7 closed-form bound leakageBoundBits() and the per-window
+// accounting now live in obs/LeakAudit.h (included above): the online
+// accountant and this batch analysis share one bound core, so the numbers
+// they report can never drift apart.
 
 /// Canonical encoding of the Definition 2 projection of a trace's mitigate
 /// vector: the duration components of mitigates that execute in low

@@ -2,6 +2,9 @@
 
 #include "exp/Harness.h"
 
+#include "exp/ParallelRunner.h"
+#include "obs/Telemetry.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,9 +24,22 @@ HarnessOptions zam::parseHarnessArgs(int Argc, char **Argv) {
       Opts.Threads = static_cast<unsigned>(V);
     } else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc) {
       Opts.JsonPath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--trace-out") && I + 1 < Argc) {
+      Opts.TraceOutPath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--trace-format") && I + 1 < Argc) {
+      Opts.TraceFormatName = Argv[++I];
+      if (!parseTraceFormat(Opts.TraceFormatName)) {
+        std::fprintf(stderr, "unknown trace format '%s'; expected "
+                             "jsonl or chrome\n",
+                     Opts.TraceFormatName.c_str());
+        Opts.Ok = false;
+        return Opts;
+      }
     } else {
-      std::fprintf(stderr, "unknown argument '%s'; expected "
-                           "[--threads N] [--json FILE]\n",
+      std::fprintf(stderr,
+                   "unknown argument '%s'; expected [--threads N] "
+                   "[--json FILE] [--trace-out FILE] "
+                   "[--trace-format jsonl|chrome]\n",
                    Argv[I]);
       Opts.Ok = false;
       return Opts;
@@ -35,11 +51,54 @@ HarnessOptions zam::parseHarnessArgs(int Argc, char **Argv) {
 bool zam::emitReportJson(const Report &R, const HarnessOptions &Opts) {
   if (Opts.JsonPath.empty())
     return true;
-  if (!R.writeJsonFile(Opts.JsonPath)) {
+  JsonValue Doc = R.toJson();
+  Doc["meta"] = provenanceJson(resolveThreadCount(Opts.Threads));
+  std::FILE *F = std::fopen(Opts.JsonPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write JSON report to '%s'\n",
+                 Opts.JsonPath.c_str());
+    return false;
+  }
+  std::string Text = Doc.dump();
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fclose(F) == 0;
+  if (!Ok) {
     std::fprintf(stderr, "error: cannot write JSON report to '%s'\n",
                  Opts.JsonPath.c_str());
     return false;
   }
   std::printf("\nJSON report written to %s\n", Opts.JsonPath.c_str());
+  return true;
+}
+
+bool zam::emitBenchTrace(const Trace &T, const SecurityLattice &Lat,
+                         const HarnessOptions &Opts) {
+  if (Opts.TraceOutPath.empty())
+    return true;
+  std::optional<TraceFormat> Format = parseTraceFormat(Opts.TraceFormatName);
+  if (!Format) {
+    std::fprintf(stderr, "error: unknown trace format '%s'\n",
+                 Opts.TraceFormatName.c_str());
+    return false;
+  }
+  std::unique_ptr<TraceSink> Sink = makeTraceSink(*Format);
+  Sink->header(provenanceArgs(resolveThreadCount(Opts.Threads)));
+  size_t Count = exportTrace(*Sink, T, Lat);
+  const std::string &Bytes = Sink->finish();
+  std::FILE *F = std::fopen(Opts.TraceOutPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                 Opts.TraceOutPath.c_str());
+    return false;
+  }
+  bool Ok = std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  Ok &= std::fclose(F) == 0;
+  if (!Ok) {
+    std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                 Opts.TraceOutPath.c_str());
+    return false;
+  }
+  std::printf("wrote %zu trace records to %s\n", Count,
+              Opts.TraceOutPath.c_str());
   return true;
 }

@@ -7,8 +7,12 @@
 ///
 /// \file
 /// The options every harness binary shares: `--threads N` (0 = auto via
-/// ZAM_THREADS / hardware_concurrency) and `--json <file>` (write the
-/// Report as machine-readable JSON next to the human-readable tables).
+/// ZAM_THREADS / hardware_concurrency), `--json <file>` (write the Report
+/// as machine-readable JSON next to the human-readable tables) and
+/// `--trace-out <file>` / `--trace-format jsonl|chrome` (export the
+/// bench's representative run as a telemetry trace with a provenance
+/// header). Emitted reports carry a `meta` provenance block
+/// (obs/Telemetry.h provenanceJson).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,25 +20,39 @@
 #define ZAM_EXP_HARNESS_H
 
 #include "exp/Report.h"
+#include "sem/Event.h"
 
 #include <string>
 
 namespace zam {
 
+class SecurityLattice;
+
 /// Parsed harness options.
 struct HarnessOptions {
-  unsigned Threads = 0;  ///< 0: resolve from ZAM_THREADS / hardware.
-  std::string JsonPath;  ///< Empty: no JSON output.
-  bool Ok = true;        ///< False on malformed arguments.
+  unsigned Threads = 0;        ///< 0: resolve from ZAM_THREADS / hardware.
+  std::string JsonPath;        ///< Empty: no JSON output.
+  std::string TraceOutPath;    ///< Empty: no trace export.
+  std::string TraceFormatName = "jsonl"; ///< "jsonl" or "chrome".
+  bool Ok = true;              ///< False on malformed arguments.
 };
 
-/// Parses `--threads N` and `--json FILE` from a bench's argv; unknown
-/// arguments set Ok = false (benches exit 2 with a usage line).
+/// Parses `--threads N`, `--json FILE`, `--trace-out FILE` and
+/// `--trace-format jsonl|chrome` from a bench's argv; unknown arguments
+/// set Ok = false (benches exit 2 with a usage line).
 HarnessOptions parseHarnessArgs(int Argc, char **Argv);
 
-/// Writes \p R to Opts.JsonPath when requested, reporting failures on
-/// stderr. \returns false on write failure.
+/// Writes \p R to Opts.JsonPath when requested, with the provenance `meta`
+/// block appended, reporting failures on stderr. \returns false on write
+/// failure.
 bool emitReportJson(const Report &R, const HarnessOptions &Opts);
+
+/// Exports \p T (a bench's representative telemetry run) to
+/// Opts.TraceOutPath in Opts.TraceFormatName, prefixed with the provenance
+/// header. No-op when no trace path was requested. \returns false on
+/// failure.
+bool emitBenchTrace(const Trace &T, const SecurityLattice &Lat,
+                    const HarnessOptions &Opts);
 
 } // namespace zam
 

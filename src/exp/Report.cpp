@@ -102,6 +102,17 @@ void Report::setText(std::string Key, std::string Value) {
   Texts.emplace_back(std::move(Key), std::move(Value));
 }
 
+void Report::setWallScalar(std::string Key, double Value) {
+  for (auto &[K, V] : WallScalars)
+    if (K == Key) {
+      V = Value;
+      return;
+    }
+  WallScalars.emplace_back(std::move(Key), Value);
+}
+
+void Report::setPhases(JsonValue PhasesJson) { Phases = std::move(PhasesJson); }
+
 bool Report::verdict(const std::string &Key, bool Default) const {
   for (const auto &[K, V] : Verdicts)
     if (K == Key)
@@ -193,10 +204,15 @@ std::string Report::renderSummary() const {
     std::snprintf(Buf, sizeof(Buf), "%-28s %s\n", K.c_str(), V.c_str());
     Out += Buf;
   }
+  for (const auto &[K, V] : WallScalars) {
+    std::snprintf(Buf, sizeof(Buf), "%-28s %s (wall)\n", K.c_str(),
+                  formatCell(V).c_str());
+    Out += Buf;
+  }
   return Out;
 }
 
-JsonValue Report::toJson() const {
+JsonValue Report::toJson(bool IncludeWallClock) const {
   JsonValue Doc = JsonValue::object();
   Doc["title"] = JsonValue(Title);
   if (!IndexValues.empty()) {
@@ -247,6 +263,16 @@ JsonValue Report::toJson() const {
     SeriesArr.push(std::move(Obj));
   }
   Doc["series"] = std::move(SeriesArr);
+  // The wall-clock tail always comes last, after every deterministic
+  // member, so diffs of two reports line up until the timings start.
+  if (IncludeWallClock && !WallScalars.empty()) {
+    JsonValue Obj = JsonValue::object();
+    for (const auto &[K, V] : WallScalars)
+      Obj[K] = JsonValue(V);
+    Doc["wall"] = std::move(Obj);
+  }
+  if (IncludeWallClock && !Phases.isNull())
+    Doc["phases"] = Phases;
   return Doc;
 }
 

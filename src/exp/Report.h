@@ -90,6 +90,17 @@ public:
   MetricsRegistry &metrics() { return Metrics; }
   const MetricsRegistry &metrics() const { return Metrics; }
 
+  /// Wall-clock facts (elapsed milliseconds, speedups). Kept apart from
+  /// setScalar so the timing noise never enters the deterministic
+  /// projection the byte-stability audits compare; serialized as the
+  /// trailing "wall" object.
+  void setWallScalar(std::string Key, double Value);
+
+  /// Attaches a PhaseProfiler::toJson() wall-clock breakdown, serialized
+  /// as the trailing "phases" object (excluded from deterministicJson like
+  /// the wall scalars).
+  void setPhases(JsonValue PhasesJson);
+
   /// Renders all series as aligned columns, one row per index, emitting
   /// every \p Stride-th row (benches print every 5th attempt).
   std::string renderTable(size_t Stride = 1) const;
@@ -100,8 +111,17 @@ public:
   /// The machine-readable form:
   /// { "title", "scalars": {...}, "verdicts": {...}, "text": {...},
   ///   "metrics": {...},
-  ///   "series": [ { "name", "values": [...], "stats": {...} } ] }
-  JsonValue toJson() const;
+  ///   "series": [ { "name", "values": [...], "stats": {...} } ],
+  ///   "wall": {...}, "phases": {...} }
+  /// The wall-clock tail rides along only when \p IncludeWallClock is set.
+  JsonValue toJson(bool IncludeWallClock = true) const;
+
+  /// The deterministic projection — toJson without the wall-clock tail.
+  /// This is what the 1/2/8-thread identity checks compare: every field is
+  /// derived from cycle-accurate run data, so the bytes cannot vary with
+  /// timing noise.
+  JsonValue deterministicJson() const { return toJson(false); }
+
   /// Writes toJson().dump() to \p Path; false on I/O failure.
   bool writeJsonFile(const std::string &Path) const;
 
@@ -113,6 +133,8 @@ private:
   std::vector<std::pair<std::string, double>> Scalars;
   std::vector<std::pair<std::string, bool>> Verdicts;
   std::vector<std::pair<std::string, std::string>> Texts;
+  std::vector<std::pair<std::string, double>> WallScalars;
+  JsonValue Phases; ///< Null until setPhases.
   MetricsRegistry Metrics;
 };
 

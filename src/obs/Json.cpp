@@ -112,6 +112,12 @@ static void formatNumber(std::string &Out, double V, bool IsInt) {
   Out += Buf;
 }
 
+std::string zam::jsonNumberString(double V) {
+  std::string Out;
+  formatNumber(Out, V, /*IsInt=*/false);
+  return Out;
+}
+
 void JsonValue::dumpTo(std::string &Out, unsigned Depth) const {
   const std::string Pad(2 * (Depth + 1), ' ');
   const std::string Close(2 * Depth, ' ');

@@ -100,6 +100,12 @@ private:
   std::vector<std::pair<std::string, JsonValue>> Members;
 };
 
+/// The shortest decimal representation of \p V that parses back to exactly
+/// the same double — the formatting JsonValue::dump uses. Producers that
+/// hand-serialize doubles (trace args) use this so a parse-back yields the
+/// bit-identical value.
+std::string jsonNumberString(double V);
+
 } // namespace zam
 
 #endif // ZAM_OBS_JSON_H

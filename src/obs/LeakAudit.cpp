@@ -1,0 +1,106 @@
+//===- LeakAudit.cpp ------------------------------------------------------===//
+
+#include "obs/LeakAudit.h"
+
+#include <cmath>
+
+using namespace zam;
+
+uint64_t zam::attainableScheduleValues(int64_t Estimate, uint64_t ElapsedTime) {
+  const uint64_t N = Estimate > 0 ? static_cast<uint64_t>(Estimate) : 1;
+  if (ElapsedTime <= N)
+    return 1;
+  uint64_t Count = 1;
+  // v ≤ T/2 (integer division) ⟺ 2v ≤ T without overflow.
+  for (uint64_t V = N; V <= ElapsedTime / 2; V <<= 1)
+    ++Count;
+  return Count;
+}
+
+double zam::windowBoundBits(int64_t Estimate, uint64_t ElapsedTime) {
+  return std::log2(
+      static_cast<double>(attainableScheduleValues(Estimate, ElapsedTime)));
+}
+
+double zam::mispredictPenaltyBits(unsigned Misses) {
+  return std::log2(static_cast<double>(Misses) + 1.0);
+}
+
+double zam::leakageBoundBits(unsigned UpwardClosureSize,
+                             uint64_t RelevantMitigates, uint64_t ElapsedTime) {
+  if (RelevantMitigates == 0)
+    return 0;
+  double LogK = std::log2(static_cast<double>(RelevantMitigates) + 1.0);
+  double LogT =
+      ElapsedTime > 0 ? std::log2(static_cast<double>(ElapsedTime)) : 0.0;
+  return static_cast<double>(UpwardClosureSize) * LogK * (1.0 + LogT);
+}
+
+LeakAudit::LeakAudit(const SecurityLattice &Lat, std::optional<Label> Adversary)
+    : Lat(Lat), Adversary(Adversary), Accounts(Lat.size()) {}
+
+bool LeakAudit::counts(const MitigateRecord &R) const {
+  if (!Adversary)
+    return true;
+  // Sec. 6.1: the window is an ℓA-observation iff its context is visible
+  // (pc ⊑ ℓA) and its duration carries above-ℓA information (lev ⋢ ℓA) —
+  // the Definition 2 projection under the conservative all-sources L.
+  return Lat.flowsTo(R.PcLabel, *Adversary) &&
+         !Lat.flowsTo(R.Level, *Adversary);
+}
+
+void LeakAudit::onWindow(const MitigateRecord &R) {
+  if (!counts(R))
+    return;
+  LeakWindow W;
+  W.Eta = R.Eta;
+  W.Level = R.Level;
+  W.Pc = R.PcLabel;
+  W.Start = R.Start;
+  W.Duration = R.Duration;
+  W.Estimate = R.Estimate;
+  W.MissesAfter = R.MissesAfter;
+  W.Mispredicted = R.Mispredicted;
+  // T_i is the window's own completion time on the global clock: every
+  // schedule value attainable by then was a possible public duration.
+  W.Attainable = attainableScheduleValues(R.Estimate, R.Start + R.Duration);
+  W.WindowBits = std::log2(static_cast<double>(W.Attainable));
+
+  LevelAccount &A = Accounts[R.Level.index()];
+  ++A.Windows;
+  A.Misses = R.MissesAfter;
+  A.BitsBound += W.WindowBits;
+  W.CumLevelBits = A.BitsBound;
+  Counted.push_back(W);
+}
+
+void LeakAudit::ingest(const Trace &T) {
+  for (const MitigateRecord &R : T.Mitigations)
+    onWindow(R);
+}
+
+void LeakAudit::reset() {
+  Counted.clear();
+  Accounts.assign(Lat.size(), LevelAccount());
+}
+
+double LeakAudit::totalBitsBound() const {
+  double Total = 0;
+  for (const LevelAccount &A : Accounts)
+    Total += A.BitsBound;
+  return Total;
+}
+
+void LeakAudit::exportMetrics(MetricsRegistry &Reg,
+                              const std::string &Prefix) const {
+  for (Label L : Lat.allLabels()) {
+    const LevelAccount &A = Accounts[L.index()];
+    const std::string Base = Prefix + "leak." + Lat.name(L) + ".";
+    Reg.setCounter(Base + "windows", A.Windows);
+    Reg.setGauge(Base + "bits_bound", A.BitsBound);
+    Reg.setGauge(Base + "mispredict_penalty_bits",
+                 mispredictPenaltyBits(A.Misses));
+  }
+  Reg.setCounter(Prefix + "leak.windows", Counted.size());
+  Reg.setGauge(Prefix + "leak.total_bits_bound", totalBitsBound());
+}

@@ -2,6 +2,9 @@
 
 #include "obs/Telemetry.h"
 
+#include "obs/LeakAudit.h"
+#include "support/BuildInfo.h"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -130,6 +133,31 @@ size_t zam::exportTrace(TraceSink &Sink, const Trace &T,
       Records.push_back(std::move(R));
     }
 
+  if (Opts.IncludeLeakBudget) {
+    // One priced span per *counted* window (the online accountant's exact
+    // projection), so the double sums recomputed offline from these spans
+    // are bit-identical to the leak.* metrics — the zamtrace cross-check.
+    LeakAudit Audit(Lat, Opts.Adversary);
+    Audit.ingest(T);
+    for (const LeakWindow &W : Audit.windows()) {
+      TraceRecord R;
+      R.RecordKind = TraceRecord::Kind::Span;
+      R.Name = "leak_budget#" + std::to_string(W.Eta);
+      R.Category = "leak";
+      R.Ts = W.Start;
+      R.Dur = W.Duration;
+      R.Args.emplace_back("level", Lat.name(W.Level));
+      R.Args.emplace_back("estimate", std::to_string(W.Estimate));
+      R.Args.emplace_back("misses_after", std::to_string(W.MissesAfter));
+      R.Args.emplace_back("attainable", std::to_string(W.Attainable));
+      R.Args.emplace_back("window_bits", jsonNumberString(W.WindowBits));
+      R.Args.emplace_back("cum_level_bits",
+                          jsonNumberString(W.CumLevelBits));
+      R.Args.emplace_back("mispredicted", W.Mispredicted ? "true" : "false");
+      Records.push_back(std::move(R));
+    }
+  }
+
   // Cache misses are machine-internal: invisible to a language-level
   // adversary, so an adversary projection drops them wholesale.
   if (Opts.IncludeMisses && !Opts.Adversary)
@@ -157,4 +185,25 @@ size_t zam::exportTrace(TraceSink &Sink, const Trace &T,
   for (const TraceRecord &R : Records)
     Sink.record(R);
   return Records.size();
+}
+
+std::vector<std::pair<std::string, std::string>>
+zam::provenanceArgs(unsigned Threads) {
+  return {{"tool", "zam"},
+          {"version", buildVersion()},
+          {"git", buildGitHash()},
+          {"compiler", buildCompiler()},
+          {"build_type", buildType()},
+          {"threads", std::to_string(Threads)}};
+}
+
+JsonValue zam::provenanceJson(unsigned Threads) {
+  JsonValue Meta = JsonValue::object();
+  Meta["tool"] = "zam";
+  Meta["version"] = buildVersion();
+  Meta["git"] = buildGitHash();
+  Meta["compiler"] = buildCompiler();
+  Meta["build_type"] = buildType();
+  Meta["threads"] = Threads;
+  return Meta;
 }

@@ -16,6 +16,9 @@
 ///           final_time_cycles}
 ///   mit.{predictions,mispredictions,padded_idle_cycles}
 ///   mit.miss_table.<level>   — the per-level Miss table at completion
+///   leak.<level>.{windows,bits_bound,mispredict_penalty_bits} and
+///   leak.{windows,total_bits_bound} — the running Sec. 6 bounds
+///     (emitted by obs/LeakAudit.h, not the collectors below)
 ///
 /// and where the adversary projection of Sec. 6.1 is applied to exported
 /// timelines: with an adversary level ℓA set, assignment events survive iff
@@ -80,13 +83,29 @@ struct TraceExportOptions {
   bool IncludeEvents = true;
   bool IncludeMitigations = true;
   bool IncludeMisses = true;
+  /// Emit a leak_budget span (cat "leak") per mitigate window the leakage
+  /// accountant counts under the same adversary projection, carrying the
+  /// priced Sec. 6 terms (obs/LeakAudit.h). tools/zamtrace recomputes the
+  /// bound from these spans and cross-checks it against leak.* metrics.
+  bool IncludeLeakBudget = true;
 };
 
 /// Streams \p T into \p Sink as one merged, time-ordered record sequence:
-/// assignment instants (cat "interp"), mitigate spans (cat "mit") and
-/// cache-miss instants (cat "hw"). \returns the number of records emitted.
+/// assignment instants (cat "interp"), mitigate spans (cat "mit"),
+/// leak_budget spans (cat "leak") and cache-miss instants (cat "hw").
+/// \returns the number of records emitted.
 size_t exportTrace(TraceSink &Sink, const Trace &T, const SecurityLattice &Lat,
                    const TraceExportOptions &Opts = TraceExportOptions());
+
+/// Build provenance as trace-header key/value pairs: tool version, git
+/// hash, compiler, build type and \p Threads (the configured worker count;
+/// 0 = auto). Pass to TraceSink::header before exporting.
+std::vector<std::pair<std::string, std::string>> provenanceArgs(
+    unsigned Threads);
+
+/// The same provenance as a JSON object — the `meta` block of `--stats`
+/// and bench report documents.
+JsonValue provenanceJson(unsigned Threads);
 
 } // namespace zam
 

@@ -9,6 +9,11 @@ using namespace zam;
 
 TraceSink::~TraceSink() = default;
 
+void TraceSink::header(
+    const std::vector<std::pair<std::string, std::string>> &Meta) {
+  (void)Meta; // Sinks without a preamble representation drop it.
+}
+
 namespace {
 
 /// Appends \p S to \p Out as a quoted JSON string.
@@ -41,18 +46,43 @@ void appendQuoted(std::string &Out, const std::string &S) {
   Out += '"';
 }
 
-/// Args values that look like integers are emitted bare; everything else is
-/// quoted.
-bool isIntegerLiteral(const std::string &S) {
-  if (S.empty())
+/// Args values that read as JSON number literals — an optional sign,
+/// digits, then optional fraction and exponent parts — are emitted bare;
+/// everything else is quoted. Covers the integers the producers printf and
+/// the doubles they format via jsonNumberString ("3.5849625007211563",
+/// "1e+20"); "inf"/"nan" fail the test and stay quoted strings.
+bool isNumberLiteral(const std::string &S) {
+  size_t I = !S.empty() && S[0] == '-' ? 1 : 0;
+  size_t Digits = 0;
+  while (I != S.size() && std::isdigit(static_cast<unsigned char>(S[I]))) {
+    ++I;
+    ++Digits;
+  }
+  if (Digits == 0)
     return false;
-  size_t I = S[0] == '-' ? 1 : 0;
-  if (I == S.size())
-    return false;
-  for (; I != S.size(); ++I)
-    if (!std::isdigit(static_cast<unsigned char>(S[I])))
+  if (I != S.size() && S[I] == '.') {
+    ++I;
+    Digits = 0;
+    while (I != S.size() && std::isdigit(static_cast<unsigned char>(S[I]))) {
+      ++I;
+      ++Digits;
+    }
+    if (Digits == 0)
       return false;
-  return true;
+  }
+  if (I != S.size() && (S[I] == 'e' || S[I] == 'E')) {
+    ++I;
+    if (I != S.size() && (S[I] == '+' || S[I] == '-'))
+      ++I;
+    Digits = 0;
+    while (I != S.size() && std::isdigit(static_cast<unsigned char>(S[I]))) {
+      ++I;
+      ++Digits;
+    }
+    if (Digits == 0)
+      return false;
+  }
+  return I == S.size();
 }
 
 void appendArgs(std::string &Out,
@@ -65,7 +95,7 @@ void appendArgs(std::string &Out,
     First = false;
     appendQuoted(Out, Key);
     Out += ':';
-    if (isIntegerLiteral(Value))
+    if (isNumberLiteral(Value))
       Out += Value;
     else
       appendQuoted(Out, Value);
@@ -86,6 +116,13 @@ void appendDouble(std::string &Out, double V) {
 }
 
 } // namespace
+
+void JsonlTraceSink::header(
+    const std::vector<std::pair<std::string, std::string>> &Meta) {
+  Out += "{\"kind\":\"meta\",\"args\":";
+  appendArgs(Out, Meta);
+  Out += "}\n";
+}
 
 void JsonlTraceSink::record(const TraceRecord &R) {
   Out += "{\"kind\":";
@@ -127,6 +164,18 @@ unsigned ChromeTraceSink::tidFor(const std::string &Category) {
       return I + 1;
   Categories.push_back(Category);
   return Categories.size();
+}
+
+void ChromeTraceSink::header(
+    const std::vector<std::pair<std::string, std::string>> &Meta) {
+  // A trace-event metadata record: ph "M" carries no timeline semantics,
+  // so viewers show the provenance without perturbing the rows.
+  Out += First ? "[\n" : ",\n";
+  First = false;
+  Out += "{\"name\":\"zam_build\",\"cat\":\"meta\",\"ph\":\"M\",\"pid\":1,"
+         "\"tid\":0,\"ts\":0,\"args\":";
+  appendArgs(Out, Meta);
+  Out += '}';
 }
 
 void ChromeTraceSink::record(const TraceRecord &R) {

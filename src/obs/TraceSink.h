@@ -49,8 +49,9 @@ struct TraceRecord {
   uint64_t Dur = 0;     ///< Span length in cycles (Span only).
   double Value = 0;     ///< Counter sample (Counter only).
   /// Extra key/value detail; strings that parse as their own JSON scalars
-  /// are the producer's responsibility to pre-quote — sinks emit numbers
-  /// for digit-only values and quoted strings otherwise.
+  /// are the producer's responsibility to pre-quote — sinks emit values
+  /// that read as JSON number literals (integer or decimal/exponent form)
+  /// bare and quote everything else.
   std::vector<std::pair<std::string, std::string>> Args;
 };
 
@@ -58,6 +59,13 @@ struct TraceRecord {
 class TraceSink {
 public:
   virtual ~TraceSink();
+
+  /// Optional provenance preamble (build hash, compiler, ...). Must be
+  /// called before the first record; the default drops it. JSONL emits a
+  /// kind:"meta" first line, Chrome a ph:"M" metadata event — offline
+  /// readers (tools/zamtrace) skip both when aggregating.
+  virtual void header(
+      const std::vector<std::pair<std::string, std::string>> &Meta);
 
   /// Consumes one record. Records must arrive in nondecreasing Ts order.
   virtual void record(const TraceRecord &R) = 0;
@@ -70,6 +78,8 @@ public:
 /// (kind, name, cat, ts, then dur/value/args as applicable).
 class JsonlTraceSink final : public TraceSink {
 public:
+  void header(
+      const std::vector<std::pair<std::string, std::string>> &Meta) override;
   void record(const TraceRecord &R) override;
   const std::string &finish() override { return Out; }
 
@@ -82,6 +92,8 @@ private:
 /// tid encodes the category so viewers lay streams out as separate rows.
 class ChromeTraceSink final : public TraceSink {
 public:
+  void header(
+      const std::vector<std::pair<std::string, std::string>> &Meta) override;
   void record(const TraceRecord &R) override;
   const std::string &finish() override;
 

@@ -52,6 +52,10 @@ struct MitigateRecord {
   uint64_t Duration = 0; ///< Padded duration (equals the final prediction).
   uint64_t BodyTime = 0; ///< Unpadded execution time of the body.
   bool Mispredicted = false;
+  /// Miss[lev(M_η)] immediately after this window settled. The leakage
+  /// accountant (obs/LeakAudit.h) reads it to price the next window's
+  /// schedule without replaying the whole Miss table.
+  unsigned MissesAfter = 0;
 
   bool operator==(const MitigateRecord &Other) const = default;
 };

@@ -219,7 +219,10 @@ void FullInterpreter::exec(const Cmd &C) {
     R.Duration = Out.Duration;
     R.BodyTime = Elapsed;
     R.Mispredicted = Out.Mispredicted;
+    R.MissesAfter = MitState.misses(R.Level);
     T.Mitigations.push_back(R);
+    if (Opts.OnMitigateWindow)
+      Opts.OnMitigateWindow(T.Mitigations.back());
     return;
   }
 

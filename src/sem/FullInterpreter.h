@@ -56,6 +56,11 @@ struct InterpreterOptions {
   /// only; costs an observer callback per hardware access, so it is off by
   /// default and enabled by the trace exporters).
   bool RecordMisses = false;
+  /// Invoked by both engines right after a mitigate window settles and its
+  /// record is appended to the trace. This is how the online leakage
+  /// accountant (obs/LeakAudit.h) observes windows without sem depending on
+  /// obs. Must be deterministic; called on the interpreter's thread.
+  std::function<void(const MitigateRecord &)> OnMitigateWindow;
 };
 
 /// Outcome of a full-semantics run.

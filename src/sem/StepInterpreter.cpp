@@ -169,7 +169,10 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
     R.Duration = Out.Duration;
     R.BodyTime = Elapsed;
     R.Mispredicted = Out.Mispredicted;
+    R.MissesAfter = MitState.misses(R.Level);
     T.Mitigations.push_back(R);
+    if (Opts.OnMitigateWindow)
+      Opts.OnMitigateWindow(T.Mitigations.back());
     return nullptr;
   }
 

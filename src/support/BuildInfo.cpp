@@ -1,0 +1,30 @@
+//===- BuildInfo.cpp ------------------------------------------------------===//
+
+#include "support/BuildInfo.h"
+
+// Fallbacks keep the file compilable outside the CMake build (tooling,
+// editors); the real build always defines all three.
+#ifndef ZAM_GIT_HASH
+#define ZAM_GIT_HASH "unknown"
+#endif
+#ifndef ZAM_COMPILER
+#define ZAM_COMPILER "unknown"
+#endif
+#ifndef ZAM_BUILD_TYPE
+#define ZAM_BUILD_TYPE "unknown"
+#endif
+
+using namespace zam;
+
+const char *zam::buildVersion() { return "0.3.0"; }
+
+const char *zam::buildGitHash() { return ZAM_GIT_HASH; }
+
+const char *zam::buildCompiler() { return ZAM_COMPILER; }
+
+const char *zam::buildType() { return ZAM_BUILD_TYPE; }
+
+std::string zam::buildSummary() {
+  return std::string("zam ") + buildVersion() + " (git " + buildGitHash() +
+         ", " + buildCompiler() + ", " + buildType() + ")";
+}

@@ -1,0 +1,42 @@
+//===- BuildInfo.h - Build provenance ---------------------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configure-time provenance baked into the binaries so every emitted
+/// artifact (stats JSON, traces, bench reports) is attributable to a
+/// specific source revision and toolchain. The values are injected as
+/// compile definitions on BuildInfo.cpp by src/support/CMakeLists.txt.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SUPPORT_BUILDINFO_H
+#define ZAM_SUPPORT_BUILDINFO_H
+
+#include <string>
+
+namespace zam {
+
+/// Semantic version of the zam tools, bumped per milestone.
+const char *buildVersion();
+
+/// Short git revision the tree was configured from; "unknown" outside a
+/// checkout.
+const char *buildGitHash();
+
+/// Compiler id and version, e.g. "GNU 13.2.0".
+const char *buildCompiler();
+
+/// CMake build type, e.g. "Release".
+const char *buildType();
+
+/// One line for --version output:
+/// "zam <version> (git <hash>, <compiler>, <type>)".
+std::string buildSummary();
+
+} // namespace zam
+
+#endif // ZAM_SUPPORT_BUILDINFO_H

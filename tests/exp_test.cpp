@@ -20,6 +20,7 @@
 #include "TestUtil.h"
 #include "gtest/gtest.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -146,9 +147,15 @@ TEST(Determinism, ReportJsonBitIdenticalAtAnyThreadCount) {
     Rep.setVerdict("theorem2", L.TheoremTwoHolds);
     // The telemetry counters of a representative run ride along in the
     // "metrics" object, so the byte-identity check below also proves the
-    // counters derive only from deterministic run data.
+    // counters derive only from deterministic run data. A genuinely
+    // varying wall-clock scalar rides along too: the deterministic
+    // projection must shed it.
     collectRunMetrics(Rep.metrics(), Runs[0].T, Runs[0].Hw, lh());
-    return Rep.toJson().dump();
+    Rep.setWallScalar(
+        "elapsed_ms",
+        static_cast<double>(
+            std::chrono::steady_clock::now().time_since_epoch().count()));
+    return Rep.deterministicJson().dump();
   };
 
   std::string At1 = BuildReport(1);
@@ -212,6 +219,32 @@ TEST(Json, RoundTripsSmallSeries) {
   ASSERT_NE(Name, nullptr);
   EXPECT_EQ(Name->asString(), "times");
   EXPECT_EQ(SeriesArr->at(0).find("values")->at(3).asNumber(), 273682.0);
+}
+
+TEST(Json, WallClockTailStaysOutOfDeterministicProjection) {
+  Report R("projection_probe");
+  R.addSeries("times", std::vector<uint64_t>{256, 256, 1024});
+  R.setScalar("estimate", 64);
+  std::string Det = R.deterministicJson().dump();
+
+  R.setWallScalar("elapsed_ms", 12.5);
+  JsonValue Phases = JsonValue::object();
+  Phases["run_ms"] = JsonValue(11.25);
+  R.setPhases(Phases);
+
+  // The projection is unchanged by wall-clock facts...
+  EXPECT_EQ(R.deterministicJson().dump(), Det);
+  EXPECT_EQ(Det.find("\"wall\""), std::string::npos);
+  // ...while the full document carries them in the trailing sections.
+  std::string Full = R.toJson().dump();
+  EXPECT_NE(Full.find("\"wall\""), std::string::npos);
+  EXPECT_NE(Full.find("\"elapsed_ms\": 12.5"), std::string::npos);
+  EXPECT_NE(Full.find("\"phases\""), std::string::npos);
+  EXPECT_NE(Full.find("\"run_ms\": 11.25"), std::string::npos);
+  // The summary labels wall-clock facts so nobody mistakes them for
+  // simulated cycles.
+  EXPECT_NE(R.renderSummary().find("elapsed_ms"), std::string::npos);
+  EXPECT_NE(R.renderSummary().find("(wall)"), std::string::npos);
 }
 
 TEST(Json, EscapesAndScalars) {

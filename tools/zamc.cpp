@@ -28,6 +28,12 @@
 //                         the first secret variation; for audit: one plain
 //                         run of the program body)
 //   --trace-format FMT    jsonl | chrome (default: jsonl)
+//   --version             print tool version and build provenance
+//
+// Stats files and exported traces carry a provenance block (git hash,
+// compiler, build type, thread count); runs with telemetry also maintain
+// the online leakage accountant, so --stats includes the leak.* namespace
+// and traces include per-window leak_budget spans.
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,9 +42,11 @@
 #include "analysis/RandomProgram.h"
 #include "exp/ParallelRunner.h"
 #include "obs/Json.h"
+#include "obs/LeakAudit.h"
 #include "obs/Metrics.h"
 #include "obs/Phase.h"
 #include "obs/Telemetry.h"
+#include "support/BuildInfo.h"
 #include "hw/HardwareModels.h"
 #include "lang/Parser.h"
 #include "lang/PrettyPrinter.h"
@@ -92,8 +100,26 @@ int usage(const std::string &BadArg = "") {
                "  [--adversary LEVEL] [--no-equal-labels]\n"
                "  [--threads N] [--json FILE]\n"
                "  [--stats[=FILE]] [--trace-out FILE]\n"
-               "  [--trace-format jsonl|chrome]\n");
+               "  [--trace-format jsonl|chrome]\n"
+               "   zamc --version\n");
   return 2;
+}
+
+/// Parses --adversary into a lattice level. Sets \p Err (with a message)
+/// when the name does not resolve; nullopt without error means no
+/// adversary was requested.
+std::optional<Label> adversaryLabel(const Options &Opts,
+                                    const SecurityLattice &Lat, bool &Err) {
+  Err = false;
+  if (Opts.Adversary.empty())
+    return std::nullopt;
+  std::optional<Label> L = Lat.byName(Opts.Adversary);
+  if (!L) {
+    std::fprintf(stderr, "error: unknown level '%s'\n",
+                 Opts.Adversary.c_str());
+    Err = true;
+  }
+  return L;
 }
 
 /// Writes \p Doc to \p Path when requested; true on success (or no-op).
@@ -234,6 +260,7 @@ bool emitStatsIfRequested(const Options &Opts, const MetricsRegistry &Reg) {
     return true;
   }
   JsonValue Doc = JsonValue::object();
+  Doc["meta"] = provenanceJson(resolveThreadCount(Opts.Threads));
   Doc["metrics"] = Reg.toJson();
   Doc["phases"] = Phases.toJson();
   std::FILE *F = std::fopen(Opts.StatsPath.c_str(), "w");
@@ -254,15 +281,12 @@ bool emitTraceIfRequested(const Options &Opts, const Trace &T,
   if (Opts.TraceOutPath.empty())
     return true;
   TraceExportOptions EOpts;
-  if (!Opts.Adversary.empty()) {
-    EOpts.Adversary = Lat.byName(Opts.Adversary);
-    if (!EOpts.Adversary) {
-      std::fprintf(stderr, "error: unknown level '%s'\n",
-                   Opts.Adversary.c_str());
-      return false;
-    }
-  }
+  bool AdvErr = false;
+  EOpts.Adversary = adversaryLabel(Opts, Lat, AdvErr);
+  if (AdvErr)
+    return false;
   std::unique_ptr<TraceSink> Sink = makeTraceSink(Opts.TraceFmt);
+  Sink->header(provenanceArgs(resolveThreadCount(Opts.Threads)));
   size_t Emitted = exportTrace(*Sink, T, Lat, EOpts);
   const std::string &Text = Sink->finish();
   std::FILE *F = std::fopen(Opts.TraceOutPath.c_str(), "w");
@@ -313,8 +337,19 @@ int cmdRun(Program &P, const Options &Opts, bool Timeline) {
   if (int Rc = checkProgram(P, Opts, /*Verbose=*/false))
     return Rc;
   auto Env = createMachineEnv(Opts.Hw, P.lattice());
+  bool AdvErr = false;
+  std::optional<Label> Adv = adversaryLabel(Opts, P.lattice(), AdvErr);
+  if (AdvErr)
+    return 1;
+  // The online accountant: windows are priced as they settle, through the
+  // interpreter hook — the same projection the trace exporter applies.
+  LeakAudit Audit(P.lattice(), Adv);
   InterpreterOptions IOpts;
   IOpts.RecordMisses = !Opts.TraceOutPath.empty();
+  if (wantsTelemetry(Opts))
+    IOpts.OnMitigateWindow = [&Audit](const MitigateRecord &R) {
+      Audit.onWindow(R);
+    };
   FullInterpreter Interp(P, *Env, IOpts);
   for (const auto &[Var, Value] : Opts.Overrides) {
     if (!Interp.memory().hasVar(Var)) {
@@ -331,6 +366,7 @@ int cmdRun(Program &P, const Options &Opts, bool Timeline) {
   if (wantsTelemetry(Opts)) {
     MetricsRegistry Reg;
     collectRunMetrics(Reg, R.T, R.Hw, P.lattice());
+    Audit.exportMetrics(Reg);
     if (!emitTraceIfRequested(Opts, R.T, P.lattice()) ||
         !emitStatsIfRequested(Opts, Reg))
       return 1;
@@ -428,8 +464,13 @@ int cmdLeakage(Program &P, const Options &Opts) {
     // Counters and timeline of one representative run: the first secret
     // variation on a fresh environment.
     auto StatsEnv = createMachineEnv(Opts.Hw, Lat);
+    bool AdvErr = false;
+    LeakAudit Audit(Lat, adversaryLabel(Opts, Lat, AdvErr));
     InterpreterOptions IOpts;
     IOpts.RecordMisses = !Opts.TraceOutPath.empty();
+    IOpts.OnMitigateWindow = [&Audit](const MitigateRecord &MR) {
+      Audit.onWindow(MR);
+    };
     RunResult Rep = [&] {
       auto Scope = Phases.scope("run");
       return runFull(
@@ -442,6 +483,7 @@ int cmdLeakage(Program &P, const Options &Opts) {
     }();
     MetricsRegistry Reg;
     collectRunMetrics(Reg, Rep.T, Rep.Hw, Lat);
+    Audit.exportMetrics(Reg);
     if (!emitTraceIfRequested(Opts, Rep.T, Lat) ||
         !emitStatsIfRequested(Opts, Reg))
       return 1;
@@ -491,14 +533,20 @@ int cmdAudit(Program &P, const Options &Opts) {
     // The audit itself runs random single commands, not the program; the
     // telemetry of record is one plain run of the program body.
     auto StatsEnv = createMachineEnv(Opts.Hw, Lat);
+    bool AdvErr = false;
+    LeakAudit Audit(Lat, adversaryLabel(Opts, Lat, AdvErr));
     InterpreterOptions IOpts;
     IOpts.RecordMisses = !Opts.TraceOutPath.empty();
+    IOpts.OnMitigateWindow = [&Audit](const MitigateRecord &MR) {
+      Audit.onWindow(MR);
+    };
     RunResult Rep = [&] {
       auto Scope = Phases.scope("run");
       return runFull(P, *StatsEnv, IOpts);
     }();
     MetricsRegistry Reg;
     collectRunMetrics(Reg, Rep.T, Rep.Hw, Lat);
+    Audit.exportMetrics(Reg);
     if (!emitTraceIfRequested(Opts, Rep.T, Lat) ||
         !emitStatsIfRequested(Opts, Reg))
       return 1;
@@ -589,6 +637,11 @@ int cmdAudit(Program &P, const Options &Opts) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc == 2 && !std::strcmp(Argv[1], "--version")) {
+    std::printf("%s\n", buildSummary().c_str());
+    return 0;
+  }
+
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage(Opts.BadArg);

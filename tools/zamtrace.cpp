@@ -1,0 +1,746 @@
+//===- zamtrace.cpp - Offline trace analysis and regression gate ----------===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline half of the leakage-observability story. `zamtrace report`
+/// reads a telemetry trace (JSONL or Chrome trace-event, as written by
+/// `zamc --trace-out` or a bench's `--trace-out`) and produces
+///
+///   * the adversary-observed timing histogram over mitigate windows,
+///   * a mitigation overhead attribution (consumed vs padded cycles, per
+///     window and aggregate, with mispredicted windows called out), and
+///   * an offline recomputation of the Sec. 6 leakage bound from the
+///     `leak_budget` spans. With `--stats <file>` the recomputed figures
+///     are cross-checked bit-for-bit against the online `leak.*` metrics
+///     the run exported; any drift is a hard error (exit 1).
+///
+/// `zamtrace diff A B` compares two runs (traces or stats/report JSON
+/// documents) and exits nonzero when B regresses beyond budget:
+/// `--budget-bits X` allows the total leakage bound to grow by at most X
+/// bits (default 0), `--budget-pct P` additionally caps the relative
+/// growth of mitigation overhead (mit.padded_idle_cycles,
+/// mit.mispredictions). CI runs this against committed BENCH_*.json
+/// baselines. Only the `metrics` object participates in a diff — `meta`
+/// provenance and wall-clock tails never affect the verdict.
+///
+/// Exit codes: 0 ok, 1 cross-check failure or budget regression, 2 usage
+/// or input error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/LeakAudit.h"
+#include "support/BuildInfo.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace zam;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Input loading: JSONL traces, Chrome traces, stats/report documents.
+//===----------------------------------------------------------------------===//
+
+/// One trace record, normalized across the JSONL and Chrome encodings.
+struct TraceRec {
+  std::string Kind; ///< "span", "instant" or "counter".
+  std::string Name;
+  std::string Cat;
+  uint64_t Ts = 0;
+  uint64_t Dur = 0;
+  JsonValue Args;
+};
+
+/// A parsed input file: either a trace (Records filled) or a stats/report
+/// document (Metrics filled). Meta carries the provenance block when the
+/// input had one.
+struct LoadedInput {
+  bool IsTrace = false;
+  std::vector<TraceRec> Records;
+  JsonValue Meta;
+  JsonValue Metrics;
+};
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+uint64_t numField(const JsonValue &Obj, const char *Key) {
+  const JsonValue *V = Obj.find(Key);
+  return V && V->kind() == JsonValue::Kind::Number
+             ? static_cast<uint64_t>(V->asNumber())
+             : 0;
+}
+
+std::string strField(const JsonValue &Obj, const char *Key) {
+  const JsonValue *V = Obj.find(Key);
+  return V && V->kind() == JsonValue::Kind::String ? V->asString()
+                                                   : std::string();
+}
+
+/// Maps one parsed JSON object (a JSONL line or a Chrome event) onto a
+/// TraceRec, routing meta/provenance blocks into \p Meta. \returns false
+/// when the object is a header rather than a record.
+bool decodeRecord(const JsonValue &Obj, TraceRec &R, JsonValue &Meta) {
+  if (const JsonValue *Ph = Obj.find("ph")) {
+    // Chrome trace-event encoding.
+    const std::string &P = Ph->asString();
+    if (P == "M") {
+      if (const JsonValue *Args = Obj.find("args"))
+        Meta = *Args;
+      return false;
+    }
+    R.Kind = P == "X" ? "span" : P == "C" ? "counter" : "instant";
+  } else {
+    R.Kind = strField(Obj, "kind");
+    if (R.Kind == "meta") {
+      if (const JsonValue *Args = Obj.find("args"))
+        Meta = *Args;
+      return false;
+    }
+  }
+  R.Name = strField(Obj, "name");
+  R.Cat = strField(Obj, "cat");
+  R.Ts = numField(Obj, "ts");
+  R.Dur = numField(Obj, "dur");
+  if (const JsonValue *Args = Obj.find("args"))
+    R.Args = *Args;
+  return true;
+}
+
+/// Classifies and parses \p Path: a JSON object with a `metrics` member is
+/// a stats/report document, a JSON array is a Chrome trace, anything else
+/// is treated as JSONL (one record per line).
+std::optional<LoadedInput> loadInput(const std::string &Path) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    return std::nullopt;
+  }
+  size_t First = Text.find_first_not_of(" \t\r\n");
+  if (First == std::string::npos) {
+    std::fprintf(stderr, "error: '%s' is empty\n", Path.c_str());
+    return std::nullopt;
+  }
+
+  LoadedInput In;
+  if (Text[First] == '[') {
+    std::optional<JsonValue> Doc = JsonValue::parse(Text);
+    if (!Doc || Doc->kind() != JsonValue::Kind::Array) {
+      std::fprintf(stderr, "error: '%s' is not a valid Chrome trace\n",
+                   Path.c_str());
+      return std::nullopt;
+    }
+    In.IsTrace = true;
+    for (size_t I = 0; I != Doc->size(); ++I) {
+      TraceRec R;
+      if (decodeRecord(Doc->at(I), R, In.Meta))
+        In.Records.push_back(std::move(R));
+    }
+    return In;
+  }
+
+  std::optional<JsonValue> Whole = JsonValue::parse(Text);
+  if (Whole && Whole->kind() == JsonValue::Kind::Object &&
+      Whole->find("metrics")) {
+    In.IsTrace = false;
+    In.Metrics = *Whole->find("metrics");
+    if (const JsonValue *Meta = Whole->find("meta"))
+      In.Meta = *Meta;
+    return In;
+  }
+
+  // JSONL: parse line by line.
+  In.IsTrace = true;
+  std::istringstream Lines(Text);
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    std::optional<JsonValue> Obj = JsonValue::parse(Line);
+    if (!Obj || Obj->kind() != JsonValue::Kind::Object) {
+      std::fprintf(stderr, "error: %s:%zu: malformed trace line\n",
+                   Path.c_str(), LineNo);
+      return std::nullopt;
+    }
+    TraceRec R;
+    if (decodeRecord(*Obj, R, In.Meta))
+      In.Records.push_back(std::move(R));
+  }
+  return In;
+}
+
+//===----------------------------------------------------------------------===//
+// Report: histogram, overhead attribution, offline leakage recompute.
+//===----------------------------------------------------------------------===//
+
+/// One mitigate window's cost split, from a `mit` span.
+struct WindowCost {
+  std::string Name;
+  uint64_t Ts = 0;
+  uint64_t Dur = 0;
+  uint64_t Consumed = 0;
+  uint64_t Padded = 0;
+  bool Mispredicted = false;
+};
+
+/// Per-level offline leakage account, rebuilt from `leak_budget` spans in
+/// trace order so the double sums match the online accountant bit for bit.
+struct LevelRecompute {
+  uint64_t Windows = 0;
+  unsigned Misses = 0;
+  double BitsBound = 0;
+};
+
+struct Analysis {
+  std::vector<WindowCost> Windows;
+  std::map<uint64_t, uint64_t> DurationHistogram;
+  uint64_t TotalCycles = 0;
+  uint64_t ConsumedCycles = 0;
+  uint64_t PaddedCycles = 0;
+  uint64_t MispredictedWindows = 0;
+  uint64_t MispredictedCycles = 0;
+  /// Level name -> account, insertion-ordered by first appearance.
+  std::vector<std::pair<std::string, LevelRecompute>> Levels;
+  uint64_t LeakWindows = 0;
+};
+
+LevelRecompute &levelAccount(Analysis &A, const std::string &Name) {
+  for (auto &[N, Acc] : A.Levels)
+    if (N == Name)
+      return Acc;
+  A.Levels.emplace_back(Name, LevelRecompute{});
+  return A.Levels.back().second;
+}
+
+/// Walks the trace once: mit spans feed the histogram and the overhead
+/// attribution; leak spans are re-priced with the shared bound core and
+/// checked against the online figures the producer embedded in the span
+/// args. \returns false (after a diagnostic) on any drift.
+bool analyzeTrace(const LoadedInput &In, Analysis &A) {
+  for (const TraceRec &R : In.Records) {
+    if (R.Kind != "span")
+      continue;
+    if (R.Cat == "mit") {
+      WindowCost W;
+      W.Name = R.Name;
+      W.Ts = R.Ts;
+      W.Dur = R.Dur;
+      W.Consumed = numField(R.Args, "consumed");
+      W.Padded = numField(R.Args, "padded");
+      W.Mispredicted = strField(R.Args, "mispredicted") == "true";
+      A.TotalCycles += W.Dur;
+      A.ConsumedCycles += W.Consumed;
+      A.PaddedCycles += W.Padded;
+      if (W.Mispredicted) {
+        ++A.MispredictedWindows;
+        A.MispredictedCycles += W.Dur;
+      }
+      ++A.DurationHistogram[W.Dur];
+      A.Windows.push_back(std::move(W));
+    } else if (R.Cat == "leak") {
+      const std::string Level = strField(R.Args, "level");
+      const int64_t Estimate =
+          static_cast<int64_t>(numField(R.Args, "estimate"));
+      const uint64_t Attainable = numField(R.Args, "attainable");
+      const JsonValue *Bits = R.Args.find("window_bits");
+      const JsonValue *Cum = R.Args.find("cum_level_bits");
+      if (Level.empty() || !Bits || !Cum) {
+        std::fprintf(stderr, "error: leak span '%s' is missing args\n",
+                     R.Name.c_str());
+        return false;
+      }
+      const uint64_t Completed = R.Ts + R.Dur;
+      const uint64_t WantAttainable =
+          attainableScheduleValues(Estimate, Completed);
+      const double WantBits = windowBoundBits(Estimate, Completed);
+      if (Attainable != WantAttainable || Bits->asNumber() != WantBits) {
+        std::fprintf(stderr,
+                     "error: leak span '%s' drifted from the bound core: "
+                     "attainable %llu (recomputed %llu), window_bits %s "
+                     "(recomputed %s)\n",
+                     R.Name.c_str(),
+                     static_cast<unsigned long long>(Attainable),
+                     static_cast<unsigned long long>(WantAttainable),
+                     jsonNumberString(Bits->asNumber()).c_str(),
+                     jsonNumberString(WantBits).c_str());
+        return false;
+      }
+      LevelRecompute &Acc = levelAccount(A, Level);
+      ++Acc.Windows;
+      Acc.Misses = static_cast<unsigned>(numField(R.Args, "misses_after"));
+      Acc.BitsBound += WantBits;
+      if (Cum->asNumber() != Acc.BitsBound) {
+        std::fprintf(stderr,
+                     "error: leak span '%s' cumulative bound drifted: "
+                     "cum_level_bits %s, recomputed %s\n",
+                     R.Name.c_str(),
+                     jsonNumberString(Cum->asNumber()).c_str(),
+                     jsonNumberString(Acc.BitsBound).c_str());
+        return false;
+      }
+      ++A.LeakWindows;
+    }
+  }
+  return true;
+}
+
+const LevelRecompute *findLevel(const Analysis &A, const std::string &Name) {
+  for (const auto &[N, Acc] : A.Levels)
+    if (N == Name)
+      return &Acc;
+  return nullptr;
+}
+
+/// Cross-checks the offline recompute against the online `leak.*` metrics
+/// in \p Metrics. Equality is exact double equality: the producer
+/// serializes with shortest-round-trip formatting and both sides sum in
+/// the same order, so any difference is a real divergence. The total is
+/// re-summed in stats-key order to mirror the online lattice-order sum.
+bool crossCheck(const Analysis &A, const JsonValue &Metrics) {
+  bool SawAny = false;
+  double TotalBits = 0;
+  bool Ok = true;
+  auto Fail = [&Ok](const std::string &Key, double Stats, double Recomputed) {
+    std::fprintf(stderr,
+                 "error: cross-check failed on %s: stats %s, offline %s\n",
+                 Key.c_str(), jsonNumberString(Stats).c_str(),
+                 jsonNumberString(Recomputed).c_str());
+    Ok = false;
+  };
+  for (const auto &[Key, Val] : Metrics.members()) {
+    if (Key.rfind("leak.", 0) != 0 ||
+        Val.kind() != JsonValue::Kind::Number)
+      continue;
+    SawAny = true;
+    const double V = Val.asNumber();
+    if (Key == "leak.windows") {
+      if (V != static_cast<double>(A.LeakWindows))
+        Fail(Key, V, static_cast<double>(A.LeakWindows));
+      continue;
+    }
+    if (Key == "leak.total_bits_bound") {
+      if (V != TotalBits)
+        Fail(Key, V, TotalBits);
+      continue;
+    }
+    size_t Dot = Key.rfind('.');
+    const std::string Level = Key.substr(5, Dot - 5);
+    const std::string Field = Key.substr(Dot + 1);
+    const LevelRecompute *Acc = findLevel(A, Level);
+    if (Field == "windows") {
+      const double Want = Acc ? static_cast<double>(Acc->Windows) : 0.0;
+      if (V != Want)
+        Fail(Key, V, Want);
+    } else if (Field == "bits_bound") {
+      // Levels absent from the trace contribute exactly 0.0, so summing
+      // in stats-key order reproduces the online lattice-order total.
+      const double Want = Acc ? Acc->BitsBound : 0.0;
+      TotalBits += Want;
+      if (V != Want)
+        Fail(Key, V, Want);
+    } else if (Field == "mispredict_penalty_bits") {
+      const double Want = Acc ? mispredictPenaltyBits(Acc->Misses) : 0.0;
+      if (V != Want)
+        Fail(Key, V, Want);
+    }
+  }
+  if (!SawAny) {
+    std::fprintf(stderr,
+                 "error: stats document has no leak.* metrics to check\n");
+    return false;
+  }
+  return Ok;
+}
+
+JsonValue analysisJson(const LoadedInput &In, const Analysis &A) {
+  JsonValue Doc = JsonValue::object();
+  if (!In.Meta.isNull())
+    Doc["meta"] = In.Meta;
+  JsonValue Hist = JsonValue::array();
+  for (const auto &[Dur, Count] : A.DurationHistogram) {
+    JsonValue Bin = JsonValue::object();
+    Bin["duration"] = JsonValue(Dur);
+    Bin["windows"] = JsonValue(Count);
+    Hist.push(std::move(Bin));
+  }
+  Doc["histogram"] = std::move(Hist);
+  JsonValue Wins = JsonValue::array();
+  for (const WindowCost &W : A.Windows) {
+    JsonValue Obj = JsonValue::object();
+    Obj["name"] = JsonValue(W.Name);
+    Obj["ts"] = JsonValue(W.Ts);
+    Obj["duration"] = JsonValue(W.Dur);
+    Obj["consumed"] = JsonValue(W.Consumed);
+    Obj["padded"] = JsonValue(W.Padded);
+    Obj["mispredicted"] = JsonValue(W.Mispredicted);
+    Wins.push(std::move(Obj));
+  }
+  Doc["windows"] = std::move(Wins);
+  JsonValue Over = JsonValue::object();
+  Over["windows"] = JsonValue(static_cast<uint64_t>(A.Windows.size()));
+  Over["window_cycles"] = JsonValue(A.TotalCycles);
+  Over["consumed_cycles"] = JsonValue(A.ConsumedCycles);
+  Over["padded_cycles"] = JsonValue(A.PaddedCycles);
+  Over["mispredicted_windows"] = JsonValue(A.MispredictedWindows);
+  Over["mispredicted_cycles"] = JsonValue(A.MispredictedCycles);
+  Doc["overhead"] = std::move(Over);
+  JsonValue Leak = JsonValue::object();
+  JsonValue Levels = JsonValue::object();
+  double Total = 0;
+  for (const auto &[Name, Acc] : A.Levels) {
+    JsonValue Obj = JsonValue::object();
+    Obj["windows"] = JsonValue(Acc.Windows);
+    Obj["bits_bound"] = JsonValue(Acc.BitsBound);
+    Obj["mispredict_penalty_bits"] =
+        JsonValue(mispredictPenaltyBits(Acc.Misses));
+    Levels[Name] = std::move(Obj);
+    Total += Acc.BitsBound;
+  }
+  Leak["levels"] = std::move(Levels);
+  Leak["windows"] = JsonValue(A.LeakWindows);
+  Leak["total_bits_bound"] = JsonValue(Total);
+  Doc["leak"] = std::move(Leak);
+  return Doc;
+}
+
+void printReport(const LoadedInput &In, const Analysis &A) {
+  if (!In.Meta.isNull())
+    std::printf("trace producer: %s %s (git %s)\n",
+                strField(In.Meta, "tool").c_str(),
+                strField(In.Meta, "version").c_str(),
+                strField(In.Meta, "git").c_str());
+  std::printf("\nadversary-observed timing histogram (%zu windows):\n",
+              A.Windows.size());
+  std::printf("  %12s  %8s\n", "duration", "windows");
+  for (const auto &[Dur, Count] : A.DurationHistogram)
+    std::printf("  %12llu  %8llu\n", static_cast<unsigned long long>(Dur),
+                static_cast<unsigned long long>(Count));
+
+  std::printf("\nmitigation overhead attribution:\n");
+  std::printf("  %-14s %10s %10s %10s  %s\n", "window", "duration",
+              "consumed", "padded", "mispredicted");
+  for (const WindowCost &W : A.Windows)
+    std::printf("  %-14s %10llu %10llu %10llu  %s\n", W.Name.c_str(),
+                static_cast<unsigned long long>(W.Dur),
+                static_cast<unsigned long long>(W.Consumed),
+                static_cast<unsigned long long>(W.Padded),
+                W.Mispredicted ? "yes" : "no");
+  std::printf("  aggregate: %llu cycles in windows, %llu consumed, "
+              "%llu padded, %llu mispredicted windows (%llu cycles)\n",
+              static_cast<unsigned long long>(A.TotalCycles),
+              static_cast<unsigned long long>(A.ConsumedCycles),
+              static_cast<unsigned long long>(A.PaddedCycles),
+              static_cast<unsigned long long>(A.MispredictedWindows),
+              static_cast<unsigned long long>(A.MispredictedCycles));
+
+  std::printf("\noffline leakage bound (Sec. 6, fast-doubling):\n");
+  double Total = 0;
+  for (const auto &[Name, Acc] : A.Levels) {
+    std::printf("  level %-6s windows=%llu bits_bound=%s "
+                "mispredict_penalty_bits=%s\n",
+                Name.c_str(), static_cast<unsigned long long>(Acc.Windows),
+                jsonNumberString(Acc.BitsBound).c_str(),
+                jsonNumberString(mispredictPenaltyBits(Acc.Misses)).c_str());
+    Total += Acc.BitsBound;
+  }
+  std::printf("  total: %llu counted windows, %s bits\n",
+              static_cast<unsigned long long>(A.LeakWindows),
+              jsonNumberString(Total).c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Diff: metric extraction and budget comparison.
+//===----------------------------------------------------------------------===//
+
+/// Flattens an input into comparable metrics. Stats documents contribute
+/// their `metrics` object verbatim; traces are analyzed and contribute the
+/// recomputed leak.* and mit.* figures, so `diff base.trace new.trace`
+/// works without a stats side-channel.
+std::optional<std::vector<std::pair<std::string, double>>>
+loadComparable(const std::string &Path) {
+  std::optional<LoadedInput> In = loadInput(Path);
+  if (!In)
+    return std::nullopt;
+  std::vector<std::pair<std::string, double>> Out;
+  if (!In->IsTrace) {
+    for (const auto &[Key, Val] : In->Metrics.members())
+      if (Val.kind() == JsonValue::Kind::Number)
+        Out.emplace_back(Key, Val.asNumber());
+    return Out;
+  }
+  Analysis A;
+  if (!analyzeTrace(*In, A))
+    return std::nullopt;
+  double Total = 0;
+  for (const auto &[Name, Acc] : A.Levels) {
+    Out.emplace_back("leak." + Name + ".windows",
+                     static_cast<double>(Acc.Windows));
+    Out.emplace_back("leak." + Name + ".bits_bound", Acc.BitsBound);
+    Out.emplace_back("leak." + Name + ".mispredict_penalty_bits",
+                     mispredictPenaltyBits(Acc.Misses));
+    Total += Acc.BitsBound;
+  }
+  Out.emplace_back("leak.windows", static_cast<double>(A.LeakWindows));
+  Out.emplace_back("leak.total_bits_bound", Total);
+  Out.emplace_back("mit.predictions", static_cast<double>(A.Windows.size()));
+  Out.emplace_back("mit.mispredictions",
+                   static_cast<double>(A.MispredictedWindows));
+  Out.emplace_back("mit.padded_idle_cycles",
+                   static_cast<double>(A.PaddedCycles));
+  return Out;
+}
+
+double lookup(const std::vector<std::pair<std::string, double>> &M,
+              const std::string &Key, bool &Found) {
+  for (const auto &[K, V] : M)
+    if (K == Key) {
+      Found = true;
+      return V;
+    }
+  Found = false;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Command-line driver.
+//===----------------------------------------------------------------------===//
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: zamtrace report <trace> [--stats FILE] [--json FILE]\n"
+      "       zamtrace diff <base> <candidate> [--budget-bits X]\n"
+      "                [--budget-pct P] [--json FILE]\n"
+      "       zamtrace --version\n"
+      "\n"
+      "report: histogram, overhead attribution and offline leakage bound\n"
+      "        for a JSONL or Chrome trace; --stats cross-checks the\n"
+      "        recomputed bound bit-for-bit against the run's leak.*\n"
+      "        metrics (mismatch exits 1).\n"
+      "diff:   compares two runs (traces or --stats/--json documents) and\n"
+      "        exits 1 when the candidate exceeds the leakage or overhead\n"
+      "        budget. Only the metrics object is compared.\n");
+  return 2;
+}
+
+bool writeJsonFile(const JsonValue &Doc, const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  std::string Text = Doc.dump();
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fclose(F) == 0;
+  if (!Ok)
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+  return Ok;
+}
+
+int cmdReport(int Argc, char **Argv) {
+  std::string TracePath, StatsPath, JsonPath;
+  for (int I = 2; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--stats") && I + 1 < Argc)
+      StatsPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (Argv[I][0] != '-' && TracePath.empty())
+      TracePath = Argv[I];
+    else {
+      std::fprintf(stderr, "unknown or malformed argument '%s'\n", Argv[I]);
+      return usage();
+    }
+  }
+  if (TracePath.empty())
+    return usage();
+
+  std::optional<LoadedInput> In = loadInput(TracePath);
+  if (!In)
+    return 2;
+  if (!In->IsTrace) {
+    std::fprintf(stderr, "error: '%s' is a stats document, not a trace\n",
+                 TracePath.c_str());
+    return 2;
+  }
+  Analysis A;
+  if (!analyzeTrace(*In, A))
+    return 1;
+  printReport(*In, A);
+
+  std::string CrossCheck = "not requested";
+  if (!StatsPath.empty()) {
+    std::optional<LoadedInput> Stats = loadInput(StatsPath);
+    if (!Stats)
+      return 2;
+    if (Stats->IsTrace || Stats->Metrics.isNull()) {
+      std::fprintf(stderr, "error: '%s' has no metrics object\n",
+                   StatsPath.c_str());
+      return 2;
+    }
+    if (!crossCheck(A, Stats->Metrics)) {
+      std::printf("\ncross-check FAILED: offline bound disagrees with "
+                  "online leak.* metrics\n");
+      return 1;
+    }
+    CrossCheck = "ok";
+    std::printf("\ncross-check OK: offline bound matches online leak.* "
+                "metrics bit-for-bit\n");
+  }
+
+  if (!JsonPath.empty()) {
+    JsonValue Doc = analysisJson(*In, A);
+    Doc["crosscheck"] = JsonValue(CrossCheck);
+    if (!writeJsonFile(Doc, JsonPath))
+      return 2;
+  }
+  return 0;
+}
+
+int cmdDiff(int Argc, char **Argv) {
+  std::string BasePath, CandPath, JsonPath;
+  double BudgetBits = 0;
+  std::optional<double> BudgetPct;
+  for (int I = 2; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--budget-bits") && I + 1 < Argc)
+      BudgetBits = std::strtod(Argv[++I], nullptr);
+    else if (!std::strcmp(Argv[I], "--budget-pct") && I + 1 < Argc)
+      BudgetPct = std::strtod(Argv[++I], nullptr);
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (Argv[I][0] != '-' && BasePath.empty())
+      BasePath = Argv[I];
+    else if (Argv[I][0] != '-' && CandPath.empty())
+      CandPath = Argv[I];
+    else {
+      std::fprintf(stderr, "unknown or malformed argument '%s'\n", Argv[I]);
+      return usage();
+    }
+  }
+  if (BasePath.empty() || CandPath.empty())
+    return usage();
+
+  auto Base = loadComparable(BasePath);
+  auto Cand = loadComparable(CandPath);
+  if (!Base || !Cand)
+    return 2;
+
+  JsonValue Deltas = JsonValue::object();
+  std::vector<std::string> Violations;
+
+  // Leakage budget: the total bound may grow by at most BudgetBits bits.
+  {
+    bool FB = false, FC = false;
+    double B = lookup(*Base, "leak.total_bits_bound", FB);
+    double C = lookup(*Cand, "leak.total_bits_bound", FC);
+    if (!FB || !FC) {
+      std::fprintf(stderr,
+                   "error: %s lacks leak.total_bits_bound; cannot diff\n",
+                   (!FB ? BasePath : CandPath).c_str());
+      return 2;
+    }
+    double Delta = C - B;
+    std::printf("leak.total_bits_bound: base %s, candidate %s, delta %s "
+                "(budget %s bits)\n",
+                jsonNumberString(B).c_str(), jsonNumberString(C).c_str(),
+                jsonNumberString(Delta).c_str(),
+                jsonNumberString(BudgetBits).c_str());
+    JsonValue Obj = JsonValue::object();
+    Obj["base"] = JsonValue(B);
+    Obj["candidate"] = JsonValue(C);
+    Obj["delta"] = JsonValue(Delta);
+    Deltas["leak.total_bits_bound"] = std::move(Obj);
+    if (Delta > BudgetBits)
+      Violations.push_back("leak.total_bits_bound grew by " +
+                           jsonNumberString(Delta) + " bits (budget " +
+                           jsonNumberString(BudgetBits) + ")");
+  }
+
+  // Overhead budget: relative growth of padding and mispredictions.
+  if (BudgetPct) {
+    for (const char *Key : {"mit.padded_idle_cycles", "mit.mispredictions"}) {
+      bool FB = false, FC = false;
+      double B = lookup(*Base, Key, FB);
+      double C = lookup(*Cand, Key, FC);
+      if (!FB || !FC)
+        continue;
+      double Pct = B > 0 ? (C - B) / B * 100.0
+                         : (C > 0 ? 100.0 : 0.0);
+      std::printf("%s: base %s, candidate %s, %+.2f%% (budget %.2f%%)\n",
+                  Key, jsonNumberString(B).c_str(),
+                  jsonNumberString(C).c_str(), Pct, *BudgetPct);
+      JsonValue Obj = JsonValue::object();
+      Obj["base"] = JsonValue(B);
+      Obj["candidate"] = JsonValue(C);
+      Obj["pct"] = JsonValue(Pct);
+      Deltas[Key] = std::move(Obj);
+      if (Pct > *BudgetPct) {
+        char Buf[160];
+        std::snprintf(Buf, sizeof(Buf), "%s grew by %.2f%% (budget %.2f%%)",
+                      Key, Pct, *BudgetPct);
+        Violations.push_back(Buf);
+      }
+    }
+  }
+
+  if (!JsonPath.empty()) {
+    JsonValue Doc = JsonValue::object();
+    Doc["base"] = JsonValue(BasePath);
+    Doc["candidate"] = JsonValue(CandPath);
+    Doc["deltas"] = std::move(Deltas);
+    JsonValue Viol = JsonValue::array();
+    for (const std::string &V : Violations)
+      Viol.push(JsonValue(V));
+    Doc["violations"] = std::move(Viol);
+    Doc["verdict"] = JsonValue(Violations.empty() ? "ok" : "regression");
+    if (!writeJsonFile(Doc, JsonPath))
+      return 2;
+  }
+
+  if (!Violations.empty()) {
+    for (const std::string &V : Violations)
+      std::printf("REGRESSION: %s\n", V.c_str());
+    return 1;
+  }
+  std::printf("within budget\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc == 2 && !std::strcmp(Argv[1], "--version")) {
+    std::printf("%s\n", buildSummary().c_str());
+    return 0;
+  }
+  if (Argc < 2)
+    return usage();
+  if (!std::strcmp(Argv[1], "report"))
+    return cmdReport(Argc, Argv);
+  if (!std::strcmp(Argv[1], "diff"))
+    return cmdDiff(Argc, Argv);
+  std::fprintf(stderr, "unknown command '%s'\n", Argv[1]);
+  return usage();
+}
