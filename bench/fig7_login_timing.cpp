@@ -18,6 +18,7 @@
 #include "exp/Harness.h"
 #include "exp/Scenario.h"
 #include "hw/HardwareModels.h"
+#include "obs/CostLedger.h"
 #include "obs/LeakAudit.h"
 #include "obs/Telemetry.h"
 
@@ -113,17 +114,24 @@ int main(int Argc, char **Argv) {
   // Telemetry of record: one mitigated attempt against the first table on a
   // fresh environment — deterministic, so it is safe in byte-stable JSON.
   // The leakage accountant prices its mitigate windows into the leak.*
-  // metrics, and --trace-out exports the run for offline zamtrace checks.
+  // metrics, the source profiler attributes the run's costs into prof.*
+  // (hot lines plus the per-mitigate-site sub-accounts), and --trace-out
+  // exports the run for offline zamtrace checks.
   {
     auto Env = createMachineEnv(HwKind::Partitioned, Lat);
     Program P = buildLoginProgram(Lat, Tables[0], Padded);
-    RunResult Rep = runFull(P, *Env, [&](Memory &M) {
-      setLoginRequest(M, "user0", "pass0");
-    });
+    CostLedger Ledger;
+    InterpreterOptions IOpts;
+    IOpts.Provenance = &Ledger;
+    RunResult Rep = runFull(
+        P, *Env, [&](Memory &M) { setLoginRequest(M, "user0", "pass0"); },
+        IOpts);
     collectRunMetrics(R.metrics(), Rep.T, Rep.Hw, Lat);
     LeakAudit Audit(Lat);
     Audit.ingest(Rep.T);
     Audit.exportMetrics(R.metrics());
+    Ledger.applyLeakage(Audit);
+    Ledger.exportMetrics(R.metrics());
     if (!emitBenchTrace(Rep.T, Lat, Harness))
       return 2;
   }

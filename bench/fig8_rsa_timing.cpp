@@ -17,6 +17,7 @@
 #include "exp/Harness.h"
 #include "exp/Scenario.h"
 #include "hw/HardwareModels.h"
+#include "obs/CostLedger.h"
 #include "obs/LeakAudit.h"
 #include "obs/Telemetry.h"
 
@@ -117,6 +118,8 @@ int main(int Argc, char **Argv) {
 
   // Telemetry of record: one mitigated keyA decryption on a fresh
   // environment (deterministic; appears as the report's "metrics" object).
+  // The source profiler rides along, attributing the run into prof.* —
+  // per-block mitigate sites show up as prof.site.m<η> sub-accounts.
   {
     RsaProgramConfig Config;
     Config.Mode = RsaMitigationMode::PerBlock;
@@ -124,12 +127,17 @@ int main(int Argc, char **Argv) {
     Config.MaxBlocks = BlocksPerMessage;
     auto Env = createMachineEnv(HwKind::Partitioned, Lat);
     Program P = buildRsaProgram(Lat, KeyA, Config);
+    CostLedger Ledger;
+    InterpreterOptions IOpts;
+    IOpts.Provenance = &Ledger;
     RunResult Rep = runFull(
-        P, *Env, [&](Memory &M) { setRsaMessage(M, MsgsA[0]); });
+        P, *Env, [&](Memory &M) { setRsaMessage(M, MsgsA[0]); }, IOpts);
     collectRunMetrics(R.metrics(), Rep.T, Rep.Hw, Lat);
     LeakAudit Audit(Lat);
     Audit.ingest(Rep.T);
     Audit.exportMetrics(R.metrics());
+    Ledger.applyLeakage(Audit);
+    Ledger.exportMetrics(R.metrics());
     if (!emitBenchTrace(Rep.T, Lat, Harness))
       return 2;
   }

@@ -63,6 +63,15 @@ UnifiedHwBase::UnifiedHwBase(HwKind Kind, const SecurityLattice &Lat,
       L1I(Config.L1I), L2I(Config.L2I), DTlb(Config.DTlb), ITlb(Config.ITlb) {}
 
 namespace {
+/// The delta between two event snapshots of one structure.
+HwEventDelta eventDelta(const CacheEvents &Before, const CacheEvents &After) {
+  HwEventDelta D;
+  D.Evictions = static_cast<uint32_t>(After.Evictions - Before.Evictions);
+  D.Writebacks = static_cast<uint32_t>(After.Writebacks - Before.Writebacks);
+  D.LineFills = static_cast<uint32_t>(After.LineFills - Before.LineFills);
+  return D;
+}
+
 /// Walks one TLB + two-level cache path. \p Fill selects between normal
 /// operation and no-fill probing (no installs, no LRU updates). \p IsStore
 /// marks the L1 line dirty (telemetry only; writebacks add no latency).
@@ -118,9 +127,21 @@ uint64_t UnifiedHwBase::dataAccess(Addr A, bool IsStore, Label Read,
   Acc.A = A;
   Acc.IsData = true;
   Acc.IsStore = IsStore;
+  const bool Observed = observer() != nullptr;
+  CacheEvents TlbBefore, L1Before, L2Before;
+  if (Observed) {
+    TlbBefore = DTlb.events();
+    L1Before = L1D.events();
+    L2Before = L2D.events();
+  }
   Acc.Cycles =
       unifiedPath(DTlb, L1D, L2D, A, mayFill(Write), IsStore, Config.MemLatency,
                   Stats.DTlb, Stats.L1D, Stats.L2D, Acc);
+  if (Observed) {
+    Acc.TlbEvents = eventDelta(TlbBefore, DTlb.events());
+    Acc.L1Events = eventDelta(L1Before, L1D.events());
+    Acc.L2Events = eventDelta(L2Before, L2D.events());
+  }
   notifyAccess(Acc);
   return Acc.Cycles;
 }
@@ -130,9 +151,21 @@ uint64_t UnifiedHwBase::fetch(Addr A, Label Read, Label Write) {
          "labels from another lattice");
   HwAccess Acc;
   Acc.A = A;
+  const bool Observed = observer() != nullptr;
+  CacheEvents TlbBefore, L1Before, L2Before;
+  if (Observed) {
+    TlbBefore = ITlb.events();
+    L1Before = L1I.events();
+    L2Before = L2I.events();
+  }
   Acc.Cycles = unifiedPath(ITlb, L1I, L2I, A, mayFill(Write), /*IsStore=*/false,
                            Config.MemLatency, Stats.ITlb, Stats.L1I, Stats.L2I,
                            Acc);
+  if (Observed) {
+    Acc.TlbEvents = eventDelta(TlbBefore, ITlb.events());
+    Acc.L1Events = eventDelta(L1Before, L1I.events());
+    Acc.L2Events = eventDelta(L2Before, L2I.events());
+  }
   notifyAccess(Acc);
   return Acc.Cycles;
 }
@@ -264,6 +297,18 @@ void PartitionedHw::partInstall(Partitioned &P, Addr A, Label Write,
   P[Write.index()].install(A, Dirty);
 }
 
+/// Sums one partitioned structure's event counters over all partitions
+/// (an install may displace stale copies from several of them).
+static CacheEvents sumPartEvents(const std::vector<Cache> &P) {
+  CacheEvents E;
+  for (const Cache &C : P) {
+    E.Evictions += C.events().Evictions;
+    E.Writebacks += C.events().Writebacks;
+    E.LineFills += C.events().LineFills;
+  }
+  return E;
+}
+
 uint64_t PartitionedHw::accessHierarchy(Partitioned &Tlb, Partitioned &L1,
                                         Partitioned &L2, Addr A, Label Read,
                                         Label Write, bool IsData,
@@ -279,6 +324,14 @@ uint64_t PartitionedHw::accessHierarchy(Partitioned &Tlb, Partitioned &L1,
   Acc.IsData = IsData;
   Acc.IsStore = IsStore;
 
+  const bool Observed = observer() != nullptr;
+  CacheEvents TlbBefore, L1Before, L2Before;
+  if (Observed) {
+    TlbBefore = sumPartEvents(Tlb);
+    L1Before = sumPartEvents(L1);
+    L2Before = sumPartEvents(L2);
+  }
+
   if (partLookup(Tlb, A, Read, Write)) {
     ++TlbStats.Hits;
   } else {
@@ -292,6 +345,11 @@ uint64_t PartitionedHw::accessHierarchy(Partitioned &Tlb, Partitioned &L1,
   if (partLookup(L1, A, Read, Write, IsStore)) {
     ++L1Stats.Hits;
     Acc.Cycles = Cycles;
+    if (Observed) {
+      Acc.TlbEvents = eventDelta(TlbBefore, sumPartEvents(Tlb));
+      Acc.L1Events = eventDelta(L1Before, sumPartEvents(L1));
+      Acc.L2Events = eventDelta(L2Before, sumPartEvents(L2));
+    }
     notifyAccess(Acc);
     return Cycles;
   }
@@ -309,6 +367,11 @@ uint64_t PartitionedHw::accessHierarchy(Partitioned &Tlb, Partitioned &L1,
   }
   partInstall(L1, A, Write, IsStore);
   Acc.Cycles = Cycles;
+  if (Observed) {
+    Acc.TlbEvents = eventDelta(TlbBefore, sumPartEvents(Tlb));
+    Acc.L1Events = eventDelta(L1Before, sumPartEvents(L1));
+    Acc.L2Events = eventDelta(L2Before, sumPartEvents(L2));
+  }
   notifyAccess(Acc);
   return Cycles;
 }

@@ -44,6 +44,16 @@ enum class HwKind {
 
 const char *hwKindName(HwKind Kind);
 
+/// Eviction/writeback/line-fill deltas one access caused in one structure
+/// (TLB or cache level). Computed from before/after event snapshots, and
+/// only while an observer is installed — the snapshot cost is skipped on
+/// unobserved runs.
+struct HwEventDelta {
+  uint32_t Evictions = 0;
+  uint32_t Writebacks = 0;
+  uint32_t LineFills = 0;
+};
+
 /// One completed hardware access, as reported to a HwObserver. Purely
 /// observational: produced after the access's latency is fixed.
 struct HwAccess {
@@ -54,6 +64,13 @@ struct HwAccess {
   bool L1Miss = false;
   bool L2Miss = false; ///< Implies L1Miss; the access went to memory.
   uint64_t Cycles = 0; ///< Latency charged for this access.
+  /// Structure-event deltas (valid only while an observer is installed;
+  /// zero otherwise). In the partitioned design each delta sums over the
+  /// structure's partitions — an install may displace stale copies from
+  /// several of them.
+  HwEventDelta TlbEvents;
+  HwEventDelta L1Events;
+  HwEventDelta L2Events;
 };
 
 /// Telemetry hook: receives every hardware access while installed via

@@ -141,7 +141,7 @@ CmdPtr SleepCmd::clone() const {
 CmdPtr MitigateEndCmd::clone() const {
   assert(labels().Read && "MitigateEnd must carry ⊥ labels");
   auto C = std::make_unique<MitigateEndCmd>(Eta, Estimate, MitLevel, PcLabel,
-                                            StartTime, *labels().Read);
+                                            StartTime, *labels().Read, loc());
   C->setNodeId(nodeId());
   return C;
 }

@@ -438,8 +438,8 @@ private:
 class MitigateEndCmd final : public Cmd {
 public:
   MitigateEndCmd(unsigned Eta, int64_t Estimate, Label MitLevel, Label PcLabel,
-                 uint64_t StartTime, Label Bottom)
-      : Cmd(Kind::MitigateEnd, SourceLoc()), Eta(Eta), Estimate(Estimate),
+                 uint64_t StartTime, Label Bottom, SourceLoc Loc = SourceLoc())
+      : Cmd(Kind::MitigateEnd, Loc), Eta(Eta), Estimate(Estimate),
         MitLevel(MitLevel), PcLabel(PcLabel), StartTime(StartTime) {
     labels().Read = Bottom;
     labels().Write = Bottom;

@@ -51,14 +51,14 @@ ExprPtr ProgramBuilder::un(UnOpKind Op, ExprPtr Sub) const {
 }
 
 CmdPtr ProgramBuilder::skip(OptLabel Read, OptLabel Write) const {
-  auto C = std::make_unique<SkipCmd>();
+  auto C = std::make_unique<SkipCmd>(nextLoc());
   setLabels(*C, Read, Write);
   return C;
 }
 
 CmdPtr ProgramBuilder::assign(const std::string &Var, ExprPtr Value,
                               OptLabel Read, OptLabel Write) const {
-  auto C = std::make_unique<AssignCmd>(Var, std::move(Value));
+  auto C = std::make_unique<AssignCmd>(Var, std::move(Value), nextLoc());
   setLabels(*C, Read, Write);
   return C;
 }
@@ -66,8 +66,8 @@ CmdPtr ProgramBuilder::assign(const std::string &Var, ExprPtr Value,
 CmdPtr ProgramBuilder::arrAssign(const std::string &Array, ExprPtr Index,
                                  ExprPtr Value, OptLabel Read,
                                  OptLabel Write) const {
-  auto C =
-      std::make_unique<ArrayAssignCmd>(Array, std::move(Index), std::move(Value));
+  auto C = std::make_unique<ArrayAssignCmd>(Array, std::move(Index),
+                                            std::move(Value), nextLoc());
   setLabels(*C, Read, Write);
   return C;
 }
@@ -90,14 +90,15 @@ CmdPtr ProgramBuilder::seq(std::vector<CmdPtr> Cmds) const {
 CmdPtr ProgramBuilder::ifc(ExprPtr Cond, CmdPtr Then, CmdPtr Else,
                            OptLabel Read, OptLabel Write) const {
   auto C = std::make_unique<IfCmd>(std::move(Cond), std::move(Then),
-                                   std::move(Else));
+                                   std::move(Else), nextLoc());
   setLabels(*C, Read, Write);
   return C;
 }
 
 CmdPtr ProgramBuilder::whilec(ExprPtr Cond, CmdPtr Body, OptLabel Read,
                               OptLabel Write) const {
-  auto C = std::make_unique<WhileCmd>(std::move(Cond), std::move(Body));
+  auto C = std::make_unique<WhileCmd>(std::move(Cond), std::move(Body),
+                                      nextLoc());
   setLabels(*C, Read, Write);
   return C;
 }
@@ -107,14 +108,14 @@ CmdPtr ProgramBuilder::mitigate(ExprPtr InitialEstimate, Label MitLevel,
                                 OptLabel Write) const {
   auto C = std::make_unique<MitigateCmd>(/*MitigateId=*/0,
                                          std::move(InitialEstimate), MitLevel,
-                                         std::move(Body));
+                                         std::move(Body), nextLoc());
   setLabels(*C, Read, Write);
   return C;
 }
 
 CmdPtr ProgramBuilder::sleep(ExprPtr Duration, OptLabel Read,
                              OptLabel Write) const {
-  auto C = std::make_unique<SleepCmd>(std::move(Duration));
+  auto C = std::make_unique<SleepCmd>(std::move(Duration), nextLoc());
   setLabels(*C, Read, Write);
   return C;
 }

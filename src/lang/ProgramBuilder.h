@@ -35,6 +35,13 @@ namespace zam {
 
 /// Builds a Program incrementally. The builder also offers free-standing
 /// node factories so command trees can be composed before being attached.
+///
+/// Every command factory stamps its node with a synthetic source location:
+/// a builder-wide sequence number as the "line" (creation order) and
+/// column 0 to mark it as synthetic. C++-built applications therefore
+/// profile cleanly — `zamc profile`'s ledger and the prof.* metrics
+/// attribute costs to these stable pseudo-lines instead of lumping
+/// everything at the unknown line 0.
 class ProgramBuilder {
 public:
   explicit ProgramBuilder(const SecurityLattice &Lat) : P(Lat) {}
@@ -150,7 +157,11 @@ private:
     C.labels().Write = Write;
   }
 
+  /// The next synthetic location (column 0 marks it builder-made).
+  SourceLoc nextLoc() const { return SourceLoc(++NextLoc, 0); }
+
   Program P;
+  mutable uint32_t NextLoc = 0; ///< Pseudo-line sequence for nextLoc().
 };
 
 } // namespace zam

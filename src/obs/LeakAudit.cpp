@@ -61,6 +61,7 @@ void LeakAudit::onWindow(const MitigateRecord &R) {
   W.Estimate = R.Estimate;
   W.MissesAfter = R.MissesAfter;
   W.Mispredicted = R.Mispredicted;
+  W.Line = R.Line;
   // T_i is the window's own completion time on the global clock: every
   // schedule value attainable by then was a possible public duration.
   W.Attainable = attainableScheduleValues(R.Estimate, R.Start + R.Duration);

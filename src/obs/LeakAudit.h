@@ -82,6 +82,7 @@ struct LeakWindow {
   uint64_t Attainable = 0;   ///< N_i(T_i) at the window's completion time.
   double WindowBits = 0;     ///< log2 N_i(T_i).
   double CumLevelBits = 0;   ///< Running Σ log2 N over this window's level.
+  uint32_t Line = 0;         ///< Source line of the mitigate (0: unknown).
 };
 
 /// Maintains per-security-level running leakage bounds. Feed it windows

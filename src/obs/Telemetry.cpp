@@ -2,6 +2,7 @@
 
 #include "obs/Telemetry.h"
 
+#include "obs/CostLedger.h"
 #include "obs/LeakAudit.h"
 #include "support/BuildInfo.h"
 
@@ -130,6 +131,8 @@ size_t zam::exportTrace(TraceSink &Sink, const Trace &T,
                                        ? M.Duration - M.BodyTime
                                        : 0));
       R.Args.emplace_back("mispredicted", M.Mispredicted ? "true" : "false");
+      if (M.Line != 0)
+        R.Args.emplace_back("loc", std::to_string(M.Line));
       Records.push_back(std::move(R));
     }
 
@@ -154,6 +157,8 @@ size_t zam::exportTrace(TraceSink &Sink, const Trace &T,
       R.Args.emplace_back("cum_level_bits",
                           jsonNumberString(W.CumLevelBits));
       R.Args.emplace_back("mispredicted", W.Mispredicted ? "true" : "false");
+      if (W.Line != 0)
+        R.Args.emplace_back("loc", std::to_string(W.Line));
       Records.push_back(std::move(R));
     }
   }
@@ -171,10 +176,50 @@ size_t zam::exportTrace(TraceSink &Sink, const Trace &T,
       R.Args.emplace_back("cycles", std::to_string(S.Cycles));
       if (S.TlbMiss)
         R.Args.emplace_back("tlb_miss", "true");
+      if (S.L1Miss)
+        R.Args.emplace_back("l1_miss", "true");
       if (S.L2Miss)
         R.Args.emplace_back("memory", "true");
+      if (S.Line != 0)
+        R.Args.emplace_back("loc", std::to_string(S.Line));
       Records.push_back(std::move(R));
     }
+
+  if (Opts.Ledger && !Opts.Adversary) {
+    // The embedded profile: the per-line and per-site ledger rows, stamped
+    // at the run's final time. Cycle attribution is not reconstructible
+    // from the event stream (hits are never sampled), so these rows are the
+    // offline reader's ground truth; everything it *can* rebuild — windows,
+    // padding, leak bits, sampled misses — it checks against them.
+    for (const auto &[Line, C] : Opts.Ledger->lines()) {
+      TraceRecord R;
+      R.RecordKind = TraceRecord::Kind::Instant;
+      R.Name = "prof_line#" + std::to_string(Line);
+      R.Category = "prof";
+      R.Ts = T.FinalTime;
+      R.Args.emplace_back("cycles", std::to_string(C.totalCycles()));
+      R.Args.emplace_back("step_cycles", std::to_string(C.StepCycles));
+      R.Args.emplace_back("sleep_cycles", std::to_string(C.SleepCycles));
+      R.Args.emplace_back("pad_cycles", std::to_string(C.PadCycles));
+      R.Args.emplace_back("accesses", std::to_string(C.Accesses));
+      R.Args.emplace_back("misses", std::to_string(C.misses()));
+      R.Args.emplace_back("windows", std::to_string(C.Windows));
+      R.Args.emplace_back("leak_bits", jsonNumberString(C.LeakBits));
+      Records.push_back(std::move(R));
+    }
+    for (const auto &[Eta, S] : Opts.Ledger->sites()) {
+      TraceRecord R;
+      R.RecordKind = TraceRecord::Kind::Instant;
+      R.Name = "prof_site#" + std::to_string(Eta);
+      R.Category = "prof";
+      R.Ts = T.FinalTime;
+      R.Args.emplace_back("loc", std::to_string(S.Line));
+      R.Args.emplace_back("windows", std::to_string(S.Windows));
+      R.Args.emplace_back("pad_cycles", std::to_string(S.PadCycles));
+      R.Args.emplace_back("leak_bits", jsonNumberString(S.LeakBits));
+      Records.push_back(std::move(R));
+    }
+  }
 
   // One merged, time-ordered stream. stable_sort keeps the within-category
   // emission order for simultaneous records, so output is deterministic.

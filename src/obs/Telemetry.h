@@ -19,6 +19,10 @@
 ///   leak.<level>.{windows,bits_bound,mispredict_penalty_bits} and
 ///   leak.{windows,total_bits_bound} — the running Sec. 6 bounds
 ///     (emitted by obs/LeakAudit.h, not the collectors below)
+///   prof.{cycles,sleep_cycles,pad_cycles,accesses,windows,lines,sites,
+///         leak_bits}, prof.line.L<line>.* (top-K hot lines) and
+///   prof.site.m<eta>.* — the source-attribution profile
+///     (emitted by obs/CostLedger.h)
 ///
 /// and where the adversary projection of Sec. 6.1 is applied to exported
 /// timelines: with an adversary level ℓA set, assignment events survive iff
@@ -45,6 +49,8 @@
 #include <optional>
 
 namespace zam {
+
+class CostLedger;
 
 /// Folds \p Hw into \p Reg under `[Prefix]hw.<structure>.<counter>` names.
 void collectHwMetrics(MetricsRegistry &Reg, const HwStats &Hw,
@@ -88,11 +94,17 @@ struct TraceExportOptions {
   /// priced Sec. 6 terms (obs/LeakAudit.h). tools/zamtrace recomputes the
   /// bound from these spans and cross-checks it against leak.* metrics.
   bool IncludeLeakBudget = true;
+  /// When set (and no adversary projection is active), embed the source
+  /// profile: one prof_line#/prof_site# instant (cat "prof") per ledger row
+  /// at the run's final time. tools/zamtrace rebuilds what it can from the
+  /// event stream and demands bit-for-bit agreement with these rows.
+  const CostLedger *Ledger = nullptr;
 };
 
 /// Streams \p T into \p Sink as one merged, time-ordered record sequence:
 /// assignment instants (cat "interp"), mitigate spans (cat "mit"),
-/// leak_budget spans (cat "leak") and cache-miss instants (cat "hw").
+/// leak_budget spans (cat "leak"), cache-miss instants (cat "hw") and —
+/// when a ledger is attached — source-profile rows (cat "prof").
 /// \returns the number of records emitted.
 size_t exportTrace(TraceSink &Sink, const Trace &T, const SecurityLattice &Lat,
                    const TraceExportOptions &Opts = TraceExportOptions());

@@ -25,6 +25,7 @@
 #include "lang/Ast.h"
 #include "sem/CostModel.h"
 #include "sem/Memory.h"
+#include "sem/Provenance.h"
 
 namespace zam {
 
@@ -39,10 +40,13 @@ int64_t evalExprPure(const Expr &E, const Memory &M);
 
 /// Evaluates \p E in \p M, charging ALU costs and performing the data
 /// accesses through \p Env under timing labels [\p Read, \p Write].
-/// Accumulates the cost into \p Cycles and returns the value.
+/// Accumulates the cost into \p Cycles and returns the value. When \p Cur
+/// is set, narrows Cur->Loc to each sub-expression's own location (when
+/// valid) for the duration of that node's accesses, restoring the enclosing
+/// location afterwards — the attribution cursor of the source profiler.
 int64_t evalExprTimed(const Expr &E, const Memory &M, MachineEnv &Env,
                       Label Read, Label Write, const CostModel &Costs,
-                      uint64_t &Cycles);
+                      uint64_t &Cycles, CostCursor *Cur = nullptr);
 
 } // namespace zam
 

@@ -56,6 +56,9 @@ struct MitigateRecord {
   /// accountant (obs/LeakAudit.h) reads it to price the next window's
   /// schedule without replaying the whole Miss table.
   unsigned MissesAfter = 0;
+  /// Source line of the mitigate command (0 when unknown); the profiler
+  /// attributes the window's leakage bits and padding to it.
+  uint32_t Line = 0;
 
   bool operator==(const MitigateRecord &Other) const = default;
 };
@@ -85,6 +88,9 @@ struct AccessSample {
   bool TlbMiss = false;
   bool L1Miss = false;
   bool L2Miss = false;
+  /// Source line of the innermost construct performing the access (0 when
+  /// unknown); recorded only when a provenance sink is installed.
+  uint32_t Line = 0;
 
   bool operator==(const AccessSample &Other) const = default;
 };

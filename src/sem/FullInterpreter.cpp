@@ -86,8 +86,15 @@ void FullInterpreter::record(const std::string &Var, bool IsArray,
   T.Events.push_back(std::move(E));
 }
 
+void FullInterpreter::charge(CycleKind K, uint64_t N) {
+  if (Opts.Provenance)
+    Opts.Provenance->chargeCycles(Cur, K, N);
+}
+
 void FullInterpreter::onAccess(const HwAccess &Access) {
-  if (!Access.TlbMiss && !Access.L1Miss)
+  if (Opts.Provenance)
+    Opts.Provenance->chargeAccess(Cur, Access);
+  if (!Opts.RecordMisses || (!Access.TlbMiss && !Access.L1Miss))
     return;
   AccessSample S;
   S.A = Access.A;
@@ -98,6 +105,7 @@ void FullInterpreter::onAccess(const HwAccess &Access) {
   S.TlbMiss = Access.TlbMiss;
   S.L1Miss = Access.L1Miss;
   S.L2Miss = Access.L2Miss;
+  S.Line = Cur.Loc.Line;
   T.Misses.push_back(S);
 }
 
@@ -115,21 +123,30 @@ void FullInterpreter::exec(const Cmd &C) {
   if (!budget())
     return;
 
+  // Attribution: every non-Seq command moves the cursor to its own source
+  // location before any of its costs (including the fetch inside stepBase)
+  // are incurred.
+  Cur.Loc = C.loc();
+
   const Label Er = *C.labels().Read;
   const Label Ew = *C.labels().Write;
   const CostModel &Costs = Opts.Costs;
 
   switch (C.kind()) {
-  case Cmd::Kind::Skip:
-    G += stepBase(C, Er, Ew);
+  case Cmd::Kind::Skip: {
+    uint64_t Cycles = stepBase(C, Er, Ew);
+    charge(CycleKind::Step, Cycles);
+    G += Cycles;
     return;
+  }
 
   case Cmd::Kind::Assign: {
     const auto &A = cast<AssignCmd>(C);
     ++T.Ops.Assignments;
     uint64_t Cycles = stepBase(C, Er, Ew);
-    int64_t V = evalExprTimed(A.value(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t V = evalExprTimed(A.value(), M, Env, Er, Ew, Costs, Cycles, &Cur);
     Cycles += Env.dataAccess(M.addrOf(A.var()), /*IsStore=*/true, Er, Ew);
+    charge(CycleKind::Step, Cycles);
     G += Cycles;
     M.store(A.var(), V);
     record(A.var(), false, 0, V);
@@ -140,11 +157,13 @@ void FullInterpreter::exec(const Cmd &C) {
     const auto &A = cast<ArrayAssignCmd>(C);
     ++T.Ops.Assignments;
     uint64_t Cycles = stepBase(C, Er, Ew);
-    int64_t Index = evalExprTimed(A.index(), M, Env, Er, Ew, Costs, Cycles);
-    int64_t V = evalExprTimed(A.value(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t Index =
+        evalExprTimed(A.index(), M, Env, Er, Ew, Costs, Cycles, &Cur);
+    int64_t V = evalExprTimed(A.value(), M, Env, Er, Ew, Costs, Cycles, &Cur);
     Cycles += Costs.AluOp; // Address computation.
     Cycles += Env.dataAccess(M.addrOfElem(A.array(), Index), /*IsStore=*/true,
                              Er, Ew);
+    charge(CycleKind::Step, Cycles);
     G += Cycles;
     uint64_t Wrapped = M.wrapIndex(A.array(), Index);
     M.storeElem(A.array(), Index, V);
@@ -156,7 +175,9 @@ void FullInterpreter::exec(const Cmd &C) {
     const auto &I = cast<IfCmd>(C);
     ++T.Ops.Branches;
     uint64_t Cycles = stepBase(C, Er, Ew) + Costs.Branch;
-    int64_t Guard = evalExprTimed(I.cond(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t Guard =
+        evalExprTimed(I.cond(), M, Env, Er, Ew, Costs, Cycles, &Cur);
+    charge(CycleKind::Step, Cycles);
     G += Cycles;
     exec(Guard != 0 ? I.thenCmd() : I.elseCmd());
     return;
@@ -167,13 +188,16 @@ void FullInterpreter::exec(const Cmd &C) {
     for (;;) {
       ++T.Ops.Branches;
       uint64_t Cycles = stepBase(C, Er, Ew) + Costs.Branch;
-      int64_t Guard = evalExprTimed(W.cond(), M, Env, Er, Ew, Costs, Cycles);
+      int64_t Guard =
+          evalExprTimed(W.cond(), M, Env, Er, Ew, Costs, Cycles, &Cur);
+      charge(CycleKind::Step, Cycles);
       G += Cycles;
       if (Guard == 0)
         return;
       exec(W.body());
       if (Stopped || !budget())
         return;
+      Cur.Loc = C.loc(); // Back at the guard for the next iteration.
     }
   }
 
@@ -183,10 +207,14 @@ void FullInterpreter::exec(const Cmd &C) {
     // Only the argument's own evaluation (variable loads) costs extra.
     const auto &S = cast<SleepCmd>(C);
     uint64_t Cycles = 0;
-    int64_t N = evalExprTimed(S.duration(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t N =
+        evalExprTimed(S.duration(), M, Env, Er, Ew, Costs, Cycles, &Cur);
+    charge(CycleKind::Step, Cycles);
     G += Cycles;
-    if (N > 0) // Property 4: sleep n consumes exactly max(n, 0) cycles.
+    if (N > 0) { // Property 4: sleep n consumes exactly max(n, 0) cycles.
+      charge(CycleKind::Sleep, static_cast<uint64_t>(N));
       G += static_cast<uint64_t>(N);
+    }
     return;
   }
 
@@ -194,16 +222,21 @@ void FullInterpreter::exec(const Cmd &C) {
     const auto &Mit = cast<MitigateCmd>(C);
     ++T.Ops.MitigateEntries;
     uint64_t Cycles = stepBase(C, Er, Ew);
-    int64_t N =
-        evalExprTimed(Mit.initialEstimate(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t N = evalExprTimed(Mit.initialEstimate(), M, Env, Er, Ew, Costs,
+                              Cycles, &Cur);
+    // The entry step belongs to the enclosing window (the site stack is
+    // pushed only for the body).
+    charge(CycleKind::Step, Cycles);
     G += Cycles;
     const uint64_t Start = G;
 
+    const unsigned SavedSite = Cur.Site;
+    Cur.Site = Mit.mitigateId();
     exec(Mit.body());
-    if (Stopped)
+    if (Stopped || !budget()) { // budget(): the MitigateEnd padding step.
+      Cur.Site = SavedSite;
       return;
-    if (!budget()) // The MitigateEnd padding step.
-      return;
+    }
 
     const uint64_t Elapsed = G - Start;
     MitigationState::Outcome Out = MitState.settle(N, Mit.mitLevel(), Elapsed);
@@ -220,9 +253,18 @@ void FullInterpreter::exec(const Cmd &C) {
     R.BodyTime = Elapsed;
     R.Mispredicted = Out.Mispredicted;
     R.MissesAfter = MitState.misses(R.Level);
+    R.Line = C.loc().Line;
     T.Mitigations.push_back(R);
     if (Opts.OnMitigateWindow)
       Opts.OnMitigateWindow(T.Mitigations.back());
+    // Padding is charged at the mitigate command itself, inside its own
+    // window (Cur.Site == η), then the window closes and the site pops.
+    Cur.Loc = C.loc();
+    if (Out.Duration > Elapsed)
+      charge(CycleKind::Pad, Out.Duration - Elapsed);
+    if (Opts.Provenance)
+      Opts.Provenance->closeWindow(Cur, T.Mitigations.back());
+    Cur.Site = SavedSite;
     return;
   }
 
@@ -237,12 +279,13 @@ RunResult FullInterpreter::run() {
     reportFatalError("FullInterpreter::run() called twice");
   Consumed = true;
   HwObserver *Prior = nullptr;
-  if (Opts.RecordMisses) {
+  const bool Observe = Opts.RecordMisses || Opts.Provenance;
+  if (Observe) {
     Prior = Env.observer();
     Env.setObserver(this);
   }
   exec(P.body());
-  if (Opts.RecordMisses)
+  if (Observe)
     Env.setObserver(Prior);
   T.FinalTime = G;
   for (Label L : P.lattice().allLabels())

@@ -32,6 +32,7 @@
 #include "sem/Event.h"
 #include "sem/Memory.h"
 #include "sem/Mitigation.h"
+#include "sem/Provenance.h"
 
 #include <functional>
 #include <unordered_map>
@@ -61,6 +62,12 @@ struct InterpreterOptions {
   /// accountant (obs/LeakAudit.h) observes windows without sem depending on
   /// obs. Must be deterministic; called on the interpreter's thread.
   std::function<void(const MitigateRecord &)> OnMitigateWindow;
+  /// When set, both engines charge every cost event (step cycles, hardware
+  /// accesses, sleep and mitigation padding) to this sink tagged with the
+  /// current attribution cursor — the source profiler's data feed
+  /// (obs/CostLedger.h implements it). Installs the hardware observer for
+  /// the run like RecordMisses does. Not owned.
+  CostSink *Provenance = nullptr;
 };
 
 /// Outcome of a full-semantics run.
@@ -98,9 +105,13 @@ private:
   uint64_t stepBase(const Cmd &C, Label Read, Label Write);
   void record(const std::string &Var, bool IsArray, uint64_t Index,
               int64_t Value);
+  /// Charges \p N cycles of kind \p K to the provenance sink (no-op when
+  /// none is installed).
+  void charge(CycleKind K, uint64_t N);
   void exec(const Cmd &C);
-  /// HwObserver hook (installed only under Opts.RecordMisses): samples
-  /// accesses that missed somewhere in the hierarchy.
+  /// HwObserver hook (installed under Opts.RecordMisses or Opts.Provenance):
+  /// forwards every access to the provenance sink and samples the ones that
+  /// missed somewhere in the hierarchy.
   void onAccess(const HwAccess &Access) override;
 
   const Program &P;
@@ -115,6 +126,8 @@ private:
   uint64_t G = 0;
   bool Stopped = false;
   bool Consumed = false;
+  /// Attribution cursor: the source construct costs currently charge to.
+  CostCursor Cur;
 };
 
 /// Convenience wrapper: construct, run, and return the result.

@@ -1,0 +1,83 @@
+//===- Provenance.h - Source-attribution cost provenance --------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter side of the source-attribution profiler: a cursor naming
+/// the source construct currently being charged, and an abstract sink that
+/// receives every cost event tagged with that cursor. The obs layer's
+/// CostLedger implements the sink (sem must not depend on obs, so only the
+/// interface lives here — the same layering as
+/// InterpreterOptions::OnMitigateWindow).
+///
+/// Cursor discipline (both engines follow it identically, so their ledgers
+/// agree bit for bit):
+///   - Seq is transparent; every other command sets Cur.Loc = C.loc() when
+///     its step begins.
+///   - Expression evaluation narrows Cur.Loc to the innermost valid
+///     sub-expression location for the duration of each node's own accesses
+///     (evalExprTimed saves/restores, so the cursor is back at the command
+///     when the step's cycles are charged).
+///   - Cur.Site is the η of the innermost open mitigate window (kNoSite
+///     outside any window); body costs charge to the innermost window only
+///     (self/exclusive accounting).
+///   - Mitigation padding is charged at the mitigate command's own location
+///     with Cur.Site = η, right before the window closes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_PROVENANCE_H
+#define ZAM_SEM_PROVENANCE_H
+
+#include "hw/MachineEnv.h"
+#include "sem/Event.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+
+namespace zam {
+
+/// Names the source construct to which the interpreter is currently
+/// charging costs.
+struct CostCursor {
+  /// Sentinel: not inside any mitigate window.
+  static constexpr unsigned kNoSite = ~0u;
+
+  /// Innermost Cmd/Expr location being executed (Line 0 = unknown).
+  SourceLoc Loc;
+  /// η of the innermost open mitigate window, or kNoSite.
+  unsigned Site = kNoSite;
+};
+
+/// What a chargeCycles batch paid for.
+enum class CycleKind {
+  Step,  ///< Base step, fetch, ALU, branch, and data-access latency.
+  Sleep, ///< The max(n,0) cycles a sleep command idles.
+  Pad,   ///< Mitigation padding (prediction − consumed).
+};
+
+/// Receives every cost event of a run, tagged with the current cursor.
+/// Implementations must be deterministic; they are invoked on the
+/// interpreter's thread.
+class CostSink {
+public:
+  virtual ~CostSink() = default;
+
+  /// \p N cycles of kind \p K elapsed while the cursor was at \p Cur.
+  virtual void chargeCycles(const CostCursor &Cur, CycleKind K, uint64_t N) = 0;
+
+  /// One completed hardware access (hit or miss) occurred at \p Cur.
+  virtual void chargeAccess(const CostCursor &Cur, const HwAccess &Access) = 0;
+
+  /// The mitigate window \p R settled while the cursor was at its own
+  /// mitigate command (Cur.Site == R.Eta). Fires after the window's padding
+  /// was charged and after R was appended to the trace.
+  virtual void closeWindow(const CostCursor &Cur, const MitigateRecord &R) = 0;
+};
+
+} // namespace zam
+
+#endif // ZAM_SEM_PROVENANCE_H

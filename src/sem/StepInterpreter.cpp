@@ -20,6 +20,10 @@ StepInterpreter::StepInterpreter(const Program &P, MachineEnv &Env,
   if (!P.hasBody())
     reportFatalError("program has no body");
   Current = P.body().clone();
+  if (Opts.Provenance) {
+    PriorObserver = Env.observer();
+    Env.setObserver(this);
+  }
 }
 
 StepInterpreter::StepInterpreter(const Program &P, CmdPtr C,
@@ -30,11 +34,47 @@ StepInterpreter::StepInterpreter(const Program &P, CmdPtr C,
       M(std::move(InitialMemory)),
       OwnMitState(P.lattice(), Scheme, Opts.Penalty),
       MitState(Opts.SharedMitState ? *Opts.SharedMitState : OwnMitState),
-      PcLabels(computePcLabels(P)), Current(std::move(C)) {}
+      PcLabels(computePcLabels(P)), Current(std::move(C)) {
+  if (Opts.Provenance) {
+    PriorObserver = Env.observer();
+    Env.setObserver(this);
+  }
+}
+
+StepInterpreter::StepInterpreter(StepInterpreter &&Other)
+    : P(Other.P), Env(Other.Env), Opts(Other.Opts), Scheme(Other.Scheme),
+      M(std::move(Other.M)), OwnMitState(std::move(Other.OwnMitState)),
+      MitState(&Other.MitState == &Other.OwnMitState ? OwnMitState
+                                                     : Other.MitState),
+      PcLabels(std::move(Other.PcLabels)), Current(std::move(Other.Current)),
+      T(std::move(Other.T)), G(Other.G), Cur(Other.Cur),
+      SiteStack(std::move(Other.SiteStack)),
+      PriorObserver(Other.PriorObserver) {
+  if (Opts.Provenance && Env.observer() == &Other)
+    Env.setObserver(this);
+  // The source's destructor must neither unhook us nor restore the prior
+  // observer a second time.
+  Other.Opts.Provenance = nullptr;
+}
+
+StepInterpreter::~StepInterpreter() {
+  if (Opts.Provenance && Env.observer() == this)
+    Env.setObserver(PriorObserver);
+}
 
 uint64_t StepInterpreter::stepBase(const Cmd &C, Label Read, Label Write) {
   return Opts.Costs.BaseStep +
          Env.fetch(Opts.Costs.codeAddr(C.nodeId()), Read, Write);
+}
+
+void StepInterpreter::charge(CycleKind K, uint64_t N) {
+  if (Opts.Provenance)
+    Opts.Provenance->chargeCycles(Cur, K, N);
+}
+
+void StepInterpreter::onAccess(const HwAccess &Access) {
+  if (Opts.Provenance)
+    Opts.Provenance->chargeAccess(Cur, Access);
 }
 
 void StepInterpreter::record(const std::string &Var, bool IsArray,
@@ -64,21 +104,31 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
 
   if (!C->labels().complete())
     reportFatalError("command lacks timing labels; run label inference");
+
+  // Attribution: the cursor tracks the stepping command's own location and
+  // the innermost open mitigate window (top of the site stack).
+  Cur.Loc = C->loc();
+  Cur.Site = SiteStack.empty() ? CostCursor::kNoSite : SiteStack.back();
+
   const Label Er = *C->labels().Read;
   const Label Ew = *C->labels().Write;
   const CostModel &Costs = Opts.Costs;
 
   switch (C->kind()) {
-  case Cmd::Kind::Skip:
-    G += stepBase(*C, Er, Ew);
+  case Cmd::Kind::Skip: {
+    uint64_t Cycles = stepBase(*C, Er, Ew);
+    charge(CycleKind::Step, Cycles);
+    G += Cycles;
     return nullptr;
+  }
 
   case Cmd::Kind::Assign: {
     auto *A = cast<AssignCmd>(C.get());
     ++T.Ops.Assignments;
     uint64_t Cycles = stepBase(*C, Er, Ew);
-    int64_t V = evalExprTimed(A->value(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t V = evalExprTimed(A->value(), M, Env, Er, Ew, Costs, Cycles, &Cur);
     Cycles += Env.dataAccess(M.addrOf(A->var()), /*IsStore=*/true, Er, Ew);
+    charge(CycleKind::Step, Cycles);
     G += Cycles;
     M.store(A->var(), V);
     record(A->var(), false, 0, V);
@@ -89,11 +139,13 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
     auto *A = cast<ArrayAssignCmd>(C.get());
     ++T.Ops.Assignments;
     uint64_t Cycles = stepBase(*C, Er, Ew);
-    int64_t Index = evalExprTimed(A->index(), M, Env, Er, Ew, Costs, Cycles);
-    int64_t V = evalExprTimed(A->value(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t Index =
+        evalExprTimed(A->index(), M, Env, Er, Ew, Costs, Cycles, &Cur);
+    int64_t V = evalExprTimed(A->value(), M, Env, Er, Ew, Costs, Cycles, &Cur);
     Cycles += Costs.AluOp; // Address computation.
     Cycles += Env.dataAccess(M.addrOfElem(A->array(), Index), /*IsStore=*/true,
                              Er, Ew);
+    charge(CycleKind::Step, Cycles);
     G += Cycles;
     uint64_t Wrapped = M.wrapIndex(A->array(), Index);
     M.storeElem(A->array(), Index, V);
@@ -105,7 +157,9 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
     auto *I = cast<IfCmd>(C.get());
     ++T.Ops.Branches;
     uint64_t Cycles = stepBase(*C, Er, Ew) + Costs.Branch;
-    int64_t Guard = evalExprTimed(I->cond(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t Guard =
+        evalExprTimed(I->cond(), M, Env, Er, Ew, Costs, Cycles, &Cur);
+    charge(CycleKind::Step, Cycles);
     G += Cycles;
     return Guard != 0 ? I->takeThen() : I->takeElse();
   }
@@ -114,7 +168,9 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
     auto *W = cast<WhileCmd>(C.get());
     ++T.Ops.Branches;
     uint64_t Cycles = stepBase(*C, Er, Ew) + Costs.Branch;
-    int64_t Guard = evalExprTimed(W->cond(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t Guard =
+        evalExprTimed(W->cond(), M, Env, Er, Ew, Costs, Cycles, &Cur);
+    charge(CycleKind::Step, Cycles);
     G += Cycles;
     if (Guard == 0)
       return nullptr;
@@ -129,10 +185,14 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
     // takes exactly max(n, 0) cycles (Property 4).
     auto *S = cast<SleepCmd>(C.get());
     uint64_t Cycles = 0;
-    int64_t N = evalExprTimed(S->duration(), M, Env, Er, Ew, Costs, Cycles);
+    int64_t N =
+        evalExprTimed(S->duration(), M, Env, Er, Ew, Costs, Cycles, &Cur);
+    charge(CycleKind::Step, Cycles);
     G += Cycles;
-    if (N > 0)
+    if (N > 0) {
+      charge(CycleKind::Sleep, static_cast<uint64_t>(N));
       G += static_cast<uint64_t>(N);
+    }
     return nullptr;
   }
 
@@ -141,15 +201,22 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
     ++T.Ops.MitigateEntries;
     uint64_t Cycles = stepBase(*C, Er, Ew);
     int64_t N = evalExprTimed(Mit->initialEstimate(), M, Env, Er, Ew, Costs,
-                              Cycles);
+                              Cycles, &Cur);
+    // The entry step belongs to the enclosing window; the site opens with
+    // the rewritten body below.
+    charge(CycleKind::Step, Cycles);
     G += Cycles;
     auto PcIt = PcLabels.find(C->nodeId());
     Label Pc = PcIt != PcLabels.end() ? PcIt->second : P.lattice().bottom();
+    SiteStack.push_back(Mit->mitigateId());
     // S-MTGPRED: rewrite to body ; MitigateEnd with the start time s_η
-    // captured as the completion time of this entry step.
+    // captured as the completion time of this entry step. The MitigateEnd
+    // inherits the mitigate's source location so the window's padding and
+    // leakage attribute to the mitigate line.
     auto End = std::make_unique<MitigateEndCmd>(Mit->mitigateId(), N,
                                                 Mit->mitLevel(), Pc, G,
-                                                P.lattice().bottom());
+                                                P.lattice().bottom(),
+                                                Mit->loc());
     return std::make_unique<SeqCmd>(Mit->takeBody(), std::move(End));
   }
 
@@ -170,9 +237,19 @@ CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
     R.BodyTime = Elapsed;
     R.Mispredicted = Out.Mispredicted;
     R.MissesAfter = MitState.misses(R.Level);
+    R.Line = C->loc().Line;
     T.Mitigations.push_back(R);
     if (Opts.OnMitigateWindow)
       Opts.OnMitigateWindow(T.Mitigations.back());
+    // Padding attributes to the window's own site at the mitigate line,
+    // then the window closes and the site pops.
+    Cur.Site = End->eta();
+    if (Out.Duration > Elapsed)
+      charge(CycleKind::Pad, Out.Duration - Elapsed);
+    if (Opts.Provenance)
+      Opts.Provenance->closeWindow(Cur, T.Mitigations.back());
+    if (!SiteStack.empty() && SiteStack.back() == End->eta())
+      SiteStack.pop_back();
     return nullptr;
   }
 

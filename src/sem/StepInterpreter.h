@@ -29,15 +29,17 @@
 #include "sem/FullInterpreter.h"
 #include "sem/Memory.h"
 #include "sem/Mitigation.h"
+#include "sem/Provenance.h"
 
 #include <unordered_map>
+#include <vector>
 
 namespace zam {
 
 /// Small-step engine over a configuration ⟨c, m, E, G⟩. The command
 /// component is held as an owned AST that is restructured on each step;
 /// `stop` is represented by an empty command.
-class StepInterpreter {
+class StepInterpreter : private HwObserver {
 public:
   /// Begins executing \p P (body cloned) on \p Env.
   StepInterpreter(const Program &P, MachineEnv &Env,
@@ -48,6 +50,14 @@ public:
   StepInterpreter(const Program &P, CmdPtr C, Memory InitialMemory,
                   MachineEnv &Env,
                   InterpreterOptions Opts = InterpreterOptions());
+
+  /// Movable (the property checkers return engines by value): re-binds the
+  /// internal mitigation-state reference and takes over the hardware
+  /// observer slot when one was registered.
+  StepInterpreter(StepInterpreter &&Other);
+  StepInterpreter &operator=(StepInterpreter &&) = delete;
+
+  ~StepInterpreter() override;
 
   /// Whether the configuration has reached ⟨stop, m, E, G⟩.
   bool done() const { return Current == nullptr; }
@@ -69,6 +79,12 @@ private:
   uint64_t stepBase(const Cmd &C, Label Read, Label Write);
   void record(const std::string &Var, bool IsArray, uint64_t Index,
               int64_t Value);
+  /// Charges \p N cycles of kind \p K to the provenance sink (no-op when
+  /// none is installed).
+  void charge(CycleKind K, uint64_t N);
+  /// HwObserver hook (installed only under Opts.Provenance): forwards every
+  /// access to the provenance sink tagged with the cursor.
+  void onAccess(const HwAccess &Access) override;
   /// One transition of \p C; returns the continuation command (nullptr for
   /// stop).
   CmdPtr stepCmd(CmdPtr C);
@@ -84,6 +100,13 @@ private:
   CmdPtr Current;
   Trace T;
   uint64_t G = 0;
+  /// Attribution cursor plus the stack of open mitigate sites (the η of
+  /// every MitigateEnd still pending in the continuation, innermost last).
+  CostCursor Cur;
+  std::vector<unsigned> SiteStack;
+  /// Observer displaced while this engine watches Env (restored by the
+  /// destructor); only meaningful under Opts.Provenance.
+  HwObserver *PriorObserver = nullptr;
 };
 
 } // namespace zam

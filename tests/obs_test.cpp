@@ -382,7 +382,7 @@ TEST(JsonlTraceSink, MitigatedProgramProducesValidJsonLines) {
       std::to_string(M.Duration) + ",\"consumed\":" +
       std::to_string(M.BodyTime) +
       ",\"padded\":" + std::to_string(M.Duration - M.BodyTime) +
-      ",\"mispredicted\":\"true\"}}\n";
+      ",\"mispredicted\":\"true\",\"loc\":3}}\n";
   EXPECT_NE(Out.find(Expected), std::string::npos) << Out;
 }
 

@@ -1,0 +1,285 @@
+//===- prof_test.cpp - Source-attribution profiler ledger ------------------===//
+//
+// Tests for the timing-provenance profiler (obs/CostLedger.h): the
+// conservation invariants `zamc profile` enforces, cycle-for-cycle
+// agreement between the two interpreter engines' attributions, byte
+// stability of the ledger across harness thread counts, the synthetic
+// locations ProgramBuilder stamps, and the prof.* metrics export shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/ParallelRunner.h"
+#include "hw/HardwareModels.h"
+#include "lang/ProgramBuilder.h"
+#include "obs/CostLedger.h"
+#include "obs/LeakAudit.h"
+#include "sem/FullInterpreter.h"
+#include "sem/StepInterpreter.h"
+#include "types/LabelInference.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace zam;
+using namespace zam::test;
+
+namespace {
+
+Program inferred(std::string Source) {
+  Program P = parseOrDie(Source);
+  inferTimingLabels(P);
+  return P;
+}
+
+/// A mitigated workload exercising every cost kind the ledger tracks:
+/// array traffic (cache/TLB events), a mispredicting mitigate window
+/// (padding + leak bits), a calibrated sleep, and plain stepping.
+const char *kWorkload = "var h : H = 9;\n"
+                        "var l : L;\n"
+                        "var a : L[16];\n"
+                        "l := 0;\n"
+                        "while l < 8 do { a[l] := l + 1; l := l + 1 };\n"
+                        "mitigate (4, H) {\n"
+                        "  while h > 0 do { h := h - 1 }\n"
+                        "};\n"
+                        "sleep(5)";
+
+/// Runs \p P on a fresh \p Kind machine under the profiler and returns the
+/// settled ledger JSON (the canonical byte-comparable form).
+std::string profileDump(const Program &P, HwKind Kind) {
+  auto Env = createMachineEnv(Kind, P.lattice(), MachineEnvConfig());
+  CostLedger Ledger;
+  LeakAudit Audit(P.lattice());
+  InterpreterOptions Opts;
+  Opts.Provenance = &Ledger;
+  Opts.OnMitigateWindow = [&](const MitigateRecord &R) { Audit.onWindow(R); };
+  runFull(P, *Env, Opts);
+  Ledger.applyLeakage(Audit);
+  return Ledger.toJson().dump();
+}
+
+void expectStructureMatches(const LineHwStats &Got, const CacheLevelStats &Want,
+                            const char *Name) {
+  EXPECT_EQ(Got.Hits, Want.Hits) << Name;
+  EXPECT_EQ(Got.Misses, Want.Misses) << Name;
+  EXPECT_EQ(Got.Evictions, Want.Evictions) << Name;
+  EXPECT_EQ(Got.Writebacks, Want.Writebacks) << Name;
+  EXPECT_EQ(Got.LineFills, Want.LineFills) << Name;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Conservation: per-line totals sum exactly to the whole-run numbers
+//===----------------------------------------------------------------------===//
+
+class ProfilerConservation : public ::testing::TestWithParam<HwKind> {};
+
+TEST_P(ProfilerConservation, EveryCostIsAttributedExactly) {
+  Program P = inferred(kWorkload);
+  auto Env = createMachineEnv(GetParam(), P.lattice(), MachineEnvConfig());
+  CostLedger Ledger;
+  LeakAudit Audit(P.lattice());
+  InterpreterOptions Opts;
+  Opts.Provenance = &Ledger;
+  Opts.OnMitigateWindow = [&](const MitigateRecord &R) { Audit.onWindow(R); };
+  RunResult R = runFull(P, *Env, Opts);
+  Ledger.applyLeakage(Audit);
+
+  // Cycles: attributed step + sleep + pad cycles cover the clock exactly.
+  EXPECT_EQ(Ledger.totalCycles(), R.T.FinalTime);
+  EXPECT_GT(Ledger.totalCycles(), 0u);
+
+  // Padding: matches the trace's own padded-idle account.
+  uint64_t PaddedIdle = 0;
+  for (const MitigateRecord &M : R.T.Mitigations)
+    if (M.Duration > M.BodyTime)
+      PaddedIdle += M.Duration - M.BodyTime;
+  EXPECT_EQ(Ledger.totalPadCycles(), PaddedIdle);
+  EXPECT_EQ(Ledger.totalWindows(), R.T.Mitigations.size());
+
+  // Hardware: each structure's per-line tallies sum to the machine's own
+  // counters on all five fields.
+  const CacheLevelStats *Want[CostLedger::kStructures] = {
+      &R.Hw.L1D, &R.Hw.L2D, &R.Hw.L1I, &R.Hw.L2I, &R.Hw.DTlb, &R.Hw.ITlb};
+  for (unsigned I = 0; I != CostLedger::kStructures; ++I)
+    expectStructureMatches(Ledger.structureTotals(I), *Want[I],
+                           CostLedger::structureName(I));
+
+  // Leakage: the replay reproduces the online account bit-for-bit.
+  EXPECT_EQ(Ledger.totalLeakBits(), Audit.totalBitsBound());
+  EXPECT_GT(Ledger.totalLeakBits(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, ProfilerConservation,
+                         ::testing::ValuesIn(allHwKinds()),
+                         [](const auto &Info) {
+                           return std::string(hwKindName(Info.param));
+                         });
+
+//===----------------------------------------------------------------------===//
+// Engine agreement and attribution placement
+//===----------------------------------------------------------------------===//
+
+TEST(Profiler, EnginesChargeIdenticalLedgers) {
+  // The big-step and small-step engines must not only agree on totals but
+  // attribute every cost to the same source line and mitigate site.
+  Program P = inferred(kWorkload);
+  for (HwKind Kind : allHwKinds()) {
+    auto Env1 = createMachineEnv(Kind, P.lattice(), MachineEnvConfig());
+    auto Env2 = Env1->clone();
+
+    CostLedger Fast;
+    LeakAudit FastAudit(P.lattice());
+    InterpreterOptions FastOpts;
+    FastOpts.Provenance = &Fast;
+    FastOpts.OnMitigateWindow = [&](const MitigateRecord &R) {
+      FastAudit.onWindow(R);
+    };
+    runFull(P, *Env1, FastOpts);
+    Fast.applyLeakage(FastAudit);
+
+    CostLedger Slow;
+    LeakAudit SlowAudit(P.lattice());
+    InterpreterOptions SlowOpts;
+    SlowOpts.Provenance = &Slow;
+    SlowOpts.OnMitigateWindow = [&](const MitigateRecord &R) {
+      SlowAudit.onWindow(R);
+    };
+    StepInterpreter Step(P, *Env2, SlowOpts);
+    Step.runToCompletion();
+    Slow.applyLeakage(SlowAudit);
+
+    EXPECT_EQ(Fast.toJson().dump(), Slow.toJson().dump()) << hwKindName(Kind);
+  }
+}
+
+TEST(Profiler, SleepAndPadLandOnTheirOwnLines) {
+  Program P = inferred(kWorkload);
+  auto Env = createMachineEnv(HwKind::Partitioned, P.lattice(),
+                              MachineEnvConfig());
+  CostLedger Ledger;
+  LeakAudit Audit(P.lattice());
+  InterpreterOptions Opts;
+  Opts.Provenance = &Ledger;
+  Opts.OnMitigateWindow = [&](const MitigateRecord &R) { Audit.onWindow(R); };
+  RunResult R = runFull(P, *Env, Opts);
+  Ledger.applyLeakage(Audit);
+
+  // The parser puts `mitigate` on line 6 and `sleep(5)` on line 9.
+  ASSERT_EQ(R.T.Mitigations.size(), 1u);
+  EXPECT_EQ(R.T.Mitigations[0].Line, 6u);
+  ASSERT_TRUE(Ledger.sites().count(R.T.Mitigations[0].Eta));
+  const SiteCost &Site = Ledger.sites().at(R.T.Mitigations[0].Eta);
+  EXPECT_EQ(Site.Line, 6u);
+  EXPECT_EQ(Site.Windows, 1u);
+
+  // All padding charges to the mitigate's own line, tagged with its site.
+  ASSERT_TRUE(Ledger.lines().count(6));
+  EXPECT_EQ(Ledger.lines().at(6).PadCycles, Site.PadCycles);
+  EXPECT_EQ(Ledger.lines().at(6).PadCycles, Ledger.totalPadCycles());
+
+  // The calibrated sleep's duration charges to the sleep's line.
+  ASSERT_TRUE(Ledger.lines().count(9));
+  EXPECT_EQ(Ledger.lines().at(9).SleepCycles, 5u);
+  EXPECT_EQ(Ledger.totalSleepCycles(), 5u);
+
+  // Nothing ended up at the unknown line: the cursor never lapsed.
+  EXPECT_FALSE(Ledger.lines().count(0));
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: bit-identical ledgers at 1 / 2 / 8 harness threads
+//===----------------------------------------------------------------------===//
+
+TEST(Profiler, LedgerIsByteStableAcrossThreadCounts) {
+  Program P = inferred(kWorkload);
+  const std::string Reference = profileDump(P, HwKind::Partitioned);
+  EXPECT_NE(Reference.find("\"lines\""), std::string::npos);
+
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    ParallelRunner Runner(Threads);
+    std::vector<std::string> Dumps = Runner.map(
+        8, [&](size_t) { return profileDump(P, HwKind::Partitioned); });
+    for (size_t I = 0; I != Dumps.size(); ++I)
+      EXPECT_EQ(Dumps[I], Reference)
+          << "run " << I << " at " << Threads << " threads";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramBuilder synthetic locations
+//===----------------------------------------------------------------------===//
+
+TEST(Profiler, BuilderStampsStablePseudoLocations) {
+  ProgramBuilder B(lh());
+  B.var("h", high(), 3);
+  B.var("l", low());
+  CmdPtr A1 = B.assign("l", B.lit(1));
+  CmdPtr S = B.sleep(B.lit(2), low(), low());
+  CmdPtr M = B.mitigate(B.lit(8), high(),
+                        B.assign("h", B.add(B.v("h"), B.lit(1))), low(), low());
+
+  // Creation order becomes the pseudo-line; column 0 marks it synthetic.
+  EXPECT_EQ(A1->loc(), SourceLoc(1, 0));
+  EXPECT_EQ(S->loc(), SourceLoc(2, 0));
+  EXPECT_EQ(M->loc(), SourceLoc(4, 0)); // line 3 is the mitigated assign
+
+  // Seq is transparent to attribution and carries no location of its own.
+  CmdPtr Body = B.seq(std::move(A1), std::move(S), std::move(M));
+  EXPECT_EQ(Body->loc(), SourceLoc());
+  B.body(std::move(Body));
+  Program P = B.take();
+  inferTimingLabels(P);
+
+  // Profiling a built program attributes to the pseudo-lines, not line 0.
+  auto Env = createMachineEnv(HwKind::Partitioned, P.lattice(),
+                              MachineEnvConfig());
+  CostLedger Ledger;
+  InterpreterOptions Opts;
+  Opts.Provenance = &Ledger;
+  RunResult R = runFull(P, *Env, Opts);
+  EXPECT_EQ(Ledger.totalCycles(), R.T.FinalTime);
+  EXPECT_FALSE(Ledger.lines().count(0));
+  EXPECT_TRUE(Ledger.lines().count(2));
+  EXPECT_EQ(Ledger.lines().at(2).SleepCycles, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics export
+//===----------------------------------------------------------------------===//
+
+TEST(Profiler, ExportMetricsEmitsTotalsTopLinesAndSites) {
+  Program P = inferred(kWorkload);
+  auto Env = createMachineEnv(HwKind::Partitioned, P.lattice(),
+                              MachineEnvConfig());
+  CostLedger Ledger;
+  LeakAudit Audit(P.lattice());
+  InterpreterOptions Opts;
+  Opts.Provenance = &Ledger;
+  Opts.OnMitigateWindow = [&](const MitigateRecord &R) { Audit.onWindow(R); };
+  RunResult R = runFull(P, *Env, Opts);
+  Ledger.applyLeakage(Audit);
+
+  MetricsRegistry Reg;
+  Ledger.exportMetrics(Reg, /*TopK=*/2);
+
+  EXPECT_EQ(Reg.counterValue("prof.cycles"), R.T.FinalTime);
+  EXPECT_EQ(Reg.counterValue("prof.pad_cycles"), Ledger.totalPadCycles());
+  EXPECT_EQ(Reg.counterValue("prof.windows"), 1u);
+  EXPECT_EQ(Reg.counterValue("prof.lines"), Ledger.lines().size());
+  EXPECT_EQ(Reg.counterValue("prof.sites"), 1u);
+  EXPECT_EQ(Reg.gaugeValue("prof.leak_bits"), Ledger.totalLeakBits());
+
+  // Exactly TopK ranked lines and every mitigate site appear.
+  size_t LineEntries = 0, SiteEntries = 0;
+  for (const MetricsRegistry::Entry &E : Reg.entries()) {
+    if (E.Name.rfind("prof.line.", 0) == 0)
+      ++LineEntries;
+    if (E.Name.rfind("prof.site.", 0) == 0)
+      ++SiteEntries;
+  }
+  EXPECT_EQ(LineEntries, 2u * 4u); // cycles, misses, pad, leak bits per line
+  EXPECT_EQ(SiteEntries, 1u * 3u); // windows, pad, leak bits per site
+  EXPECT_EQ(Reg.counterValue("prof.site.m0.windows"), 1u);
+}

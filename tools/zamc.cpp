@@ -10,6 +10,11 @@
 //   zamc audit  <file.zam> [options]   fuzz the selected hardware design
 //                                      against Properties 5-7 using the
 //                                      program's declarations
+//   zamc profile <file.zam> [options]  execute with the source profiler:
+//                                      annotate every line with the cycles,
+//                                      misses, padding and leakage bits
+//                                      charged to it, and each mitigate
+//                                      site with its window sub-account
 //
 // Options:
 //   --levels L,M,H        use a total-order lattice with these level names
@@ -28,6 +33,9 @@
 //                         the first secret variation; for audit: one plain
 //                         run of the program body)
 //   --trace-format FMT    jsonl | chrome (default: jsonl)
+//   --no-color            disable ANSI highlighting in `profile` output
+//                         (also auto-disabled when stdout is not a tty,
+//                         NO_COLOR is set, or TERM=dumb)
 //   --version             print tool version and build provenance
 //
 // Stats files and exported traces carry a provenance block (git hash,
@@ -41,6 +49,7 @@
 #include "analysis/PropertyCheckers.h"
 #include "analysis/RandomProgram.h"
 #include "exp/ParallelRunner.h"
+#include "obs/CostLedger.h"
 #include "obs/Json.h"
 #include "obs/LeakAudit.h"
 #include "obs/Metrics.h"
@@ -56,13 +65,23 @@
 #include "types/TypeChecker.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#if defined(_WIN32)
+#include <io.h>
+#define ZAM_ISATTY_STDOUT() _isatty(_fileno(stdout))
+#else
+#include <unistd.h>
+#define ZAM_ISATTY_STDOUT() isatty(fileno(stdout))
+#endif
 
 using namespace zam;
 
@@ -83,8 +102,18 @@ struct Options {
   std::string StatsPath;    ///< Empty: render --stats to stdout.
   std::string TraceOutPath; ///< Empty: no trace export.
   TraceFormat TraceFmt = TraceFormat::Jsonl;
-  std::string BadArg; ///< The offending argument when parsing failed.
+  bool NoColor = false; ///< Force plain output regardless of the tty.
+  std::string BadArg;   ///< The offending argument when parsing failed.
 };
+
+/// Whether `profile` may colorize: an interactive stdout, no --no-color,
+/// no NO_COLOR in the environment, and a terminal that is not dumb.
+bool wantColor(const Options &Opts) {
+  if (Opts.NoColor || !ZAM_ISATTY_STDOUT() || std::getenv("NO_COLOR"))
+    return false;
+  const char *Term = std::getenv("TERM");
+  return !Term || std::strcmp(Term, "dumb") != 0;
+}
 
 /// Wall-clock phase breakdown (--stats): load/parse/infer/typecheck/run.
 PhaseProfiler Phases;
@@ -93,15 +122,16 @@ int usage(const std::string &BadArg = "") {
   if (!BadArg.empty())
     std::fprintf(stderr, "error: unknown or malformed argument '%s'\n",
                  BadArg.c_str());
-  std::fprintf(stderr,
-               "usage: zamc <check|print|run|trace|leakage|audit> <file.zam>\n"
-               "  [--levels L,M,H] [--hw nopar|nofill|partitioned]\n"
-               "  [--set var=value]... [--vary var=v1,v2,...]\n"
-               "  [--adversary LEVEL] [--no-equal-labels]\n"
-               "  [--threads N] [--json FILE]\n"
-               "  [--stats[=FILE]] [--trace-out FILE]\n"
-               "  [--trace-format jsonl|chrome]\n"
-               "   zamc --version\n");
+  std::fprintf(
+      stderr,
+      "usage: zamc <check|print|run|trace|profile|leakage|audit> <file.zam>\n"
+      "  [--levels L,M,H] [--hw nopar|nofill|partitioned]\n"
+      "  [--set var=value]... [--vary var=v1,v2,...]\n"
+      "  [--adversary LEVEL] [--no-equal-labels]\n"
+      "  [--threads N] [--json FILE]\n"
+      "  [--stats[=FILE]] [--trace-out FILE]\n"
+      "  [--trace-format jsonl|chrome] [--no-color]\n"
+      "   zamc --version\n");
   return 2;
 }
 
@@ -228,6 +258,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.TraceOutPath = V;
+    } else if (Arg == "--no-color") {
+      Opts.NoColor = true;
     } else if (Arg == "--trace-format") {
       const char *V = Next();
       if (!V)
@@ -275,9 +307,11 @@ bool emitStatsIfRequested(const Options &Opts, const MetricsRegistry &Reg) {
 }
 
 /// Exports \p T to --trace-out in the selected format, projected to
-/// --adversary when one was named.
+/// --adversary when one was named. \p Ledger (may be null) embeds the
+/// source profile as prof_line#/prof_site# records.
 bool emitTraceIfRequested(const Options &Opts, const Trace &T,
-                          const SecurityLattice &Lat) {
+                          const SecurityLattice &Lat,
+                          const CostLedger *Ledger = nullptr) {
   if (Opts.TraceOutPath.empty())
     return true;
   TraceExportOptions EOpts;
@@ -285,6 +319,7 @@ bool emitTraceIfRequested(const Options &Opts, const Trace &T,
   EOpts.Adversary = adversaryLabel(Opts, Lat, AdvErr);
   if (AdvErr)
     return false;
+  EOpts.Ledger = Ledger;
   std::unique_ptr<TraceSink> Sink = makeTraceSink(Opts.TraceFmt);
   Sink->header(provenanceArgs(resolveThreadCount(Opts.Threads)));
   size_t Emitted = exportTrace(*Sink, T, Lat, EOpts);
@@ -415,6 +450,124 @@ int cmdRun(Program &P, const Options &Opts, bool Timeline) {
     }
   }
   Doc["memory"] = std::move(Mem);
+  return writeJsonIfRequested(Opts, Doc) ? 0 : 1;
+}
+
+/// The profiler's conservation check: every cycle, access and leak bit of
+/// the run must be attributed somewhere in the ledger. A drift here means
+/// the attribution cursor lost an event, so it is a hard error.
+bool checkLedgerConservation(const CostLedger &Ledger, const RunResult &R,
+                             const LeakAudit &Audit) {
+  bool Ok = true;
+  auto Fail = [&Ok](const char *What, uint64_t Got, uint64_t Want) {
+    std::fprintf(stderr,
+                 "error: profile self-check failed: %s: ledger has %" PRIu64
+                 ", run has %" PRIu64 "\n",
+                 What, Got, Want);
+    Ok = false;
+  };
+
+  if (Ledger.totalCycles() != R.T.FinalTime)
+    Fail("total cycles", Ledger.totalCycles(), R.T.FinalTime);
+
+  uint64_t PaddedIdle = 0;
+  for (const MitigateRecord &M : R.T.Mitigations)
+    if (M.Duration > M.BodyTime)
+      PaddedIdle += M.Duration - M.BodyTime;
+  if (Ledger.totalPadCycles() != PaddedIdle)
+    Fail("padding cycles", Ledger.totalPadCycles(), PaddedIdle);
+  if (Ledger.totalWindows() != R.T.Mitigations.size())
+    Fail("mitigate windows", Ledger.totalWindows(), R.T.Mitigations.size());
+
+  const CacheLevelStats *HwSide[CostLedger::kStructures] = {
+      &R.Hw.L1D, &R.Hw.L2D, &R.Hw.L1I, &R.Hw.L2I, &R.Hw.DTlb, &R.Hw.ITlb};
+  for (unsigned I = 0; I != CostLedger::kStructures; ++I) {
+    LineHwStats T = Ledger.structureTotals(I);
+    const CacheLevelStats &H = *HwSide[I];
+    const std::string Name = CostLedger::structureName(I);
+    if (T.Hits != H.Hits)
+      Fail((Name + " hits").c_str(), T.Hits, H.Hits);
+    if (T.Misses != H.Misses)
+      Fail((Name + " misses").c_str(), T.Misses, H.Misses);
+    if (T.Evictions != H.Evictions)
+      Fail((Name + " evictions").c_str(), T.Evictions, H.Evictions);
+    if (T.Writebacks != H.Writebacks)
+      Fail((Name + " writebacks").c_str(), T.Writebacks, H.Writebacks);
+    if (T.LineFills != H.LineFills)
+      Fail((Name + " line fills").c_str(), T.LineFills, H.LineFills);
+  }
+
+  // Bit-for-bit: the ledger replays the audit's per-level summation order.
+  if (Ledger.totalLeakBits() != Audit.totalBitsBound()) {
+    std::fprintf(stderr,
+                 "error: profile self-check failed: leak bits: ledger has "
+                 "%.17g, audit has %.17g\n",
+                 Ledger.totalLeakBits(), Audit.totalBitsBound());
+    Ok = false;
+  }
+  return Ok;
+}
+
+int cmdProfile(Program &P, const Options &Opts, const std::string &Source) {
+  if (int Rc = checkProgram(P, Opts, /*Verbose=*/false))
+    return Rc;
+  auto Env = createMachineEnv(Opts.Hw, P.lattice());
+  bool AdvErr = false;
+  std::optional<Label> Adv = adversaryLabel(Opts, P.lattice(), AdvErr);
+  if (AdvErr)
+    return 1;
+
+  // The profiler's data feed: the ledger rides the interpreter as the
+  // provenance sink, the audit prices windows online, and the windows'
+  // bits are folded into the ledger after the run settles.
+  CostLedger Ledger;
+  LeakAudit Audit(P.lattice(), Adv);
+  InterpreterOptions IOpts;
+  IOpts.Provenance = &Ledger;
+  IOpts.RecordMisses = !Opts.TraceOutPath.empty();
+  IOpts.OnMitigateWindow = [&Audit](const MitigateRecord &R) {
+    Audit.onWindow(R);
+  };
+  FullInterpreter Interp(P, *Env, IOpts);
+  for (const auto &[Var, Value] : Opts.Overrides) {
+    if (!Interp.memory().hasVar(Var)) {
+      std::fprintf(stderr, "error: no variable '%s' to set\n", Var.c_str());
+      return 1;
+    }
+    Interp.memory().store(Var, Value);
+  }
+  RunResult R = [&] {
+    auto Scope = Phases.scope("run");
+    return Interp.run();
+  }();
+  Ledger.applyLeakage(Audit);
+
+  if (!checkLedgerConservation(Ledger, R, Audit))
+    return 1;
+
+  std::printf("%s", Ledger.renderAnnotated(Source, wantColor(Opts)).c_str());
+  std::printf("\nterminated at G = %" PRIu64 " cycles after %" PRIu64
+              " steps on %s hardware; %.3f leak-bits bound\n",
+              R.T.FinalTime, R.T.Steps, hwKindName(Opts.Hw),
+              Audit.totalBitsBound());
+
+  if (Opts.Stats || !Opts.TraceOutPath.empty()) {
+    MetricsRegistry Reg;
+    collectRunMetrics(Reg, R.T, R.Hw, P.lattice());
+    Audit.exportMetrics(Reg);
+    Ledger.exportMetrics(Reg);
+    if (!emitTraceIfRequested(Opts, R.T, P.lattice(), &Ledger) ||
+        !emitStatsIfRequested(Opts, Reg))
+      return 1;
+  }
+
+  JsonValue Doc = JsonValue::object();
+  Doc["command"] = JsonValue("profile");
+  Doc["file"] = JsonValue(Opts.File);
+  Doc["hw"] = JsonValue(hwKindName(Opts.Hw));
+  Doc["final_time"] = JsonValue(R.T.FinalTime);
+  Doc["steps"] = JsonValue(R.T.Steps);
+  Doc["ledger"] = Ledger.toJson();
   return writeJsonIfRequested(Opts, Doc) ? 0 : 1;
 }
 
@@ -680,6 +833,8 @@ int main(int Argc, char **Argv) {
     return cmdRun(*P, Opts, /*Timeline=*/false);
   if (Opts.Command == "trace")
     return cmdRun(*P, Opts, /*Timeline=*/true);
+  if (Opts.Command == "profile")
+    return cmdProfile(*P, Opts, Source);
   if (Opts.Command == "leakage")
     return cmdLeakage(*P, Opts);
   if (Opts.Command == "audit")

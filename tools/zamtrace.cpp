@@ -16,7 +16,16 @@
 ///   * an offline recomputation of the Sec. 6 leakage bound from the
 ///     `leak_budget` spans. With `--stats <file>` the recomputed figures
 ///     are cross-checked bit-for-bit against the online `leak.*` metrics
-///     the run exported; any drift is a hard error (exit 1).
+///     the run exported; any drift is a hard error (exit 1), and
+///   * with `--by-line`, the source-attribution profile: per-line windows,
+///     padding, leakage bits and sampled misses are rebuilt from the event
+///     stream alone (mitigate spans, leak_budget spans, dmiss/imiss
+///     instants carrying `loc` args) and checked bit-for-bit against the
+///     prof_line#/prof_site# rows the producer embedded (cat "prof");
+///     `--check-ledger <file>` additionally compares those rows against a
+///     `zamc profile --json` ledger document. Any drift is a hard error.
+///     Per-line *cycles* are not reconstructible offline (cache hits are
+///     never sampled), so the embedded rows are the ground truth for them.
 ///
 /// `zamtrace diff A B` compares two runs (traces or stats/report JSON
 /// documents) and exits nonzero when B regresses beyond budget:
@@ -214,6 +223,38 @@ struct LevelRecompute {
   double BitsBound = 0;
 };
 
+/// One source line's profile, as seen offline: the independently
+/// rebuildable slice (windows, padding, leak bits, sampled misses) plus
+/// the embedded prof_line# row when the producer attached one.
+struct LineRebuild {
+  uint64_t Windows = 0;
+  uint64_t PadCycles = 0;
+  uint64_t Misses = 0;
+  double LeakBits = 0;
+  bool HasEmbedded = false;
+  uint64_t EmbCycles = 0;
+  uint64_t EmbStepCycles = 0;
+  uint64_t EmbSleepCycles = 0;
+  uint64_t EmbPadCycles = 0;
+  uint64_t EmbAccesses = 0;
+  uint64_t EmbMisses = 0;
+  uint64_t EmbWindows = 0;
+  double EmbLeakBits = 0;
+};
+
+/// One mitigate site's profile, rebuilt from its spans.
+struct SiteRebuild {
+  uint64_t Line = 0;
+  uint64_t Windows = 0;
+  uint64_t PadCycles = 0;
+  double LeakBits = 0;
+  bool HasEmbedded = false;
+  uint64_t EmbLine = 0;
+  uint64_t EmbWindows = 0;
+  uint64_t EmbPadCycles = 0;
+  double EmbLeakBits = 0;
+};
+
 struct Analysis {
   std::vector<WindowCost> Windows;
   std::map<uint64_t, uint64_t> DurationHistogram;
@@ -225,7 +266,20 @@ struct Analysis {
   /// Level name -> account, insertion-ordered by first appearance.
   std::vector<std::pair<std::string, LevelRecompute>> Levels;
   uint64_t LeakWindows = 0;
+  /// The per-line / per-site source profile (--by-line).
+  std::map<uint64_t, LineRebuild> Lines;
+  std::map<uint64_t, SiteRebuild> Sites;
+  bool HasProf = false; ///< The trace embedded prof_line#/prof_site# rows.
+  bool SawHwInstants = false; ///< The trace sampled misses (loc-tagged).
 };
+
+/// The η suffix of "mitigate#3" / "leak_budget#3" / "prof_site#3".
+uint64_t etaOfName(const std::string &Name) {
+  size_t Hash = Name.rfind('#');
+  return Hash == std::string::npos
+             ? 0
+             : std::strtoull(Name.c_str() + Hash + 1, nullptr, 10);
+}
 
 LevelRecompute &levelAccount(Analysis &A, const std::string &Name) {
   for (auto &[N, Acc] : A.Levels)
@@ -241,6 +295,45 @@ LevelRecompute &levelAccount(Analysis &A, const std::string &Name) {
 /// args. \returns false (after a diagnostic) on any drift.
 bool analyzeTrace(const LoadedInput &In, Analysis &A) {
   for (const TraceRec &R : In.Records) {
+    if (R.Kind == "instant") {
+      if (R.Cat == "hw") {
+        // One sampled access; each structure it missed in contributes one
+        // per-structure miss, the same tally the online ledger keeps.
+        A.SawHwInstants = true;
+        uint64_t N = 0;
+        if (strField(R.Args, "tlb_miss") == "true")
+          ++N;
+        if (strField(R.Args, "l1_miss") == "true")
+          ++N;
+        if (strField(R.Args, "memory") == "true")
+          ++N;
+        A.Lines[numField(R.Args, "loc")].Misses += N;
+      } else if (R.Cat == "prof") {
+        A.HasProf = true;
+        if (R.Name.rfind("prof_line#", 0) == 0) {
+          LineRebuild &L = A.Lines[etaOfName(R.Name)];
+          L.HasEmbedded = true;
+          L.EmbCycles = numField(R.Args, "cycles");
+          L.EmbStepCycles = numField(R.Args, "step_cycles");
+          L.EmbSleepCycles = numField(R.Args, "sleep_cycles");
+          L.EmbPadCycles = numField(R.Args, "pad_cycles");
+          L.EmbAccesses = numField(R.Args, "accesses");
+          L.EmbMisses = numField(R.Args, "misses");
+          L.EmbWindows = numField(R.Args, "windows");
+          if (const JsonValue *B = R.Args.find("leak_bits"))
+            L.EmbLeakBits = B->asNumber();
+        } else if (R.Name.rfind("prof_site#", 0) == 0) {
+          SiteRebuild &S = A.Sites[etaOfName(R.Name)];
+          S.HasEmbedded = true;
+          S.EmbLine = numField(R.Args, "loc");
+          S.EmbWindows = numField(R.Args, "windows");
+          S.EmbPadCycles = numField(R.Args, "pad_cycles");
+          if (const JsonValue *B = R.Args.find("leak_bits"))
+            S.EmbLeakBits = B->asNumber();
+        }
+      }
+      continue;
+    }
     if (R.Kind != "span")
       continue;
     if (R.Cat == "mit") {
@@ -259,6 +352,14 @@ bool analyzeTrace(const LoadedInput &In, Analysis &A) {
         A.MispredictedCycles += W.Dur;
       }
       ++A.DurationHistogram[W.Dur];
+      const uint64_t Loc = numField(R.Args, "loc");
+      LineRebuild &L = A.Lines[Loc];
+      ++L.Windows;
+      L.PadCycles += W.Padded;
+      SiteRebuild &S = A.Sites[etaOfName(R.Name)];
+      S.Line = Loc;
+      ++S.Windows;
+      S.PadCycles += W.Padded;
       A.Windows.push_back(std::move(W));
     } else if (R.Cat == "leak") {
       const std::string Level = strField(R.Args, "level");
@@ -301,10 +402,209 @@ bool analyzeTrace(const LoadedInput &In, Analysis &A) {
                      jsonNumberString(Acc.BitsBound).c_str());
         return false;
       }
+      // Per-line / per-site replay for --by-line: trace order is the
+      // accountant's arrival order, so these double sums are bit-exact.
+      A.Lines[numField(R.Args, "loc")].LeakBits += WantBits;
+      A.Sites[etaOfName(R.Name)].LeakBits += WantBits;
       ++A.LeakWindows;
     }
   }
   return true;
+}
+
+/// Verifies the independently-rebuilt per-line/per-site figures against the
+/// embedded prof rows: windows, padding and leak bits always; sampled
+/// misses when the trace carries hw instants. Any drift is a hard error.
+bool checkProfAgainstRebuild(const Analysis &A) {
+  if (!A.HasProf) {
+    std::fprintf(stderr, "error: trace has no prof_line#/prof_site# rows "
+                         "(produce one with `zamc profile --trace-out`)\n");
+    return false;
+  }
+  bool Ok = true;
+  auto Fail = [&Ok](const char *Scope, uint64_t Id, const char *What,
+                    const std::string &Rebuilt, const std::string &Embedded) {
+    std::fprintf(stderr,
+                 "error: by-line drift at %s %llu: %s rebuilt %s, "
+                 "embedded %s\n",
+                 Scope, static_cast<unsigned long long>(Id), What,
+                 Rebuilt.c_str(), Embedded.c_str());
+    Ok = false;
+  };
+  auto U = [](uint64_t V) { return std::to_string(V); };
+  for (const auto &[Line, L] : A.Lines) {
+    if (!L.HasEmbedded) {
+      Fail("line", Line, "row", "present", "missing");
+      continue;
+    }
+    if (L.Windows != L.EmbWindows)
+      Fail("line", Line, "windows", U(L.Windows), U(L.EmbWindows));
+    if (L.PadCycles != L.EmbPadCycles)
+      Fail("line", Line, "pad_cycles", U(L.PadCycles), U(L.EmbPadCycles));
+    if (L.LeakBits != L.EmbLeakBits)
+      Fail("line", Line, "leak_bits", jsonNumberString(L.LeakBits),
+           jsonNumberString(L.EmbLeakBits));
+    if (A.SawHwInstants || L.EmbMisses == 0)
+      if (L.Misses != L.EmbMisses)
+        Fail("line", Line, "misses", U(L.Misses), U(L.EmbMisses));
+  }
+  for (const auto &[Eta, S] : A.Sites) {
+    if (!S.HasEmbedded) {
+      Fail("site", Eta, "row", "present", "missing");
+      continue;
+    }
+    if (S.Line != S.EmbLine)
+      Fail("site", Eta, "loc", U(S.Line), U(S.EmbLine));
+    if (S.Windows != S.EmbWindows)
+      Fail("site", Eta, "windows", U(S.Windows), U(S.EmbWindows));
+    if (S.PadCycles != S.EmbPadCycles)
+      Fail("site", Eta, "pad_cycles", U(S.PadCycles), U(S.EmbPadCycles));
+    if (S.LeakBits != S.EmbLeakBits)
+      Fail("site", Eta, "leak_bits", jsonNumberString(S.LeakBits),
+           jsonNumberString(S.EmbLeakBits));
+  }
+  return Ok;
+}
+
+/// Compares the embedded prof rows against a `zamc profile --json`
+/// document's "ledger" object. Exact equality on every shared field.
+bool checkLedgerDocument(const Analysis &A, const std::string &Path) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    return false;
+  }
+  std::optional<JsonValue> Doc = JsonValue::parse(Text);
+  const JsonValue *Ledger =
+      Doc && Doc->kind() == JsonValue::Kind::Object ? Doc->find("ledger")
+                                                    : nullptr;
+  if (!Ledger) {
+    std::fprintf(stderr, "error: '%s' has no ledger object (write one with "
+                         "`zamc profile --json`)\n",
+                 Path.c_str());
+    return false;
+  }
+  bool Ok = true;
+  auto Fail = [&Ok, &Path](const char *Scope, uint64_t Id, const char *What,
+                           const std::string &Trace,
+                           const std::string &File) {
+    std::fprintf(stderr,
+                 "error: ledger mismatch at %s %llu: %s is %s in the trace, "
+                 "%s in %s\n",
+                 Scope, static_cast<unsigned long long>(Id), What,
+                 Trace.c_str(), File.c_str(), Path.c_str());
+    Ok = false;
+  };
+  auto U = [](uint64_t V) { return std::to_string(V); };
+
+  const JsonValue *LineArr = Ledger->find("lines");
+  const JsonValue *SiteArr = Ledger->find("sites");
+  size_t FileLines = 0, FileSites = 0;
+  if (LineArr && LineArr->kind() == JsonValue::Kind::Array) {
+    FileLines = LineArr->size();
+    for (size_t I = 0; I != LineArr->size(); ++I) {
+      const JsonValue &O = LineArr->at(I);
+      const uint64_t Line = numField(O, "line");
+      auto It = A.Lines.find(Line);
+      if (It == A.Lines.end() || !It->second.HasEmbedded) {
+        Fail("line", Line, "row", "missing", "present");
+        continue;
+      }
+      const LineRebuild &L = It->second;
+      if (L.EmbCycles != numField(O, "cycles"))
+        Fail("line", Line, "cycles", U(L.EmbCycles),
+             U(numField(O, "cycles")));
+      if (L.EmbStepCycles != numField(O, "step_cycles"))
+        Fail("line", Line, "step_cycles", U(L.EmbStepCycles),
+             U(numField(O, "step_cycles")));
+      if (L.EmbSleepCycles != numField(O, "sleep_cycles"))
+        Fail("line", Line, "sleep_cycles", U(L.EmbSleepCycles),
+             U(numField(O, "sleep_cycles")));
+      if (L.EmbPadCycles != numField(O, "pad_cycles"))
+        Fail("line", Line, "pad_cycles", U(L.EmbPadCycles),
+             U(numField(O, "pad_cycles")));
+      if (L.EmbAccesses != numField(O, "accesses"))
+        Fail("line", Line, "accesses", U(L.EmbAccesses),
+             U(numField(O, "accesses")));
+      if (L.EmbWindows != numField(O, "windows"))
+        Fail("line", Line, "windows", U(L.EmbWindows),
+             U(numField(O, "windows")));
+      const JsonValue *Bits = O.find("leak_bits");
+      if (!Bits || L.EmbLeakBits != Bits->asNumber())
+        Fail("line", Line, "leak_bits", jsonNumberString(L.EmbLeakBits),
+             Bits ? jsonNumberString(Bits->asNumber()) : "absent");
+    }
+  }
+  if (SiteArr && SiteArr->kind() == JsonValue::Kind::Array) {
+    FileSites = SiteArr->size();
+    for (size_t I = 0; I != SiteArr->size(); ++I) {
+      const JsonValue &O = SiteArr->at(I);
+      const uint64_t Eta = numField(O, "eta");
+      auto It = A.Sites.find(Eta);
+      if (It == A.Sites.end() || !It->second.HasEmbedded) {
+        Fail("site", Eta, "row", "missing", "present");
+        continue;
+      }
+      const SiteRebuild &S = It->second;
+      if (S.EmbLine != numField(O, "line"))
+        Fail("site", Eta, "line", U(S.EmbLine), U(numField(O, "line")));
+      if (S.EmbWindows != numField(O, "windows"))
+        Fail("site", Eta, "windows", U(S.EmbWindows),
+             U(numField(O, "windows")));
+      if (S.EmbPadCycles != numField(O, "pad_cycles"))
+        Fail("site", Eta, "pad_cycles", U(S.EmbPadCycles),
+             U(numField(O, "pad_cycles")));
+      const JsonValue *Bits = O.find("leak_bits");
+      if (!Bits || S.EmbLeakBits != Bits->asNumber())
+        Fail("site", Eta, "leak_bits", jsonNumberString(S.EmbLeakBits),
+             Bits ? jsonNumberString(Bits->asNumber()) : "absent");
+    }
+  }
+  size_t TraceLines = 0, TraceSites = 0;
+  for (const auto &[Line, L] : A.Lines)
+    TraceLines += L.HasEmbedded;
+  for (const auto &[Eta, S] : A.Sites)
+    TraceSites += S.HasEmbedded;
+  if (TraceLines != FileLines)
+    Fail("ledger", 0, "line count", U(TraceLines), U(FileLines));
+  if (TraceSites != FileSites)
+    Fail("ledger", 0, "site count", U(TraceSites), U(FileSites));
+  return Ok;
+}
+
+/// The --by-line view: the per-line table (embedded rows are the cycle
+/// ground truth; everything else was independently rebuilt and verified)
+/// followed by the site table.
+void printByLine(const Analysis &A) {
+  std::printf("\nper-line profile (offline rebuild, verified against "
+              "embedded rows):\n");
+  std::printf("  %4s %12s %8s %8s %8s %10s\n", "line", "cycles", "misses",
+              "pad", "windows", "leak-bits");
+  for (const auto &[Line, L] : A.Lines) {
+    char LineName[16];
+    if (Line == 0)
+      std::snprintf(LineName, sizeof(LineName), "%s", "?");
+    else
+      std::snprintf(LineName, sizeof(LineName), "%llu",
+                    static_cast<unsigned long long>(Line));
+    std::printf("  %4s %12llu %8llu %8llu %8llu %10s\n", LineName,
+                static_cast<unsigned long long>(L.EmbCycles),
+                static_cast<unsigned long long>(L.EmbMisses),
+                static_cast<unsigned long long>(L.PadCycles),
+                static_cast<unsigned long long>(L.Windows),
+                jsonNumberString(L.LeakBits).c_str());
+  }
+  if (!A.Sites.empty()) {
+    std::printf("  mitigate sites:\n");
+    for (const auto &[Eta, S] : A.Sites)
+      std::printf("    m%-3llu line %-4llu %8llu windows %10llu pad-cycles "
+                  "%10s leak-bits\n",
+                  static_cast<unsigned long long>(Eta),
+                  static_cast<unsigned long long>(S.Line),
+                  static_cast<unsigned long long>(S.Windows),
+                  static_cast<unsigned long long>(S.PadCycles),
+                  jsonNumberString(S.LeakBits).c_str());
+  }
 }
 
 const LevelRecompute *findLevel(const Analysis &A, const std::string &Name) {
@@ -532,6 +832,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: zamtrace report <trace> [--stats FILE] [--json FILE]\n"
+      "                [--by-line] [--check-ledger FILE]\n"
       "       zamtrace diff <base> <candidate> [--budget-bits X]\n"
       "                [--budget-pct P] [--json FILE]\n"
       "       zamtrace --version\n"
@@ -539,7 +840,10 @@ int usage() {
       "report: histogram, overhead attribution and offline leakage bound\n"
       "        for a JSONL or Chrome trace; --stats cross-checks the\n"
       "        recomputed bound bit-for-bit against the run's leak.*\n"
-      "        metrics (mismatch exits 1).\n"
+      "        metrics (mismatch exits 1). --by-line rebuilds the per-line\n"
+      "        source profile from the event stream and verifies it against\n"
+      "        the embedded prof rows; --check-ledger additionally compares\n"
+      "        them against a `zamc profile --json` ledger document.\n"
       "diff:   compares two runs (traces or --stats/--json documents) and\n"
       "        exits 1 when the candidate exceeds the leakage or overhead\n"
       "        budget. Only the metrics object is compared.\n");
@@ -561,12 +865,17 @@ bool writeJsonFile(const JsonValue &Doc, const std::string &Path) {
 }
 
 int cmdReport(int Argc, char **Argv) {
-  std::string TracePath, StatsPath, JsonPath;
+  std::string TracePath, StatsPath, JsonPath, LedgerPath;
+  bool ByLine = false;
   for (int I = 2; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--stats") && I + 1 < Argc)
       StatsPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
       JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--check-ledger") && I + 1 < Argc)
+      LedgerPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--by-line"))
+      ByLine = true;
     else if (Argv[I][0] != '-' && TracePath.empty())
       TracePath = Argv[I];
     else {
@@ -589,6 +898,27 @@ int cmdReport(int Argc, char **Argv) {
   if (!analyzeTrace(*In, A))
     return 1;
   printReport(*In, A);
+
+  if (ByLine || !LedgerPath.empty()) {
+    if (!checkProfAgainstRebuild(A)) {
+      std::printf("\nby-line check FAILED: offline rebuild disagrees with "
+                  "the embedded source profile\n");
+      return 1;
+    }
+    if (ByLine)
+      printByLine(A);
+    if (!LedgerPath.empty()) {
+      if (!checkLedgerDocument(A, LedgerPath)) {
+        std::printf("\nledger check FAILED: embedded source profile "
+                    "disagrees with '%s'\n",
+                    LedgerPath.c_str());
+        return 1;
+      }
+      std::printf("\nledger check OK: trace profile matches '%s' "
+                  "bit-for-bit\n",
+                  LedgerPath.c_str());
+    }
+  }
 
   std::string CrossCheck = "not requested";
   if (!StatsPath.empty()) {
