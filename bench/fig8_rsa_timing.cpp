@@ -21,6 +21,7 @@
 #include "obs/LeakAudit.h"
 #include "obs/Telemetry.h"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <vector>
@@ -140,6 +141,36 @@ int main(int Argc, char **Argv) {
     Ledger.exportMetrics(R.metrics());
     if (!emitBenchTrace(Rep.T, Lat, Harness))
       return 2;
+  }
+
+  // Interpreter throughput of record: repeated mitigated keyA decryptions,
+  // single-threaded, no provenance — the raw engine speed the timing-IR
+  // refactor targets. Wall-clock only (the "wall" JSON section), so the
+  // deterministic metrics stay byte-stable across machines.
+  // interp_wall_ms_seed is the same measurement taken at the pre-IR
+  // tree-walking engines on the acceptance container.
+  {
+    constexpr double SeedInterpWallMs = 134.0;
+    constexpr unsigned Reps = 20;
+    RsaProgramConfig Config;
+    Config.Mode = RsaMitigationMode::PerBlock;
+    Config.Estimate = Est;
+    Config.MaxBlocks = BlocksPerMessage;
+    auto Env = createMachineEnv(HwKind::Partitioned, Lat);
+    Program P = buildRsaProgram(Lat, KeyA, Config);
+    auto Start = std::chrono::steady_clock::now();
+    for (unsigned I = 0; I != Reps; ++I)
+      runFull(P, *Env, [&](Memory &M) { setRsaMessage(M, MsgsA[I]); });
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    R.setWallScalar("interp_runs", Reps);
+    R.setWallScalar("interp_wall_ms", Ms);
+    R.setWallScalar("interp_wall_ms_seed", SeedInterpWallMs);
+    R.setWallScalar("interp_speedup_vs_seed", SeedInterpWallMs / Ms);
+    std::printf("\ninterpreter throughput: %u mitigated decryptions in"
+                " %.1f ms (seed engines: %.1f ms, speedup %.2fx)\n",
+                Reps, Ms, SeedInterpWallMs, SeedInterpWallMs / Ms);
   }
 
   std::printf("=== Fig. 8: decryption time per message (cycles) ===\n");

@@ -16,6 +16,7 @@
 #include "hw/HardwareModels.h"
 #include "lang/Parser.h"
 #include "obs/Phase.h"
+#include "sem/FullInterpreter.h"
 #include "types/LabelInference.h"
 
 #include <chrono>
@@ -156,6 +157,33 @@ int main(int Argc, char **Argv) {
               LoginMs1, LoginMsN, Wide, LoginMs1 / LoginMsN,
               LoginSame ? "YES" : "NO");
 
+  // Interpreter throughput: many serial full-semantics runs of a
+  // loop-heavy probe (~400 evaluation steps per run, so per-run setup is
+  // amortized and the engine's step rate dominates) — the engine-speed
+  // floor under every harness number above. interp_wall_ms_seed is the
+  // same measurement taken at the pre-IR tree-walking engines on the
+  // acceptance container.
+  std::optional<Program> InterpP = parseProgram(
+      "var h : H;\nvar l : L;\nvar a : L[16];\nvar i : L;\n"
+      "i := 0;\n"
+      "while i < 128 do { a[i] := a[i + 7] + i; i := i + 1 };\n"
+      "mitigate (64, H) { sleep(h) @[H,H] };\n"
+      "l := i",
+      Lat, Diags);
+  inferTimingLabels(*InterpP);
+  constexpr double SeedInterpWallMs = 118.2;
+  constexpr unsigned InterpReps = 2000;
+  double InterpMs = timeMs("interp/serial", [&] {
+    auto Env = createMachineEnv(HwKind::Partitioned, Lat);
+    for (unsigned I = 0; I != InterpReps; ++I)
+      runFull(*InterpP, *Env,
+              [&](Memory &M) { M.store("h", static_cast<int64_t>(I % 97)); });
+  });
+  std::printf("interpreter throughput: %u serial runs in %.1f ms (seed"
+              " engines: %.1f ms, speedup %.2fx)\n",
+              InterpReps, InterpMs, SeedInterpWallMs,
+              SeedInterpWallMs / InterpMs);
+
   Report R("harness_baseline");
   R.setScalar("hardware_concurrency", Cores);
   R.setScalar("threads_compared", Wide);
@@ -174,6 +202,10 @@ int main(int Argc, char **Argv) {
   R.setWallScalar("login_ms_1thread", LoginMs1);
   R.setWallScalar("login_ms_wide", LoginMsN);
   R.setWallScalar("login_speedup", LoginMs1 / LoginMsN);
+  R.setWallScalar("interp_runs", InterpReps);
+  R.setWallScalar("interp_wall_ms", InterpMs);
+  R.setWallScalar("interp_wall_ms_seed", SeedInterpWallMs);
+  R.setWallScalar("interp_speedup_vs_seed", SeedInterpWallMs / InterpMs);
   R.setPhases(Phases.toJson());
 
   std::printf("\n-- phases (wall clock) --\n%s", Phases.render().c_str());

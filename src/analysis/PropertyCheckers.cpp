@@ -3,7 +3,7 @@
 #include "analysis/PropertyCheckers.h"
 
 #include "sem/CoreInterpreter.h"
-#include "sem/StaticLabels.h"
+#include "lang/StaticLabels.h"
 #include "sem/StepInterpreter.h"
 #include "support/Casting.h"
 

@@ -11,6 +11,12 @@ Cache::Cache(const CacheConfig &Config) : Config(Config) {
   assert(Config.NumSets > 0 && Config.Assoc > 0 && Config.BlockBytes > 0 &&
          "degenerate cache configuration");
   Sets.resize(Config.NumSets);
+  if (std::has_single_bit(Config.BlockBytes) &&
+      std::has_single_bit(Config.NumSets)) {
+    BlockShift = static_cast<unsigned>(std::countr_zero(Config.BlockBytes));
+    SetMask = Config.NumSets - 1;
+    TagShift = BlockShift + static_cast<unsigned>(std::countr_zero(Config.NumSets));
+  }
 }
 
 /// Finds the line with \p Tag in a (possibly const) set.

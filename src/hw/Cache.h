@@ -28,6 +28,7 @@
 #include "hw/CacheConfig.h"
 #include "support/Rng.h"
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -94,13 +95,22 @@ private:
   };
 
   uint64_t tagOf(Addr A) const {
+    if (TagShift)
+      return A >> TagShift;
     return A / Config.BlockBytes / Config.NumSets;
   }
   unsigned setOf(Addr A) const {
+    if (TagShift)
+      return static_cast<unsigned>((A >> BlockShift) & SetMask);
     return static_cast<unsigned>((A / Config.BlockBytes) % Config.NumSets);
   }
 
   CacheConfig Config;
+  /// Shift/mask fast path for power-of-two geometry (all Table 1 shapes).
+  /// TagShift == 0 falls back to division — partitioned designs divide sets
+  /// among lattice levels, which need not leave a power of two.
+  unsigned BlockShift = 0, TagShift = 0;
+  uint64_t SetMask = 0;
   /// Sets[S] = resident lines of set S in MRU-to-LRU order.
   std::vector<std::vector<Line>> Sets;
   CacheEvents Events;

@@ -256,6 +256,12 @@ PartitionedHw::makePartitions(const CacheConfig &Full) const {
 PartitionedHw::PartitionedHw(const SecurityLattice &Lat,
                              const MachineEnvConfig &Config)
     : MachineEnv(HwKind::Partitioned, Lat, Config) {
+  Levels = Lat.size();
+  Flows.resize(static_cast<size_t>(Levels) * Levels);
+  for (unsigned I = 0; I != Levels; ++I)
+    for (unsigned J = 0; J != Levels; ++J)
+      Flows[I * Levels + J] =
+          Lat.flowsTo(Label::fromIndex(I), Label::fromIndex(J));
   L1D = makePartitions(Config.L1D);
   L2D = makePartitions(Config.L2D);
   L1I = makePartitions(Config.L1I);
@@ -266,15 +272,14 @@ PartitionedHw::PartitionedHw(const SecurityLattice &Lat,
 
 bool PartitionedHw::partLookup(Partitioned &P, Addr A, Label Read, Label Write,
                                bool MarkDirty) {
-  const SecurityLattice &Lat = lattice();
+  const unsigned R = Read.index(), W = Write.index();
   for (unsigned I = 0, E = P.size(); I != E; ++I) {
-    Label Level = Label::fromIndex(I);
     // Only partitions at levels ⊑ er may influence timing (Property 6).
-    if (!Lat.flowsTo(Level, Read))
+    if (!flows(I, R))
       continue;
     // A hit may promote LRU state only when ew ⊑ level (Property 5);
     // otherwise the partition is probed without modification.
-    if (Lat.flowsTo(Write, Level)) {
+    if (flows(W, I)) {
       if (P[I].lookup(A, MarkDirty))
         return true;
     } else if (P[I].probe(A)) {
@@ -286,15 +291,14 @@ bool PartitionedHw::partLookup(Partitioned &P, Addr A, Label Read, Label Write,
 
 void PartitionedHw::partInstall(Partitioned &P, Addr A, Label Write,
                                 bool Dirty) {
-  const SecurityLattice &Lat = lattice();
+  const unsigned W = Write.index();
   // Consistency: keep a single copy. A stale copy may only be removed from
   // levels the write label permits modifying (ew ⊑ level).
   for (unsigned I = 0, E = P.size(); I != E; ++I) {
-    Label Level = Label::fromIndex(I);
-    if (Level != Write && Lat.flowsTo(Write, Level))
+    if (I != W && flows(W, I))
       P[I].remove(A);
   }
-  P[Write.index()].install(A, Dirty);
+  P[W].install(A, Dirty);
 }
 
 /// Sums one partitioned structure's event counters over all partitions

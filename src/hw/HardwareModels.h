@@ -130,6 +130,14 @@ private:
                            Addr A, Label Read, Label Write, bool IsData,
                            bool IsStore);
 
+  /// Precomputed lattice order: Flows[i * Levels + j] = (ℓ_i ⊑ ℓ_j). The
+  /// partition search consults the order once per partition per access, so
+  /// a virtual flowsTo() call there is measurable; the lattice is immutable,
+  /// so snapshotting it at construction is safe.
+  bool flows(unsigned I, unsigned J) const { return Flows[I * Levels + J]; }
+
+  unsigned Levels = 0;
+  std::vector<uint8_t> Flows;
   Partitioned L1D, L2D, L1I, L2I, DTlb, ITlb;
 };
 

@@ -1,0 +1,37 @@
+//===- IrPrinter.h - Textual dump of the timing-IR --------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, human-readable dump of a lowered program: the slot
+/// layout, then one line per instruction with its successors, timing
+/// labels, code address and postfix expression(s). `zamc ir` prints this,
+/// and CI diffs it against a committed golden file — the format is part of
+/// the repository's regression surface, so change it deliberately.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_IR_IRPRINTER_H
+#define ZAM_IR_IRPRINTER_H
+
+#include "ir/Ir.h"
+
+#include <string>
+
+namespace zam {
+
+class SecurityLattice;
+
+/// Renders one lowered expression in postfix, e.g.
+/// "load %1:x; const 3; add".
+std::string printIrExpr(const IrExpr &E);
+
+/// Renders the whole program (slots, then instructions).
+std::string printIr(const IrProgram &IR, const SecurityLattice &Lat);
+
+} // namespace zam
+
+#endif // ZAM_IR_IRPRINTER_H

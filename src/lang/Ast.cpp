@@ -138,14 +138,6 @@ CmdPtr SleepCmd::clone() const {
   return withAttrs(std::make_unique<SleepCmd>(Duration->clone(), loc()), *this);
 }
 
-CmdPtr MitigateEndCmd::clone() const {
-  assert(labels().Read && "MitigateEnd must carry ⊥ labels");
-  auto C = std::make_unique<MitigateEndCmd>(Eta, Estimate, MitLevel, PcLabel,
-                                            StartTime, *labels().Read, loc());
-  C->setNodeId(nodeId());
-  return C;
-}
-
 //===----------------------------------------------------------------------===//
 // vars1 and expression variable collection
 //===----------------------------------------------------------------------===//
@@ -209,8 +201,6 @@ std::vector<std::string> zam::vars1(const Cmd &C) {
   case Cmd::Kind::Sleep:
     collectExprVars(cast<SleepCmd>(C).duration(), Out);
     break;
-  case Cmd::Kind::MitigateEnd:
-    break; // Padding duration depends only on the clock and Miss table.
   }
   return Out;
 }
@@ -254,7 +244,6 @@ void numberCmd(Cmd &C, unsigned &NextNode, unsigned &NextMitigate,
   case Cmd::Kind::Assign:
   case Cmd::Kind::ArrayAssign:
   case Cmd::Kind::Sleep:
-  case Cmd::Kind::MitigateEnd:
   case Cmd::Kind::Seq:
     break;
   case Cmd::Kind::If: {

@@ -221,10 +221,6 @@ public:
     While,
     Mitigate,
     Sleep,
-    /// Internal: the continuation a stepped mitigate leaves behind (the
-    /// `update; sleep(predict - time + s_η)` tail of the Fig. 6 rewrite).
-    /// Never produced by the parser or builder; labels are [⊥,⊥].
-    MitigateEnd,
   };
 
   virtual ~Cmd();
@@ -428,39 +424,6 @@ public:
 
 private:
   ExprPtr Duration;
-};
-
-/// Internal command produced by the small-step rule (S-MTGPRED) of Fig. 6:
-/// after `mitigate_η (e,ℓ) c` steps to `c ; MitigateEnd`, the MitigateEnd
-/// performs the `update` loop on the Miss table and pads execution to the
-/// final prediction. Its timing labels are [⊥,⊥]: the auxiliary commands
-/// leak no machine-environment information.
-class MitigateEndCmd final : public Cmd {
-public:
-  MitigateEndCmd(unsigned Eta, int64_t Estimate, Label MitLevel, Label PcLabel,
-                 uint64_t StartTime, Label Bottom, SourceLoc Loc = SourceLoc())
-      : Cmd(Kind::MitigateEnd, Loc), Eta(Eta), Estimate(Estimate),
-        MitLevel(MitLevel), PcLabel(PcLabel), StartTime(StartTime) {
-    labels().Read = Bottom;
-    labels().Write = Bottom;
-  }
-
-  unsigned eta() const { return Eta; }
-  int64_t estimate() const { return Estimate; }
-  Label mitLevel() const { return MitLevel; }
-  Label pcLabel() const { return PcLabel; }
-  uint64_t startTime() const { return StartTime; }
-
-  CmdPtr clone() const override;
-
-  static bool classof(const Cmd *C) { return C->kind() == Kind::MitigateEnd; }
-
-private:
-  unsigned Eta;
-  int64_t Estimate;
-  Label MitLevel;
-  Label PcLabel;
-  uint64_t StartTime;
 };
 
 /// vars1(c[er,ew]): the variables whose values may affect the timing of the

@@ -97,8 +97,6 @@ std::string zam::printCmd(const Cmd &C, const SecurityLattice &Lat,
     const auto &S = cast<SleepCmd>(C);
     return Pad + "sleep (" + printExpr(S.duration()) + ")" + annotation(C, Lat);
   }
-  case Cmd::Kind::MitigateEnd:
-    return Pad + "<mitigate-end>" + annotation(C, Lat);
   }
   return Pad + "<?>";
 }

@@ -1,6 +1,6 @@
 //===- StaticLabels.cpp ---------------------------------------------------===//
 
-#include "sem/StaticLabels.h"
+#include "lang/StaticLabels.h"
 
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
@@ -61,7 +61,6 @@ Label zam::stepAddressLabel(const Cmd &C, const Program &P) {
   const SecurityLattice &Lat = P.lattice();
   switch (C.kind()) {
   case Cmd::Kind::Skip:
-  case Cmd::Kind::MitigateEnd:
     return Lat.bottom();
   case Cmd::Kind::Assign:
     return addressDependenceLabel(cast<AssignCmd>(C).value(), P);
@@ -95,7 +94,6 @@ static void walkPc(const Cmd &C, Label Pc, const Program &P,
   case Cmd::Kind::Assign:
   case Cmd::Kind::ArrayAssign:
   case Cmd::Kind::Sleep:
-  case Cmd::Kind::MitigateEnd:
     break;
   case Cmd::Kind::Seq: {
     const auto &S = cast<SeqCmd>(C);
@@ -126,5 +124,12 @@ std::unordered_map<unsigned, Label> zam::computePcLabels(const Program &P) {
   std::unordered_map<unsigned, Label> Out;
   if (P.hasBody())
     walkPc(P.body(), P.lattice().bottom(), P, Out);
+  return Out;
+}
+
+std::unordered_map<unsigned, Label> zam::computePcLabels(const Cmd &C,
+                                                         const Program &P) {
+  std::unordered_map<unsigned, Label> Out;
+  walkPc(C, P.lattice().bottom(), P, Out);
   return Out;
 }

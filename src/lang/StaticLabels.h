@@ -18,8 +18,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef ZAM_SEM_STATICLABELS_H
-#define ZAM_SEM_STATICLABELS_H
+#ifndef ZAM_LANG_STATICLABELS_H
+#define ZAM_LANG_STATICLABELS_H
 
 #include "lang/Ast.h"
 
@@ -33,6 +33,11 @@ Label exprLabel(const Expr &E, const Program &P);
 /// Maps every command NodeId to its static program-counter label.
 /// Requires the program to be numbered (Program::number()).
 std::unordered_map<unsigned, Label> computePcLabels(const Program &P);
+
+/// As above but over a detached command (the property checkers execute bare
+/// commands against a program's declarations); the walk starts at pc = ⊥.
+std::unordered_map<unsigned, Label> computePcLabels(const Cmd &C,
+                                                    const Program &P);
 
 /// The address-dependence label of \p E: the join of the index labels of
 /// every array read in it (⊥ when there are none). An access's simulated
@@ -49,4 +54,4 @@ Label stepAddressLabel(const Cmd &C, const Program &P);
 
 } // namespace zam
 
-#endif // ZAM_SEM_STATICLABELS_H
+#endif // ZAM_LANG_STATICLABELS_H

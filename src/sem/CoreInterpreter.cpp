@@ -47,7 +47,6 @@ private:
       return;
     switch (C.kind()) {
     case Cmd::Kind::Skip:
-    case Cmd::Kind::MitigateEnd:
       return;
     case Cmd::Kind::Sleep:
       // Core semantics: sleep behaves like skip (the argument is still

@@ -19,6 +19,7 @@
 
 #include "lang/Ast.h"
 #include "sem/Event.h"
+#include "sem/Limits.h"
 #include "sem/Memory.h"
 
 namespace zam {
@@ -35,9 +36,11 @@ struct CoreResult {
 /// Runs \p P to completion under the core semantics.
 /// \p InitialMemory overrides the declaration-derived memory when provided.
 /// \p StepLimit bounds the number of executed commands so diverging
-/// programs terminate the test harness.
+/// programs terminate the test harness; it defaults to the same safety net
+/// as the full-semantics engines so that the adequacy checks never see one
+/// semantics bail out of a long (but converging) run before the other.
 CoreResult runCore(const Program &P, const Memory *InitialMemory = nullptr,
-                   uint64_t StepLimit = 10'000'000);
+                   uint64_t StepLimit = kDefaultStepLimit);
 
 } // namespace zam
 

@@ -99,66 +99,3 @@ int64_t zam::evalExprPure(const Expr &E, const Memory &M) {
   return 0;
 }
 
-namespace {
-/// Narrows an attribution cursor to \p E's location (when valid) for one
-/// expression node's scope, restoring the enclosing location on exit.
-class LocScope {
-public:
-  LocScope(CostCursor *Cur, const Expr &E) : Cur(Cur) {
-    if (Cur) {
-      Saved = Cur->Loc;
-      if (E.loc().isValid())
-        Cur->Loc = E.loc();
-    }
-  }
-  ~LocScope() {
-    if (Cur)
-      Cur->Loc = Saved;
-  }
-
-private:
-  CostCursor *Cur;
-  SourceLoc Saved;
-};
-} // namespace
-
-int64_t zam::evalExprTimed(const Expr &E, const Memory &M, MachineEnv &Env,
-                           Label Read, Label Write, const CostModel &Costs,
-                           uint64_t &Cycles, CostCursor *Cur) {
-  LocScope Scope(Cur, E);
-  switch (E.kind()) {
-  case Expr::Kind::IntLit:
-    return cast<IntLitExpr>(E).value(); // Immediate operand: free.
-  case Expr::Kind::Var: {
-    const auto &V = cast<VarExpr>(E);
-    Cycles += Env.dataAccess(M.addrOf(V.name()), /*IsStore=*/false, Read, Write);
-    return M.load(V.name());
-  }
-  case Expr::Kind::ArrayRead: {
-    const auto &AR = cast<ArrayReadExpr>(E);
-    int64_t Index =
-        evalExprTimed(AR.index(), M, Env, Read, Write, Costs, Cycles, Cur);
-    Cycles += Env.dataAccess(M.addrOfElem(AR.array(), Index), /*IsStore=*/false,
-                             Read, Write);
-    Cycles += Costs.AluOp; // Address computation.
-    return M.loadElem(AR.array(), Index);
-  }
-  case Expr::Kind::BinOp: {
-    const auto &BO = cast<BinOpExpr>(E);
-    int64_t L =
-        evalExprTimed(BO.lhs(), M, Env, Read, Write, Costs, Cycles, Cur);
-    int64_t R =
-        evalExprTimed(BO.rhs(), M, Env, Read, Write, Costs, Cycles, Cur);
-    Cycles += Costs.AluOp;
-    return applyBinOp(BO.op(), L, R);
-  }
-  case Expr::Kind::UnOp: {
-    const auto &UO = cast<UnOpExpr>(E);
-    int64_t V =
-        evalExprTimed(UO.sub(), M, Env, Read, Write, Costs, Cycles, Cur);
-    Cycles += Costs.AluOp;
-    return applyUnOp(UO.op(), V);
-  }
-  }
-  return 0;
-}

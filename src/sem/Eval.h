@@ -1,4 +1,4 @@
-//===- Eval.h - Shared expression/step evaluation ---------------*- C++ -*-===//
+//===- Eval.h - Shared expression evaluation --------------------*- C++ -*-===//
 //
 // Part of the zam project: a reproduction of "Language-Based Control and
 // Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
@@ -6,26 +6,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Expression evaluation shared by the core semantics, the literal
-/// small-step engine (StepInterpreter) and the fast big-step engine
-/// (FullInterpreter). Both timing engines must charge identical costs so
-/// that they agree cycle-for-cycle (checked by property tests); funneling
-/// evaluation through one implementation makes that true by construction.
-///
-/// The value semantics is total and deterministic: division/modulo by zero
-/// yield 0, shift counts are masked to 6 bits, arithmetic wraps modulo 2^64,
-/// and array indices wrap modulo the array size.
+/// The value semantics of expressions, shared by the core semantics and the
+/// timing-IR execution core (sem/ExecCore.h): total and deterministic —
+/// division/modulo by zero yield 0, shift counts are masked to 6 bits,
+/// arithmetic wraps modulo 2^64, and array indices wrap modulo the array
+/// size. Timed evaluation (costs + hardware accesses) lives in
+/// evalIrExpr over the lowered postfix form; it applies these same
+/// operators, so the engines agree with the core semantics by construction.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ZAM_SEM_EVAL_H
 #define ZAM_SEM_EVAL_H
 
-#include "hw/MachineEnv.h"
 #include "lang/Ast.h"
-#include "sem/CostModel.h"
 #include "sem/Memory.h"
-#include "sem/Provenance.h"
 
 namespace zam {
 
@@ -37,16 +32,6 @@ int64_t applyUnOp(UnOpKind Op, int64_t V);
 
 /// Evaluates \p E in \p M without timing (core semantics).
 int64_t evalExprPure(const Expr &E, const Memory &M);
-
-/// Evaluates \p E in \p M, charging ALU costs and performing the data
-/// accesses through \p Env under timing labels [\p Read, \p Write].
-/// Accumulates the cost into \p Cycles and returns the value. When \p Cur
-/// is set, narrows Cur->Loc to each sub-expression's own location (when
-/// valid) for the duration of that node's accesses, restoring the enclosing
-/// location afterwards — the attribution cursor of the source profiler.
-int64_t evalExprTimed(const Expr &E, const Memory &M, MachineEnv &Env,
-                      Label Read, Label Write, const CostModel &Costs,
-                      uint64_t &Cycles, CostCursor *Cur = nullptr);
 
 } // namespace zam
 

@@ -1,0 +1,263 @@
+//===- ExecCore.cpp - The shared timing-IR execution core -----------------===//
+
+#include "sem/ExecCore.h"
+
+#include "support/Diagnostics.h"
+
+using namespace zam;
+
+int64_t zam::evalIrExpr(const IrExpr &E, const Memory &M, MachineEnv &Env,
+                        Label Read, Label Write, const CostModel &Costs,
+                        uint64_t &Cycles, CostCursor *Cur, int64_t *Stack) {
+  std::vector<int64_t> Local;
+  if (!Stack) {
+    Local.resize(E.MaxDepth ? E.MaxDepth : 1);
+    Stack = Local.data();
+  }
+  // The cursor narrows to each operation's effective location only for its
+  // own hardware access; the caller's location is restored on return (the
+  // LocScope discipline of the old AST walker).
+  SourceLoc Saved;
+  if (Cur)
+    Saved = Cur->Loc;
+
+  int64_t *SP = Stack;
+  for (const ExprOp &Op : E.Ops) {
+    switch (Op.K) {
+    case ExprOp::Kind::PushConst: // Immediate operand: free.
+      *SP++ = Op.Const;
+      break;
+    case ExprOp::Kind::LoadVar:
+      if (Cur)
+        Cur->Loc = Op.Loc;
+      Cycles += Env.dataAccess(Op.Base, /*IsStore=*/false, Read, Write);
+      *SP++ = M.slotAt(Op.Slot).Data[0];
+      break;
+    case ExprOp::Kind::LoadElem: {
+      uint64_t W = Memory::wrapRaw(SP[-1], Op.ElemCount);
+      if (Cur)
+        Cur->Loc = Op.Loc;
+      Cycles += Env.dataAccess(Op.Base + W * 8, /*IsStore=*/false, Read,
+                               Write);
+      Cycles += Costs.AluOp; // Address computation.
+      SP[-1] = M.slotAt(Op.Slot).Data[W];
+      break;
+    }
+    case ExprOp::Kind::Bin: {
+      int64_t R = *--SP;
+      SP[-1] = applyBinOp(Op.BinOp, SP[-1], R);
+      Cycles += Costs.AluOp;
+      break;
+    }
+    case ExprOp::Kind::Un:
+      SP[-1] = applyUnOp(Op.UnOp, SP[-1]);
+      Cycles += Costs.AluOp;
+      break;
+    }
+  }
+  if (Cur)
+    Cur->Loc = Saved;
+  return SP[-1];
+}
+
+ExecCore::ExecCore(const IrProgram &IR, const Program &P, Memory InitM,
+                   MachineEnv &Env, const InterpreterOptions &Opts)
+    : P(P), Env(Env), Opts(Opts),
+      Scheme(Opts.Scheme ? *Opts.Scheme : fastDoublingScheme()),
+      M(std::move(InitM)), OwnMitState(P.lattice(), Scheme, Opts.Penalty),
+      MitState(Opts.SharedMitState ? *Opts.SharedMitState : OwnMitState),
+      Code(IR.Instrs.data()),
+      TrackCursor(Opts.RecordMisses || Opts.Provenance != nullptr) {
+  Stack.resize(IR.MaxEvalDepth ? IR.MaxEvalDepth : 1);
+  Frames.reserve(IR.MaxMitDepth);
+  if (Code[PC].K == IrInstr::Op::Halt) {
+    Halted = true;
+    finalize();
+  }
+}
+
+void ExecCore::onAccess(const HwAccess &Access) {
+  if (Opts.Provenance)
+    Opts.Provenance->chargeAccess(Cur, Access);
+  if (!Opts.RecordMisses || (!Access.TlbMiss && !Access.L1Miss))
+    return;
+  AccessSample S;
+  S.A = Access.A;
+  S.Time = G; // Clock at the start of the enclosing step.
+  S.Cycles = Access.Cycles;
+  S.IsData = Access.IsData;
+  S.IsStore = Access.IsStore;
+  S.TlbMiss = Access.TlbMiss;
+  S.L1Miss = Access.L1Miss;
+  S.L2Miss = Access.L2Miss;
+  S.Line = Cur.Loc.Line;
+  T.Misses.push_back(S);
+}
+
+void ExecCore::record(const MemorySlot &S, bool IsArray, uint64_t Index,
+                      int64_t Value) {
+  AssignEvent E;
+  E.Var = S.Name;
+  E.VarLabel = S.SecLabel;
+  E.IsArrayStore = IsArray;
+  E.ElemIndex = Index;
+  E.Value = Value;
+  E.Time = G;
+  T.Events.push_back(std::move(E));
+}
+
+void ExecCore::execInstr(const IrInstr &I) {
+  // Attribution: every transition moves the cursor to its instruction's
+  // source location before any of its costs (including the I-fetch).
+  if (TrackCursor)
+    Cur.Loc = I.Loc;
+
+  switch (I.K) {
+  case IrInstr::Op::Skip: {
+    uint64_t Cycles = stepBase(I);
+    charge(CycleKind::Step, Cycles);
+    G += Cycles;
+    PC = I.Next;
+    return;
+  }
+
+  case IrInstr::Op::Assign: {
+    ++T.Ops.Assignments;
+    uint64_t Cycles = stepBase(I);
+    int64_t V = eval(I.E0, I, Cycles);
+    Cycles += Env.dataAccess(I.SlotBase, /*IsStore=*/true, I.Read, I.Write);
+    charge(CycleKind::Step, Cycles);
+    G += Cycles;
+    MemorySlot &S = M.slotAt(I.Slot);
+    S.Data[0] = V;
+    record(S, false, 0, V);
+    PC = I.Next;
+    return;
+  }
+
+  case IrInstr::Op::ArrayAssign: {
+    ++T.Ops.Assignments;
+    uint64_t Cycles = stepBase(I);
+    int64_t Index = eval(I.E0, I, Cycles);
+    int64_t V = eval(I.E1, I, Cycles);
+    Cycles += Opts.Costs.AluOp; // Address computation.
+    uint64_t W = Memory::wrapRaw(Index, I.ElemCount);
+    Cycles += Env.dataAccess(I.SlotBase + W * 8, /*IsStore=*/true, I.Read,
+                             I.Write);
+    charge(CycleKind::Step, Cycles);
+    G += Cycles;
+    MemorySlot &S = M.slotAt(I.Slot);
+    S.Data[W] = V;
+    record(S, true, W, V);
+    PC = I.Next;
+    return;
+  }
+
+  case IrInstr::Op::Branch: {
+    ++T.Ops.Branches;
+    uint64_t Cycles = stepBase(I) + Opts.Costs.Branch;
+    int64_t Guard = eval(I.E0, I, Cycles);
+    charge(CycleKind::Step, Cycles);
+    G += Cycles;
+    PC = Guard != 0 ? I.Target : I.Next;
+    return;
+  }
+
+  case IrInstr::Op::Sleep: {
+    // Sleep is a calibrated timer, not a fetched instruction: with a
+    // literal argument it consumes exactly max(n, 0) cycles (Property 4).
+    uint64_t Cycles = 0;
+    int64_t N = eval(I.E0, I, Cycles);
+    charge(CycleKind::Step, Cycles);
+    G += Cycles;
+    if (N > 0) {
+      charge(CycleKind::Sleep, static_cast<uint64_t>(N));
+      G += static_cast<uint64_t>(N);
+    }
+    PC = I.Next;
+    return;
+  }
+
+  case IrInstr::Op::MitEnter: {
+    ++T.Ops.MitigateEntries;
+    uint64_t Cycles = stepBase(I);
+    int64_t N = eval(I.E0, I, Cycles);
+    // The entry step belongs to the enclosing window; the site opens with
+    // the body.
+    charge(CycleKind::Step, Cycles);
+    G += Cycles;
+    Frames.push_back({I.Eta, N, I.MitLevel, I.PcLabel, G});
+    Cur.Site = I.Eta;
+    PC = I.Next;
+    return;
+  }
+
+  case IrInstr::Op::MitEnd: {
+    // The paper's MitigateEnd continuation: no fetch, no base cost — only
+    // the update rule and the padding to the final prediction.
+    const MitFrame &F = Frames.back();
+    const uint64_t Elapsed = G - F.Start;
+    MitigationState::Outcome Out = MitState.settle(F.Estimate, F.Level,
+                                                   Elapsed);
+    G = F.Start + Out.Duration;
+
+    MitigateRecord R;
+    R.Eta = F.Eta;
+    R.PcLabel = F.Pc;
+    R.Level = F.Level;
+    R.Estimate = F.Estimate;
+    R.Start = F.Start;
+    R.Duration = Out.Duration;
+    R.BodyTime = Elapsed;
+    R.Mispredicted = Out.Mispredicted;
+    R.MissesAfter = MitState.misses(R.Level);
+    R.Line = I.Loc.Line;
+    T.Mitigations.push_back(R);
+    if (Opts.OnMitigateWindow)
+      Opts.OnMitigateWindow(T.Mitigations.back());
+    // Padding attributes to the window's own site at the mitigate line,
+    // then the window closes and the site pops.
+    Cur.Site = F.Eta;
+    if (Out.Duration > Elapsed)
+      charge(CycleKind::Pad, Out.Duration - Elapsed);
+    if (Opts.Provenance)
+      Opts.Provenance->closeWindow(Cur, T.Mitigations.back());
+    Frames.pop_back();
+    Cur.Site = Frames.empty() ? CostCursor::kNoSite : Frames.back().Eta;
+    PC = I.Next;
+    return;
+  }
+
+  case IrInstr::Op::Halt:
+    return; // Unreachable: step() never executes Halt.
+  }
+  reportFatalError("unexpected instruction in IR execution");
+}
+
+void ExecCore::step() {
+  if (Halted)
+    return;
+  if (++T.Steps > Opts.StepLimit) {
+    T.HitStepLimit = true;
+    Halted = true;
+    finalize();
+    return;
+  }
+  execInstr(Code[PC]);
+  if (Code[PC].K == IrInstr::Op::Halt) {
+    Halted = true;
+    finalize();
+  }
+}
+
+void ExecCore::run() {
+  while (!Halted)
+    step();
+}
+
+void ExecCore::finalize() {
+  T.FinalTime = G;
+  T.FinalMissTable.clear();
+  for (Label L : P.lattice().allLabels())
+    T.FinalMissTable.push_back(MitState.misses(L));
+}

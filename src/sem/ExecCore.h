@@ -1,0 +1,143 @@
+//===- ExecCore.h - The shared timing-IR execution core ---------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One execution core for the full semantics (Fig. 2 + Fig. 6), shared by
+/// both engines: FullInterpreter is a run-to-completion driver over it and
+/// StepInterpreter a resumable program-counter cursor. The core executes
+/// the flat timing-IR (ir/Ir.h): one IrInstr per primitive transition,
+/// advancing a plain program counter — no command-tree rewriting — and owns
+/// everything a transition involves:
+///
+///   - expression evaluation on a flat value stack (postfix IR ops);
+///   - cost charging: BaseStep + I-fetch + data accesses + ALU costs
+///     (+ Branch for guards; sleep is a calibrated timer with no fetch);
+///   - hardware access through the machine environment under the
+///     instruction's precomputed [er, ew] labels;
+///   - predictive mitigation windows (Fig. 6): a frame stack of open
+///     mitigate sites, settled by MitEnd exactly like the paper's
+///     MitigateEnd continuation;
+///   - CostSink attribution: the cursor (location + innermost open site)
+///     moves exactly as in the tree engines, so ledgers and miss samples
+///     are byte-for-byte identical.
+///
+/// The IR is immutable; the core holds all run state, so engines stay thin
+/// wrappers that only decide when to call step() and when to install the
+/// hardware observer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_EXECCORE_H
+#define ZAM_SEM_EXECCORE_H
+
+#include "hw/MachineEnv.h"
+#include "ir/Ir.h"
+#include "sem/Eval.h"
+#include "sem/Event.h"
+#include "sem/FullInterpreter.h"
+#include "sem/Memory.h"
+#include "sem/Mitigation.h"
+#include "sem/Provenance.h"
+
+#include <vector>
+
+namespace zam {
+
+/// Evaluates one lowered expression against \p M and \p Env under timing
+/// labels [\p Read, \p Write], accumulating data-access and ALU costs into
+/// \p Cycles. When \p Cur is set, the cursor narrows to each operation's
+/// effective location for its hardware access and is restored on return —
+/// the same attribution discipline the AST walker used. \p Stack must have
+/// at least E.MaxDepth capacity; pass nullptr to use a local buffer
+/// (tests/tools).
+int64_t evalIrExpr(const IrExpr &E, const Memory &M, MachineEnv &Env,
+                   Label Read, Label Write, const CostModel &Costs,
+                   uint64_t &Cycles, CostCursor *Cur = nullptr,
+                   int64_t *Stack = nullptr);
+
+class ExecCore final : public HwObserver {
+public:
+  /// Executes \p IR (which must outlive the core) with initial memory
+  /// \p InitM on \p Env. \p P provides the lattice and declarations.
+  ExecCore(const IrProgram &IR, const Program &P, Memory InitM,
+           MachineEnv &Env, const InterpreterOptions &Opts);
+
+  /// Whether the configuration has reached ⟨stop, m, E, G⟩ (or the step
+  /// limit).
+  bool done() const { return Halted; }
+
+  /// Performs exactly one transition (one instruction). No-op when done.
+  void step();
+
+  /// Steps to completion (the big-step driver's tight loop).
+  void run();
+
+  Memory &memory() { return M; }
+  const Memory &memory() const { return M; }
+  uint64_t clock() const { return G; }
+  Trace &trace() { return T; }
+  const Trace &trace() const { return T; }
+  const MitigationState &mitigationState() const { return MitState; }
+
+  /// The source command the next transition executes (nullptr when done).
+  const Cmd *currentCmd() const {
+    return Halted ? nullptr : Code[PC].Origin;
+  }
+
+private:
+  /// HwObserver hook (installed by the owning engine): forwards accesses to
+  /// the provenance sink and samples misses under RecordMisses.
+  void onAccess(const HwAccess &Access) override;
+
+  void execInstr(const IrInstr &I);
+  void finalize();
+  uint64_t stepBase(const IrInstr &I) {
+    return Opts.Costs.BaseStep + Env.fetch(I.CodeAddr, I.Read, I.Write);
+  }
+  void charge(CycleKind K, uint64_t N) {
+    if (Opts.Provenance)
+      Opts.Provenance->chargeCycles(Cur, K, N);
+  }
+  int64_t eval(const IrExpr &E, const IrInstr &I, uint64_t &Cycles) {
+    return evalIrExpr(E, M, Env, I.Read, I.Write, Opts.Costs, Cycles,
+                      TrackCursor ? &Cur : nullptr, Stack.data());
+  }
+  void record(const MemorySlot &S, bool IsArray, uint64_t Index,
+              int64_t Value);
+
+  /// A mitigate window opened by MitEnter and pending settlement.
+  struct MitFrame {
+    unsigned Eta = 0;
+    int64_t Estimate = 0;
+    Label Level;
+    Label Pc;
+    uint64_t Start = 0; ///< s_η: G at completion of the entry step.
+  };
+
+  const Program &P;
+  MachineEnv &Env;
+  InterpreterOptions Opts;
+  const MitigationScheme &Scheme;
+  Memory M;
+  MitigationState OwnMitState;
+  MitigationState &MitState;
+  const IrInstr *Code; ///< The IR instruction array.
+  Trace T;
+  uint64_t G = 0;
+  uint32_t PC = 0;
+  bool Halted = false;
+  /// Cursor maintenance is skipped when nothing observes it (no sink, no
+  /// miss sampling) — the cursor is only visible through those channels.
+  bool TrackCursor;
+  CostCursor Cur;
+  std::vector<MitFrame> Frames;
+  std::vector<int64_t> Stack; ///< Expression value stack (MaxEvalDepth).
+};
+
+} // namespace zam
+
+#endif // ZAM_SEM_EXECCORE_H

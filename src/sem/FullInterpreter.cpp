@@ -1,298 +1,46 @@
-//===- FullInterpreter.cpp ------------------------------------------------===//
+//===- FullInterpreter.cpp - Run-to-completion IR driver ------------------===//
 
 #include "sem/FullInterpreter.h"
 
-#include "sem/Eval.h"
-#include "sem/StaticLabels.h"
-#include "support/Casting.h"
+#include "ir/Lowering.h"
+#include "sem/ExecCore.h"
 #include "support/Diagnostics.h"
 
 using namespace zam;
 
-/// Verifies that every non-Seq command carries complete timing labels.
-static void checkLabelsComplete(const Cmd &C) {
-  switch (C.kind()) {
-  case Cmd::Kind::Seq: {
-    const auto &S = cast<SeqCmd>(C);
-    checkLabelsComplete(S.first());
-    checkLabelsComplete(S.second());
-    return;
-  }
-  case Cmd::Kind::If: {
-    if (!C.labels().complete())
-      reportFatalError("command lacks timing labels; run label inference");
-    const auto &I = cast<IfCmd>(C);
-    checkLabelsComplete(I.thenCmd());
-    checkLabelsComplete(I.elseCmd());
-    return;
-  }
-  case Cmd::Kind::While:
-    if (!C.labels().complete())
-      reportFatalError("command lacks timing labels; run label inference");
-    checkLabelsComplete(cast<WhileCmd>(C).body());
-    return;
-  case Cmd::Kind::Mitigate:
-    if (!C.labels().complete())
-      reportFatalError("command lacks timing labels; run label inference");
-    checkLabelsComplete(cast<MitigateCmd>(C).body());
-    return;
-  case Cmd::Kind::MitigateEnd:
-    reportFatalError("MitigateEnd must not appear in a source program");
-  default:
-    if (!C.labels().complete())
-      reportFatalError("command lacks timing labels; run label inference");
-    return;
-  }
-}
-
 FullInterpreter::FullInterpreter(const Program &P, MachineEnv &Env,
                                  InterpreterOptions Opts)
-    : P(P), Env(Env), Opts(Opts),
-      Scheme(Opts.Scheme ? *Opts.Scheme : fastDoublingScheme()),
-      M(Memory::fromProgram(P, Opts.Costs.DataBase)),
-      OwnMitState(P.lattice(), Scheme, Opts.Penalty),
-      MitState(Opts.SharedMitState ? *Opts.SharedMitState : OwnMitState),
-      PcLabels(computePcLabels(P)) {
-  if (!P.hasBody())
-    reportFatalError("program has no body");
-  checkLabelsComplete(P.body());
-}
+    : Env(Env), Opts(Opts),
+      IR(std::make_unique<IrProgram>(lowerProgram(P, Opts.Costs))),
+      Core(std::make_unique<ExecCore>(
+          *IR, P, Memory::fromProgram(P, Opts.Costs.DataBase), Env, Opts)) {}
 
-bool FullInterpreter::budget() {
-  if (Stopped)
-    return false;
-  if (++T.Steps > Opts.StepLimit) {
-    Stopped = true;
-    T.HitStepLimit = true;
-    return false;
-  }
-  return true;
-}
+FullInterpreter::~FullInterpreter() = default;
 
-uint64_t FullInterpreter::stepBase(const Cmd &C, Label Read, Label Write) {
-  return Opts.Costs.BaseStep +
-         Env.fetch(Opts.Costs.codeAddr(C.nodeId()), Read, Write);
-}
+Memory &FullInterpreter::memory() { return Core->memory(); }
 
-void FullInterpreter::record(const std::string &Var, bool IsArray,
-                             uint64_t Index, int64_t Value) {
-  AssignEvent E;
-  E.Var = Var;
-  E.VarLabel = M.labelOf(Var);
-  E.IsArrayStore = IsArray;
-  E.ElemIndex = Index;
-  E.Value = Value;
-  E.Time = G;
-  T.Events.push_back(std::move(E));
-}
-
-void FullInterpreter::charge(CycleKind K, uint64_t N) {
-  if (Opts.Provenance)
-    Opts.Provenance->chargeCycles(Cur, K, N);
-}
-
-void FullInterpreter::onAccess(const HwAccess &Access) {
-  if (Opts.Provenance)
-    Opts.Provenance->chargeAccess(Cur, Access);
-  if (!Opts.RecordMisses || (!Access.TlbMiss && !Access.L1Miss))
-    return;
-  AccessSample S;
-  S.A = Access.A;
-  S.Time = G; // Clock at the start of the enclosing step.
-  S.Cycles = Access.Cycles;
-  S.IsData = Access.IsData;
-  S.IsStore = Access.IsStore;
-  S.TlbMiss = Access.TlbMiss;
-  S.L1Miss = Access.L1Miss;
-  S.L2Miss = Access.L2Miss;
-  S.Line = Cur.Loc.Line;
-  T.Misses.push_back(S);
-}
-
-void FullInterpreter::exec(const Cmd &C) {
-  if (Stopped)
-    return;
-
-  if (C.kind() == Cmd::Kind::Seq) {
-    const auto &S = cast<SeqCmd>(C);
-    exec(S.first());
-    exec(S.second());
-    return;
-  }
-
-  if (!budget())
-    return;
-
-  // Attribution: every non-Seq command moves the cursor to its own source
-  // location before any of its costs (including the fetch inside stepBase)
-  // are incurred.
-  Cur.Loc = C.loc();
-
-  const Label Er = *C.labels().Read;
-  const Label Ew = *C.labels().Write;
-  const CostModel &Costs = Opts.Costs;
-
-  switch (C.kind()) {
-  case Cmd::Kind::Skip: {
-    uint64_t Cycles = stepBase(C, Er, Ew);
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    return;
-  }
-
-  case Cmd::Kind::Assign: {
-    const auto &A = cast<AssignCmd>(C);
-    ++T.Ops.Assignments;
-    uint64_t Cycles = stepBase(C, Er, Ew);
-    int64_t V = evalExprTimed(A.value(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-    Cycles += Env.dataAccess(M.addrOf(A.var()), /*IsStore=*/true, Er, Ew);
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    M.store(A.var(), V);
-    record(A.var(), false, 0, V);
-    return;
-  }
-
-  case Cmd::Kind::ArrayAssign: {
-    const auto &A = cast<ArrayAssignCmd>(C);
-    ++T.Ops.Assignments;
-    uint64_t Cycles = stepBase(C, Er, Ew);
-    int64_t Index =
-        evalExprTimed(A.index(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-    int64_t V = evalExprTimed(A.value(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-    Cycles += Costs.AluOp; // Address computation.
-    Cycles += Env.dataAccess(M.addrOfElem(A.array(), Index), /*IsStore=*/true,
-                             Er, Ew);
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    uint64_t Wrapped = M.wrapIndex(A.array(), Index);
-    M.storeElem(A.array(), Index, V);
-    record(A.array(), true, Wrapped, V);
-    return;
-  }
-
-  case Cmd::Kind::If: {
-    const auto &I = cast<IfCmd>(C);
-    ++T.Ops.Branches;
-    uint64_t Cycles = stepBase(C, Er, Ew) + Costs.Branch;
-    int64_t Guard =
-        evalExprTimed(I.cond(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    exec(Guard != 0 ? I.thenCmd() : I.elseCmd());
-    return;
-  }
-
-  case Cmd::Kind::While: {
-    const auto &W = cast<WhileCmd>(C);
-    for (;;) {
-      ++T.Ops.Branches;
-      uint64_t Cycles = stepBase(C, Er, Ew) + Costs.Branch;
-      int64_t Guard =
-          evalExprTimed(W.cond(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-      charge(CycleKind::Step, Cycles);
-      G += Cycles;
-      if (Guard == 0)
-        return;
-      exec(W.body());
-      if (Stopped || !budget())
-        return;
-      Cur.Loc = C.loc(); // Back at the guard for the next iteration.
-    }
-  }
-
-  case Cmd::Kind::Sleep: {
-    // Sleep is a calibrated timer, not a fetched instruction: with a
-    // literal argument it consumes exactly max(n, 0) cycles (Property 4).
-    // Only the argument's own evaluation (variable loads) costs extra.
-    const auto &S = cast<SleepCmd>(C);
-    uint64_t Cycles = 0;
-    int64_t N =
-        evalExprTimed(S.duration(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    if (N > 0) { // Property 4: sleep n consumes exactly max(n, 0) cycles.
-      charge(CycleKind::Sleep, static_cast<uint64_t>(N));
-      G += static_cast<uint64_t>(N);
-    }
-    return;
-  }
-
-  case Cmd::Kind::Mitigate: {
-    const auto &Mit = cast<MitigateCmd>(C);
-    ++T.Ops.MitigateEntries;
-    uint64_t Cycles = stepBase(C, Er, Ew);
-    int64_t N = evalExprTimed(Mit.initialEstimate(), M, Env, Er, Ew, Costs,
-                              Cycles, &Cur);
-    // The entry step belongs to the enclosing window (the site stack is
-    // pushed only for the body).
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    const uint64_t Start = G;
-
-    const unsigned SavedSite = Cur.Site;
-    Cur.Site = Mit.mitigateId();
-    exec(Mit.body());
-    if (Stopped || !budget()) { // budget(): the MitigateEnd padding step.
-      Cur.Site = SavedSite;
-      return;
-    }
-
-    const uint64_t Elapsed = G - Start;
-    MitigationState::Outcome Out = MitState.settle(N, Mit.mitLevel(), Elapsed);
-    G = Start + Out.Duration;
-
-    MitigateRecord R;
-    R.Eta = Mit.mitigateId();
-    auto PcIt = PcLabels.find(C.nodeId());
-    R.PcLabel = PcIt != PcLabels.end() ? PcIt->second : P.lattice().bottom();
-    R.Level = Mit.mitLevel();
-    R.Estimate = N;
-    R.Start = Start;
-    R.Duration = Out.Duration;
-    R.BodyTime = Elapsed;
-    R.Mispredicted = Out.Mispredicted;
-    R.MissesAfter = MitState.misses(R.Level);
-    R.Line = C.loc().Line;
-    T.Mitigations.push_back(R);
-    if (Opts.OnMitigateWindow)
-      Opts.OnMitigateWindow(T.Mitigations.back());
-    // Padding is charged at the mitigate command itself, inside its own
-    // window (Cur.Site == η), then the window closes and the site pops.
-    Cur.Loc = C.loc();
-    if (Out.Duration > Elapsed)
-      charge(CycleKind::Pad, Out.Duration - Elapsed);
-    if (Opts.Provenance)
-      Opts.Provenance->closeWindow(Cur, T.Mitigations.back());
-    Cur.Site = SavedSite;
-    return;
-  }
-
-  case Cmd::Kind::Seq:
-  case Cmd::Kind::MitigateEnd:
-    reportFatalError("unexpected command kind in big-step execution");
-  }
-}
+uint64_t FullInterpreter::clock() const { return Core->clock(); }
 
 RunResult FullInterpreter::run() {
   if (Consumed)
     reportFatalError("FullInterpreter::run() called twice");
   Consumed = true;
+
+  // The core doubles as the hardware observer, but installing it costs a
+  // virtual call per access — only pay when someone listens.
+  const bool Observe = Opts.RecordMisses || Opts.Provenance != nullptr;
   HwObserver *Prior = nullptr;
-  const bool Observe = Opts.RecordMisses || Opts.Provenance;
   if (Observe) {
     Prior = Env.observer();
-    Env.setObserver(this);
+    Env.setObserver(Core.get());
   }
-  exec(P.body());
+  Core->run();
   if (Observe)
     Env.setObserver(Prior);
-  T.FinalTime = G;
-  for (Label L : P.lattice().allLabels())
-    T.FinalMissTable.push_back(MitState.misses(L));
+
   RunResult R;
-  R.FinalMemory = std::move(M);
-  R.T = std::move(T);
+  R.FinalMemory = std::move(Core->memory());
+  R.T = std::move(Core->trace());
   R.Hw = Env.stats();
   return R;
 }

@@ -1,4 +1,4 @@
-//===- FullInterpreter.h - Fast big-step full semantics ---------*- C++ -*-===//
+//===- FullInterpreter.h - Run-to-completion IR driver ----------*- C++ -*-===//
 //
 // Part of the zam project: a reproduction of "Language-Based Control and
 // Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
@@ -7,11 +7,14 @@
 ///
 /// \file
 /// The production engine for the full semantics: configurations
-/// ⟨c, m, E, G⟩ evaluated big-step for speed. It charges exactly the same
-/// costs as the literal small-step engine (sem/StepInterpreter.h) — the
-/// agreement is checked cycle-for-cycle by the property-based tests — but
-/// avoids per-step command-tree rewriting, so the case-study workloads
-/// (Sec. 8) run in reasonable time.
+/// ⟨c, m, E, G⟩ executed over the flat timing-IR (ir/Ir.h) by the shared
+/// execution core (sem/ExecCore.h). Construction lowers the program once —
+/// resolving variables to memory slots, code addresses, timing labels and
+/// attribution locations — and run() drives the core to completion in a
+/// tight program-counter loop. It charges exactly the same costs as the
+/// resumable small-step cursor (sem/StepInterpreter.h) — both execute the
+/// same IR through the same core, and the agreement is additionally
+/// checked cycle-for-cycle by the property-based tests.
 ///
 /// Timing of one evaluation step:
 ///   BaseStep + instruction fetch at the command's code address
@@ -30,14 +33,18 @@
 #include "lang/Ast.h"
 #include "sem/CostModel.h"
 #include "sem/Event.h"
+#include "sem/Limits.h"
 #include "sem/Memory.h"
 #include "sem/Mitigation.h"
 #include "sem/Provenance.h"
 
 #include <functional>
-#include <unordered_map>
+#include <memory>
 
 namespace zam {
+
+class ExecCore;
+struct IrProgram;
 
 /// Knobs shared by both full-semantics engines.
 struct InterpreterOptions {
@@ -45,8 +52,9 @@ struct InterpreterOptions {
   /// Prediction schedule; fastDoublingScheme() when null.
   const MitigationScheme *Scheme = nullptr;
   PenaltyPolicy Penalty = PenaltyPolicy::PerLevel;
-  /// Bound on primitive evaluation steps (diverging-program safety net).
-  uint64_t StepLimit = 500'000'000;
+  /// Bound on primitive evaluation steps (diverging-program safety net;
+  /// rationale at the constant's definition).
+  uint64_t StepLimit = kDefaultStepLimit;
   /// When set, the interpreter uses (and mutates) this external Miss table
   /// instead of a fresh one, so predictive-mitigation state persists across
   /// runs — e.g. over the requests of one login session (Sec. 8.3). The
@@ -80,54 +88,38 @@ struct RunResult {
   HwStats Hw;
 };
 
-/// Big-step evaluator for ⟨c, m, E, G⟩. The machine environment is borrowed
-/// and mutated in place (callers snapshot via MachineEnv::clone()).
+/// Run-to-completion driver over the shared execution core. The machine
+/// environment is borrowed and mutated in place (callers snapshot via
+/// MachineEnv::clone()).
 ///
 /// Every non-Seq command in the program must carry complete [er,ew] labels
-/// (run type checking / label inference first); violations abort.
-class FullInterpreter : private HwObserver {
+/// (run type checking / label inference first); violations abort at
+/// construction, when the program is lowered.
+class FullInterpreter {
 public:
   FullInterpreter(const Program &P, MachineEnv &Env,
                   InterpreterOptions Opts = InterpreterOptions());
+  ~FullInterpreter();
+  FullInterpreter(FullInterpreter &&) = delete;
 
   /// The pre-run memory (initialized from declarations); callers may poke
   /// experiment-specific inputs before run().
-  Memory &memory() { return M; }
+  Memory &memory();
 
   /// Runs the program body to completion and returns the final memory and
   /// trace. The interpreter is single-shot: run() may be called once.
   RunResult run();
 
-  uint64_t clock() const { return G; }
+  uint64_t clock() const;
 
 private:
-  bool budget();
-  uint64_t stepBase(const Cmd &C, Label Read, Label Write);
-  void record(const std::string &Var, bool IsArray, uint64_t Index,
-              int64_t Value);
-  /// Charges \p N cycles of kind \p K to the provenance sink (no-op when
-  /// none is installed).
-  void charge(CycleKind K, uint64_t N);
-  void exec(const Cmd &C);
-  /// HwObserver hook (installed under Opts.RecordMisses or Opts.Provenance):
-  /// forwards every access to the provenance sink and samples the ones that
-  /// missed somewhere in the hierarchy.
-  void onAccess(const HwAccess &Access) override;
-
-  const Program &P;
   MachineEnv &Env;
   InterpreterOptions Opts;
-  const MitigationScheme &Scheme;
-  Memory M;
-  MitigationState OwnMitState;
-  MitigationState &MitState;
-  std::unordered_map<unsigned, Label> PcLabels;
-  Trace T;
-  uint64_t G = 0;
-  bool Stopped = false;
+  /// The lowered program; immutable and owned so the core's instruction
+  /// pointers stay valid for the interpreter's lifetime.
+  std::unique_ptr<IrProgram> IR;
+  std::unique_ptr<ExecCore> Core;
   bool Consumed = false;
-  /// Attribution cursor: the source construct costs currently charge to.
-  CostCursor Cur;
 };
 
 /// Convenience wrapper: construct, run, and return the result.

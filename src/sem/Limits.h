@@ -1,0 +1,37 @@
+//===- Limits.h - Shared execution safety nets ------------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Safety-net bounds shared by every interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_SEM_LIMITS_H
+#define ZAM_SEM_LIMITS_H
+
+#include <cstdint>
+
+namespace zam {
+
+/// Default bound on primitive evaluation steps, shared by the core
+/// interpreter and both full-semantics engines (InterpreterOptions).
+///
+/// The language is Turing-complete (`while` with arbitrary guards), so a
+/// diverging program would otherwise hang every property checker, fuzz
+/// driver and leakage enumeration that executes untrusted — often randomly
+/// generated — programs. The limit is a safety net, not a semantic bound:
+/// it is far above any workload in the repository (the Fig. 8 RSA
+/// decryption, the heaviest case study, takes ~42k steps per run), so
+/// hitting it means "this program does not terminate in any time we are
+/// willing to wait". Runs that hit it are flagged (Trace::HitStepLimit)
+/// rather than treated as completed. Callers with a tighter latency budget
+/// (e.g. divergence tests) pass an explicit lower limit.
+inline constexpr uint64_t kDefaultStepLimit = 500'000'000;
+
+} // namespace zam
+
+#endif // ZAM_SEM_LIMITS_H

@@ -59,6 +59,31 @@ public:
   MemorySlot &slot(const std::string &Name);
   const std::vector<MemorySlot> &slots() const { return Slots; }
 
+  /// Dense slot-index fast path used by the IR execution core. Indices
+  /// follow declaration order — the same numbering the lowering pass bakes
+  /// into LoadVar/LoadElem/Assign operands — so no name resolution happens
+  /// on the execution path.
+  size_t slotCount() const { return Slots.size(); }
+  const MemorySlot &slotAt(size_t I) const { return Slots[I]; }
+  MemorySlot &slotAt(size_t I) { return Slots[I]; }
+
+  /// Declaration-order index of \p Name, or npos when undeclared.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t slotIndexOf(const std::string &Name) const {
+    auto It = Index.find(Name);
+    return It == Index.end() ? npos : It->second;
+  }
+
+  /// Index wrapping, exposed statically so callers holding a raw element
+  /// count (the IR engines) wrap exactly like wrapIndex does.
+  static uint64_t wrapRaw(int64_t RawIndex, uint64_t Size) {
+    int64_t N = static_cast<int64_t>(Size);
+    int64_t I = RawIndex % N;
+    if (I < 0)
+      I += N;
+    return static_cast<uint64_t>(I);
+  }
+
   /// Scalar load/store.
   int64_t load(const std::string &Name) const;
   void store(const std::string &Name, int64_t Value);

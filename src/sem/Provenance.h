@@ -15,11 +15,12 @@
 ///
 /// Cursor discipline (both engines follow it identically, so their ledgers
 /// agree bit for bit):
-///   - Seq is transparent; every other command sets Cur.Loc = C.loc() when
-///     its step begins.
+///   - Seq is transparent (it lowers away entirely); every other command
+///     sets Cur.Loc to its own location when its step begins.
 ///   - Expression evaluation narrows Cur.Loc to the innermost valid
-///     sub-expression location for the duration of each node's own accesses
-///     (evalExprTimed saves/restores, so the cursor is back at the command
+///     sub-expression location for the duration of each load's own accesses
+///     (evalIrExpr uses per-operand locations precomputed by the lowering
+///     pass and restores the cursor on return, so it is back at the command
 ///     when the step's cycles are charged).
 ///   - Cur.Site is the η of the innermost open mitigate window (kNoSite
 ///     outside any window); body costs charge to the innermost window only

@@ -1,283 +1,53 @@
-//===- StepInterpreter.cpp ------------------------------------------------===//
+//===- StepInterpreter.cpp - Resumable small-step full semantics ----------===//
 
 #include "sem/StepInterpreter.h"
 
-#include "sem/Eval.h"
-#include "sem/StaticLabels.h"
-#include "support/Casting.h"
-#include "support/Diagnostics.h"
+#include "ir/Lowering.h"
 
 using namespace zam;
 
 StepInterpreter::StepInterpreter(const Program &P, MachineEnv &Env,
                                  InterpreterOptions Opts)
-    : P(P), Env(Env), Opts(Opts),
-      Scheme(Opts.Scheme ? *Opts.Scheme : fastDoublingScheme()),
-      M(Memory::fromProgram(P, Opts.Costs.DataBase)),
-      OwnMitState(P.lattice(), Scheme, Opts.Penalty),
-      MitState(Opts.SharedMitState ? *Opts.SharedMitState : OwnMitState),
-      PcLabels(computePcLabels(P)) {
-  if (!P.hasBody())
-    reportFatalError("program has no body");
-  Current = P.body().clone();
+    : Env(Env), IR(std::make_unique<IrProgram>(lowerProgram(P, Opts.Costs))),
+      Core(std::make_unique<ExecCore>(
+          *IR, P, Memory::fromProgram(P, Opts.Costs.DataBase), Env, Opts)) {
   if (Opts.Provenance) {
     PriorObserver = Env.observer();
-    Env.setObserver(this);
+    Env.setObserver(Core.get());
+    ObserverInstalled = true;
   }
 }
 
 StepInterpreter::StepInterpreter(const Program &P, CmdPtr C,
                                  Memory InitialMemory, MachineEnv &Env,
                                  InterpreterOptions Opts)
-    : P(P), Env(Env), Opts(Opts),
-      Scheme(Opts.Scheme ? *Opts.Scheme : fastDoublingScheme()),
-      M(std::move(InitialMemory)),
-      OwnMitState(P.lattice(), Scheme, Opts.Penalty),
-      MitState(Opts.SharedMitState ? *Opts.SharedMitState : OwnMitState),
-      PcLabels(computePcLabels(P)), Current(std::move(C)) {
+    : Env(Env), Owned(std::move(C)),
+      IR(std::make_unique<IrProgram>(
+          lowerCommand(P, *Owned, Opts.Costs))),
+      Core(std::make_unique<ExecCore>(*IR, P, std::move(InitialMemory), Env,
+                                      Opts)) {
   if (Opts.Provenance) {
     PriorObserver = Env.observer();
-    Env.setObserver(this);
+    Env.setObserver(Core.get());
+    ObserverInstalled = true;
   }
 }
 
 StepInterpreter::StepInterpreter(StepInterpreter &&Other)
-    : P(Other.P), Env(Other.Env), Opts(Other.Opts), Scheme(Other.Scheme),
-      M(std::move(Other.M)), OwnMitState(std::move(Other.OwnMitState)),
-      MitState(&Other.MitState == &Other.OwnMitState ? OwnMitState
-                                                     : Other.MitState),
-      PcLabels(std::move(Other.PcLabels)), Current(std::move(Other.Current)),
-      T(std::move(Other.T)), G(Other.G), Cur(Other.Cur),
-      SiteStack(std::move(Other.SiteStack)),
+    : Env(Other.Env), Owned(std::move(Other.Owned)), IR(std::move(Other.IR)),
+      Core(std::move(Other.Core)), ObserverInstalled(Other.ObserverInstalled),
       PriorObserver(Other.PriorObserver) {
-  if (Opts.Provenance && Env.observer() == &Other)
-    Env.setObserver(this);
-  // The source's destructor must neither unhook us nor restore the prior
-  // observer a second time.
-  Other.Opts.Provenance = nullptr;
+  // The core (and with it Env's observer registration) moved by pointer;
+  // the source must not restore the prior observer a second time.
+  Other.ObserverInstalled = false;
 }
 
 StepInterpreter::~StepInterpreter() {
-  if (Opts.Provenance && Env.observer() == this)
+  if (ObserverInstalled && Env.observer() == Core.get())
     Env.setObserver(PriorObserver);
 }
 
-uint64_t StepInterpreter::stepBase(const Cmd &C, Label Read, Label Write) {
-  return Opts.Costs.BaseStep +
-         Env.fetch(Opts.Costs.codeAddr(C.nodeId()), Read, Write);
-}
-
-void StepInterpreter::charge(CycleKind K, uint64_t N) {
-  if (Opts.Provenance)
-    Opts.Provenance->chargeCycles(Cur, K, N);
-}
-
-void StepInterpreter::onAccess(const HwAccess &Access) {
-  if (Opts.Provenance)
-    Opts.Provenance->chargeAccess(Cur, Access);
-}
-
-void StepInterpreter::record(const std::string &Var, bool IsArray,
-                             uint64_t Index, int64_t Value) {
-  AssignEvent E;
-  E.Var = Var;
-  E.VarLabel = M.labelOf(Var);
-  E.IsArrayStore = IsArray;
-  E.ElemIndex = Index;
-  E.Value = Value;
-  E.Time = G;
-  T.Events.push_back(std::move(E));
-}
-
-CmdPtr StepInterpreter::stepCmd(CmdPtr C) {
-  // Sequential composition steps its first component (Property 3); no time
-  // is charged for the composition itself.
-  if (C->kind() == Cmd::Kind::Seq) {
-    auto *S = cast<SeqCmd>(C.get());
-    CmdPtr First = S->takeFirst();
-    CmdPtr Second = S->takeSecond();
-    CmdPtr FirstNext = stepCmd(std::move(First));
-    if (!FirstNext)
-      return Second;
-    return std::make_unique<SeqCmd>(std::move(FirstNext), std::move(Second));
-  }
-
-  if (!C->labels().complete())
-    reportFatalError("command lacks timing labels; run label inference");
-
-  // Attribution: the cursor tracks the stepping command's own location and
-  // the innermost open mitigate window (top of the site stack).
-  Cur.Loc = C->loc();
-  Cur.Site = SiteStack.empty() ? CostCursor::kNoSite : SiteStack.back();
-
-  const Label Er = *C->labels().Read;
-  const Label Ew = *C->labels().Write;
-  const CostModel &Costs = Opts.Costs;
-
-  switch (C->kind()) {
-  case Cmd::Kind::Skip: {
-    uint64_t Cycles = stepBase(*C, Er, Ew);
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    return nullptr;
-  }
-
-  case Cmd::Kind::Assign: {
-    auto *A = cast<AssignCmd>(C.get());
-    ++T.Ops.Assignments;
-    uint64_t Cycles = stepBase(*C, Er, Ew);
-    int64_t V = evalExprTimed(A->value(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-    Cycles += Env.dataAccess(M.addrOf(A->var()), /*IsStore=*/true, Er, Ew);
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    M.store(A->var(), V);
-    record(A->var(), false, 0, V);
-    return nullptr;
-  }
-
-  case Cmd::Kind::ArrayAssign: {
-    auto *A = cast<ArrayAssignCmd>(C.get());
-    ++T.Ops.Assignments;
-    uint64_t Cycles = stepBase(*C, Er, Ew);
-    int64_t Index =
-        evalExprTimed(A->index(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-    int64_t V = evalExprTimed(A->value(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-    Cycles += Costs.AluOp; // Address computation.
-    Cycles += Env.dataAccess(M.addrOfElem(A->array(), Index), /*IsStore=*/true,
-                             Er, Ew);
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    uint64_t Wrapped = M.wrapIndex(A->array(), Index);
-    M.storeElem(A->array(), Index, V);
-    record(A->array(), true, Wrapped, V);
-    return nullptr;
-  }
-
-  case Cmd::Kind::If: {
-    auto *I = cast<IfCmd>(C.get());
-    ++T.Ops.Branches;
-    uint64_t Cycles = stepBase(*C, Er, Ew) + Costs.Branch;
-    int64_t Guard =
-        evalExprTimed(I->cond(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    return Guard != 0 ? I->takeThen() : I->takeElse();
-  }
-
-  case Cmd::Kind::While: {
-    auto *W = cast<WhileCmd>(C.get());
-    ++T.Ops.Branches;
-    uint64_t Cycles = stepBase(*C, Er, Ew) + Costs.Branch;
-    int64_t Guard =
-        evalExprTimed(W->cond(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    if (Guard == 0)
-      return nullptr;
-    // while e do c → c; while e do c. The body is cloned: the loop node
-    // retains its pristine copy for later iterations.
-    CmdPtr BodyCopy = W->body().clone();
-    return std::make_unique<SeqCmd>(std::move(BodyCopy), std::move(C));
-  }
-
-  case Cmd::Kind::Sleep: {
-    // Calibrated timer semantics: no fetch/issue cost, so a literal sleep
-    // takes exactly max(n, 0) cycles (Property 4).
-    auto *S = cast<SleepCmd>(C.get());
-    uint64_t Cycles = 0;
-    int64_t N =
-        evalExprTimed(S->duration(), M, Env, Er, Ew, Costs, Cycles, &Cur);
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    if (N > 0) {
-      charge(CycleKind::Sleep, static_cast<uint64_t>(N));
-      G += static_cast<uint64_t>(N);
-    }
-    return nullptr;
-  }
-
-  case Cmd::Kind::Mitigate: {
-    auto *Mit = cast<MitigateCmd>(C.get());
-    ++T.Ops.MitigateEntries;
-    uint64_t Cycles = stepBase(*C, Er, Ew);
-    int64_t N = evalExprTimed(Mit->initialEstimate(), M, Env, Er, Ew, Costs,
-                              Cycles, &Cur);
-    // The entry step belongs to the enclosing window; the site opens with
-    // the rewritten body below.
-    charge(CycleKind::Step, Cycles);
-    G += Cycles;
-    auto PcIt = PcLabels.find(C->nodeId());
-    Label Pc = PcIt != PcLabels.end() ? PcIt->second : P.lattice().bottom();
-    SiteStack.push_back(Mit->mitigateId());
-    // S-MTGPRED: rewrite to body ; MitigateEnd with the start time s_η
-    // captured as the completion time of this entry step. The MitigateEnd
-    // inherits the mitigate's source location so the window's padding and
-    // leakage attribute to the mitigate line.
-    auto End = std::make_unique<MitigateEndCmd>(Mit->mitigateId(), N,
-                                                Mit->mitLevel(), Pc, G,
-                                                P.lattice().bottom(),
-                                                Mit->loc());
-    return std::make_unique<SeqCmd>(Mit->takeBody(), std::move(End));
-  }
-
-  case Cmd::Kind::MitigateEnd: {
-    auto *End = cast<MitigateEndCmd>(C.get());
-    const uint64_t Elapsed = G - End->startTime();
-    MitigationState::Outcome Out =
-        MitState.settle(End->estimate(), End->mitLevel(), Elapsed);
-    G = End->startTime() + Out.Duration;
-
-    MitigateRecord R;
-    R.Eta = End->eta();
-    R.PcLabel = End->pcLabel();
-    R.Level = End->mitLevel();
-    R.Estimate = End->estimate();
-    R.Start = End->startTime();
-    R.Duration = Out.Duration;
-    R.BodyTime = Elapsed;
-    R.Mispredicted = Out.Mispredicted;
-    R.MissesAfter = MitState.misses(R.Level);
-    R.Line = C->loc().Line;
-    T.Mitigations.push_back(R);
-    if (Opts.OnMitigateWindow)
-      Opts.OnMitigateWindow(T.Mitigations.back());
-    // Padding attributes to the window's own site at the mitigate line,
-    // then the window closes and the site pops.
-    Cur.Site = End->eta();
-    if (Out.Duration > Elapsed)
-      charge(CycleKind::Pad, Out.Duration - Elapsed);
-    if (Opts.Provenance)
-      Opts.Provenance->closeWindow(Cur, T.Mitigations.back());
-    if (!SiteStack.empty() && SiteStack.back() == End->eta())
-      SiteStack.pop_back();
-    return nullptr;
-  }
-
-  case Cmd::Kind::Seq:
-    break; // Handled above.
-  }
-  reportFatalError("unexpected command kind in small-step execution");
-}
-
-void StepInterpreter::step() {
-  if (done())
-    return;
-  if (++T.Steps > Opts.StepLimit) {
-    T.HitStepLimit = true;
-    Current = nullptr;
-  } else {
-    Current = stepCmd(std::move(Current));
-  }
-  if (done()) {
-    T.FinalTime = G;
-    T.FinalMissTable.clear();
-    for (Label L : P.lattice().allLabels())
-      T.FinalMissTable.push_back(MitState.misses(L));
-  }
-}
-
 Trace StepInterpreter::runToCompletion() {
-  while (!done())
-    step();
-  return T;
+  Core->run();
+  return Core->trace();
 }

@@ -1,4 +1,4 @@
-//===- StepInterpreter.h - Literal small-step full semantics ----*- C++ -*-===//
+//===- StepInterpreter.h - Resumable small-step full semantics --*- C++ -*-===//
 //
 // Part of the zam project: a reproduction of "Language-Based Control and
 // Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
@@ -6,18 +6,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A direct transcription of the paper's small-step rules (Fig. 2 plus the
-/// predictive rules of Fig. 6) over configurations ⟨c, m, E, G⟩, with
-/// command rewriting:
+/// The resumable engine for the full semantics: a program-counter cursor
+/// over the same flat timing-IR and shared execution core
+/// (sem/ExecCore.h) that the run-to-completion driver uses. One step() is
+/// exactly one transition of the paper's small-step rules (Fig. 2 plus the
+/// predictive rules of Fig. 6):
 ///
-///   c1;c2 steps by stepping c1          (Property 3)
-///   while e do c  →  c; while e do c    when e ≠ 0
-///   mitigate_η (e,ℓ) c  →  c; MitigateEnd(η, n, ℓ, s_η)   (S-MTGPRED)
+///   c1;c2 steps into c1's instructions (Seq lowers away entirely)
+///   while e do c  →  a loop branch with a back edge      (one step/guard)
+///   mitigate_η (e,ℓ) c  →  MitEnter ... body ... MitEnd  (S-MTGPRED)
 ///
 /// This engine exists so that single transitions are first-class: the
 /// dynamic checkers for Properties 1-7 (analysis/PropertyCheckers.h) drive
-/// it one step at a time. It charges exactly the same costs as the fast
-/// big-step engine; the two are checked for cycle-level agreement.
+/// it one step at a time. Because both engines execute the same IR through
+/// the same core, it charges exactly the same costs as the fast driver;
+/// the agreement is additionally checked cycle-for-cycle by the
+/// property-based tests.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,86 +30,73 @@
 
 #include "hw/MachineEnv.h"
 #include "lang/Ast.h"
+#include "sem/ExecCore.h"
 #include "sem/FullInterpreter.h"
 #include "sem/Memory.h"
 #include "sem/Mitigation.h"
-#include "sem/Provenance.h"
 
-#include <unordered_map>
-#include <vector>
+#include <memory>
 
 namespace zam {
 
 /// Small-step engine over a configuration ⟨c, m, E, G⟩. The command
-/// component is held as an owned AST that is restructured on each step;
-/// `stop` is represented by an empty command.
-class StepInterpreter : private HwObserver {
+/// component is a program counter into the lowered IR; ⟨stop⟩ is the Halt
+/// instruction.
+class StepInterpreter {
 public:
-  /// Begins executing \p P (body cloned) on \p Env.
+  /// Begins executing \p P on \p Env.
   StepInterpreter(const Program &P, MachineEnv &Env,
                   InterpreterOptions Opts = InterpreterOptions());
 
   /// Begins executing a bare command \p C under the declarations of \p P.
-  /// Used by the property checkers to run single labeled commands.
+  /// Used by the property checkers to run single labeled commands. The
+  /// command is lowered at construction (and must therefore carry complete
+  /// timing labels) and kept alive for the engine's lifetime.
   StepInterpreter(const Program &P, CmdPtr C, Memory InitialMemory,
                   MachineEnv &Env,
                   InterpreterOptions Opts = InterpreterOptions());
 
-  /// Movable (the property checkers return engines by value): re-binds the
-  /// internal mitigation-state reference and takes over the hardware
-  /// observer slot when one was registered.
+  /// Movable (the property checkers return engines by value). The core —
+  /// and with it the hardware-observer registration — lives behind a
+  /// stable pointer, so moving the wrapper is just a pointer handover.
   StepInterpreter(StepInterpreter &&Other);
   StepInterpreter &operator=(StepInterpreter &&) = delete;
 
-  ~StepInterpreter() override;
+  ~StepInterpreter();
 
   /// Whether the configuration has reached ⟨stop, m, E, G⟩.
-  bool done() const { return Current == nullptr; }
+  bool done() const { return Core->done(); }
 
   /// Performs exactly one transition. No-op when done.
-  void step();
+  void step() { Core->step(); }
 
   /// Steps until done or the step limit is hit; returns the final trace.
   Trace runToCompletion();
 
-  const Memory &memory() const { return M; }
-  Memory &memory() { return M; }
-  uint64_t clock() const { return G; }
-  const Trace &trace() const { return T; }
-  const Cmd *current() const { return Current.get(); }
-  const MitigationState &mitigationState() const { return MitState; }
+  const Memory &memory() const { return Core->memory(); }
+  Memory &memory() { return Core->memory(); }
+  uint64_t clock() const { return Core->clock(); }
+  const Trace &trace() const { return Core->trace(); }
+  /// The source command the next transition executes (nullptr when done).
+  /// Seq nodes lower away, so this is always a primitive command, a guard
+  /// (if/while), or a mitigate about to enter or settle.
+  const Cmd *current() const { return Core->currentCmd(); }
+  const MitigationState &mitigationState() const {
+    return Core->mitigationState();
+  }
 
 private:
-  uint64_t stepBase(const Cmd &C, Label Read, Label Write);
-  void record(const std::string &Var, bool IsArray, uint64_t Index,
-              int64_t Value);
-  /// Charges \p N cycles of kind \p K to the provenance sink (no-op when
-  /// none is installed).
-  void charge(CycleKind K, uint64_t N);
-  /// HwObserver hook (installed only under Opts.Provenance): forwards every
-  /// access to the provenance sink tagged with the cursor.
-  void onAccess(const HwAccess &Access) override;
-  /// One transition of \p C; returns the continuation command (nullptr for
-  /// stop).
-  CmdPtr stepCmd(CmdPtr C);
-
-  const Program &P;
   MachineEnv &Env;
-  InterpreterOptions Opts;
-  const MitigationScheme &Scheme;
-  Memory M;
-  MitigationState OwnMitState;
-  MitigationState &MitState;
-  std::unordered_map<unsigned, Label> PcLabels;
-  CmdPtr Current;
-  Trace T;
-  uint64_t G = 0;
-  /// Attribution cursor plus the stack of open mitigate sites (the η of
-  /// every MitigateEnd still pending in the continuation, innermost last).
-  CostCursor Cur;
-  std::vector<unsigned> SiteStack;
-  /// Observer displaced while this engine watches Env (restored by the
-  /// destructor); only meaningful under Opts.Provenance.
+  /// Bare-command ctor only: keeps the lowered AST alive (the IR points
+  /// into it for provenance).
+  CmdPtr Owned;
+  /// The lowered program; immutable and owned so the core's instruction
+  /// pointers stay valid for the engine's lifetime.
+  std::unique_ptr<IrProgram> IR;
+  std::unique_ptr<ExecCore> Core;
+  /// Whether this engine registered the core as Env's observer (only under
+  /// Opts.Provenance); the displaced observer is restored on destruction.
+  bool ObserverInstalled = false;
   HwObserver *PriorObserver = nullptr;
 };
 

@@ -2,7 +2,7 @@
 
 #include "types/LabelInference.h"
 
-#include "sem/StaticLabels.h"
+#include "lang/StaticLabels.h"
 #include "support/Casting.h"
 
 using namespace zam;
@@ -24,7 +24,6 @@ static void fill(Cmd &C, Label Pc, const Program &P) {
   case Cmd::Kind::Assign:
   case Cmd::Kind::ArrayAssign:
   case Cmd::Kind::Sleep:
-  case Cmd::Kind::MitigateEnd:
     return;
   case Cmd::Kind::Seq: {
     auto &S = cast<SeqCmd>(C);

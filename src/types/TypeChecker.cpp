@@ -2,7 +2,7 @@
 
 #include "types/TypeChecker.h"
 
-#include "sem/StaticLabels.h"
+#include "lang/StaticLabels.h"
 #include "support/Casting.h"
 
 using namespace zam;
@@ -69,7 +69,6 @@ namespace {
 template <typename Fn> bool forEachCmdExpr(const Cmd &C, Fn &&Visit) {
   switch (C.kind()) {
   case Cmd::Kind::Skip:
-  case Cmd::Kind::MitigateEnd:
     return true;
   case Cmd::Kind::Assign:
     return Visit(cast<AssignCmd>(C).value());
@@ -159,10 +158,6 @@ void checkAssignTargets(const Cmd &C, const Program &P,
   case Cmd::Kind::Mitigate:
     checkAssignTargets(cast<MitigateCmd>(C).body(), P, Diags, Ok);
     return;
-  case Cmd::Kind::MitigateEnd:
-    Diags.error(C.loc(), "internal mitigate-end command in a source program");
-    Ok = false;
-    return;
   default:
     return;
   }
@@ -200,11 +195,6 @@ Label TypeChecker::checkCmd(const Cmd &C, Label Pc, Label Tau, bool Quiet) {
     const auto &S = cast<SeqCmd>(C);
     Label Tau1 = checkCmd(S.first(), Pc, Tau, Quiet);
     return checkCmd(S.second(), Pc, Tau1, Quiet);
-  }
-
-  if (C.kind() == Cmd::Kind::MitigateEnd) {
-    error(C, "internal mitigate-end command in a source program", Quiet);
-    return Tau;
   }
 
   if (!C.labels().complete()) {
@@ -359,7 +349,6 @@ Label TypeChecker::checkCmd(const Cmd &C, Label Pc, Label Tau, bool Quiet) {
   }
 
   case Cmd::Kind::Seq:
-  case Cmd::Kind::MitigateEnd:
     break; // Handled above.
   }
 

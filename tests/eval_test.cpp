@@ -1,9 +1,11 @@
 //===- eval_test.cpp - Expression evaluation and static labels -------------===//
 
 #include "sem/Eval.h"
-#include "sem/StaticLabels.h"
+#include "lang/StaticLabels.h"
 
 #include "hw/HardwareModels.h"
+#include "ir/Lowering.h"
+#include "sem/ExecCore.h"
 #include "lang/Parser.h"
 #include "lang/ProgramBuilder.h"
 #include "support/Casting.h"
@@ -108,7 +110,7 @@ TEST(EvalPure, NoShortCircuit) {
 }
 
 //===----------------------------------------------------------------------===//
-// Timed evaluation
+// Timed evaluation (lowered postfix form)
 //===----------------------------------------------------------------------===//
 
 TEST(EvalTimed, ChargesAluAndMemoryCosts) {
@@ -120,23 +122,25 @@ TEST(EvalTimed, ChargesAluAndMemoryCosts) {
   // Literal: free.
   uint64_t Cycles = 0;
   ProgramBuilder B(lh());
-  evalExprTimed(*B.lit(5), M, *Env, low(), low(), Costs, Cycles);
+  IrExpr Lit = lowerExpr(*B.lit(5), P, Costs);
+  evalIrExpr(Lit, M, *Env, low(), low(), Costs, Cycles);
   EXPECT_EQ(Cycles, 0u);
 
   // Variable: one (cold) data access.
+  IrExpr X = lowerExpr(*B.v("x"), P, Costs);
   Cycles = 0;
-  evalExprTimed(*B.v("x"), M, *Env, low(), low(), Costs, Cycles);
+  evalIrExpr(X, M, *Env, low(), low(), Costs, Cycles);
   EXPECT_GT(Cycles, Costs.AluOp);
 
   // Warm variable: L1 hit.
   Cycles = 0;
-  evalExprTimed(*B.v("x"), M, *Env, low(), low(), Costs, Cycles);
+  evalIrExpr(X, M, *Env, low(), low(), Costs, Cycles);
   EXPECT_EQ(Cycles, MachineEnvConfig().L1D.Latency);
 
   // x + x (both warm): two hits + one ALU op.
+  IrExpr Sum = lowerExpr(*B.add(B.v("x"), B.v("x")), P, Costs);
   Cycles = 0;
-  evalExprTimed(*B.add(B.v("x"), B.v("x")), M, *Env, low(), low(), Costs,
-                Cycles);
+  evalIrExpr(Sum, M, *Env, low(), low(), Costs, Cycles);
   EXPECT_EQ(Cycles, 2 * MachineEnvConfig().L1D.Latency + Costs.AluOp);
 }
 
@@ -148,8 +152,9 @@ TEST(EvalTimed, AgreesWithPureOnValues) {
   Parser Pr("(x + a[1]) * 3 - (a[x] & h)", lh(), Diags);
   ExprPtr E = Pr.parseExprOnly();
   ASSERT_TRUE(E) << Diags.str();
+  IrExpr L = lowerExpr(*E, P, CostModel());
   uint64_t Cycles = 0;
-  EXPECT_EQ(evalExprTimed(*E, M, *Env, low(), low(), CostModel(), Cycles),
+  EXPECT_EQ(evalIrExpr(L, M, *Env, low(), low(), CostModel(), Cycles),
             evalExprPure(*E, M));
 }
 

@@ -59,6 +59,65 @@ TEST(Memory, IndexWrapping) {
   EXPECT_EQ(M.loadElem("al", 0), 77);
 }
 
+TEST(Memory, WrapRawMatchesWrapIndex) {
+  // The IR engines wrap raw indices through the static helper; it must
+  // agree with the name-based path for every sign and magnitude.
+  Memory M = Memory::fromProgram(declProgram());
+  const int64_t Raws[] = {0,  1,  3,   4,         5,            63,
+                          -1, -4, -5, -63, INT64_MAX, INT64_MIN + 1};
+  for (int64_t Raw : Raws)
+    EXPECT_EQ(Memory::wrapRaw(Raw, 4), M.wrapIndex("al", Raw)) << Raw;
+  EXPECT_EQ(Memory::wrapRaw(7, 1), 0u); // Size-1 arrays always hit slot 0.
+  EXPECT_EQ(Memory::wrapRaw(-7, 1), 0u);
+}
+
+TEST(Memory, SlotIndicesFollowDeclarationOrder) {
+  Memory M = Memory::fromProgram(declProgram());
+  ASSERT_EQ(M.slotCount(), 4u);
+  EXPECT_EQ(M.slotIndexOf("l"), 0u);
+  EXPECT_EQ(M.slotIndexOf("h"), 1u);
+  EXPECT_EQ(M.slotIndexOf("al"), 2u);
+  EXPECT_EQ(M.slotIndexOf("ah"), 3u);
+  EXPECT_EQ(M.slotIndexOf("nope"), Memory::npos);
+  // slotAt and the name-based accessor reach the same storage.
+  M.slotAt(0).Data[0] = 42;
+  EXPECT_EQ(M.load("l"), 42);
+  EXPECT_EQ(&M.slotAt(2), &M.slot("al"));
+  EXPECT_TRUE(M.slotAt(2).IsArray);
+  EXPECT_EQ(M.slotAt(2).Data.size(), 4u);
+}
+
+TEST(Memory, SlotNumberingStableAcrossBuilderAndParser) {
+  // The lowering pass bakes declaration-order slot indices into the IR, so
+  // a builder-made program and its parsed pretty-printed twin must assign
+  // identical indices and addresses.
+  Memory FromBuilder = Memory::fromProgram(declProgram());
+  Memory FromParser = Memory::fromProgram(
+      parseOrDie("var l : L = 3;\nvar h : H = 7;\n"
+                 "var al : L[4] = {1, 2};\nvar ah : H[2] = {5, 6};\n"
+                 "skip"));
+  ASSERT_EQ(FromBuilder.slotCount(), FromParser.slotCount());
+  for (size_t I = 0; I != FromBuilder.slotCount(); ++I) {
+    EXPECT_EQ(FromBuilder.slotAt(I).Name, FromParser.slotAt(I).Name) << I;
+    EXPECT_EQ(FromBuilder.slotAt(I).Base, FromParser.slotAt(I).Base) << I;
+  }
+  EXPECT_TRUE(FromBuilder == FromParser);
+}
+
+TEST(Memory, EqualityComparesSlotsAndValues) {
+  Memory M1 = Memory::fromProgram(declProgram());
+  Memory M2 = Memory::fromProgram(declProgram());
+  EXPECT_TRUE(M1 == M2);
+  M2.store("l", 4);
+  EXPECT_FALSE(M1 == M2);
+  M2.store("l", 3);
+  EXPECT_TRUE(M1 == M2);
+  // Different layout (address base) is a different memory even when every
+  // value agrees.
+  Memory M3 = Memory::fromProgram(declProgram(), 0x2000);
+  EXPECT_FALSE(M1 == M3);
+}
+
 TEST(Memory, LowEquivalenceIgnoresHighVariables) {
   Memory M1 = Memory::fromProgram(declProgram());
   Memory M2 = Memory::fromProgram(declProgram());

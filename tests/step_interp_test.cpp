@@ -1,8 +1,9 @@
-//===- step_interp_test.cpp - The literal small-step machine ----------------===//
+//===- step_interp_test.cpp - The resumable small-step machine --------------===//
 //
 // White-box tests of the StepInterpreter's transition structure: these
-// check that the command component of configurations evolves exactly as the
-// paper's rules prescribe (Fig. 2 plus the S-MTGPRED rewrite of Fig. 6).
+// check that the program-counter cursor over the lowered IR visits exactly
+// the transitions the paper's rules prescribe (Fig. 2 plus the predictive
+// rules of Fig. 6), one source command per step.
 //
 //===----------------------------------------------------------------------===//
 
@@ -66,17 +67,21 @@ TEST(StepInterpreter, IfStepsToTakenBranch) {
   EXPECT_EQ(S.memory().load("y"), 10);
 }
 
-TEST(StepInterpreter, WhileUnrollsToBodySeqWhile) {
-  // while e do c → c ; while e do c when the guard holds.
+TEST(StepInterpreter, WhileGuardStepsIntoBodyAndBack) {
+  // while e do c steps into c when the guard holds, then returns to the
+  // guard for the next iteration (the c ; while e do c unrolling).
   Program P = inferred("var i : L = 2;\nwhile i > 0 do { i := i - 1 }");
   auto Env = createMachineEnv(HwKind::Partitioned, lh());
   StepInterpreter S(P, *Env);
+  const auto *W = dyn_cast<WhileCmd>(S.current());
+  ASSERT_NE(W, nullptr);
   S.step(); // Guard evaluation (true).
   ASSERT_FALSE(S.done());
-  const auto *Seq = dyn_cast<SeqCmd>(S.current());
-  ASSERT_NE(Seq, nullptr);
-  EXPECT_TRUE(isa<AssignCmd>(Seq->first()));
-  EXPECT_TRUE(isa<WhileCmd>(Seq->second()));
+  const auto *A = dyn_cast<AssignCmd>(S.current());
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->var(), "i");
+  S.step(); // Body assignment; the loop node is up again.
+  EXPECT_EQ(S.current(), static_cast<const Cmd *>(W));
   // Run to completion: 2 iterations.
   while (!S.done())
     S.step();
@@ -91,41 +96,42 @@ TEST(StepInterpreter, WhileFalseGuardStops) {
   EXPECT_TRUE(S.done());
 }
 
-TEST(StepInterpreter, MitigateRewritesToBodyThenEnd) {
-  // (S-MTGPRED): mitigate (e,ℓ) c → c ; MitigateEnd.
+TEST(StepInterpreter, MitigateEntersBodyThenSettles) {
+  // (S-MTGPRED): mitigate (e,ℓ) c steps into c, then a dedicated settle
+  // transition (the paper's MitigateEnd continuation) pads the window.
   // Body = sleep(3) plus the cold read of h (~137 cycles): 400 covers it.
   Program P = inferred("var h : H = 3;\nmitigate (400, H) { sleep(h) @[H,H] }");
   auto Env = createMachineEnv(HwKind::Partitioned, lh());
   StepInterpreter S(P, *Env);
+  const auto *Mit = dyn_cast<MitigateCmd>(S.current());
+  ASSERT_NE(Mit, nullptr);
   S.step(); // The mitigate entry step.
   ASSERT_FALSE(S.done());
-  const auto *Seq = dyn_cast<SeqCmd>(S.current());
-  ASSERT_NE(Seq, nullptr);
-  EXPECT_TRUE(isa<SleepCmd>(Seq->first()));
-  const auto *End = dyn_cast<MitigateEndCmd>(&Seq->second());
-  ASSERT_NE(End, nullptr);
-  EXPECT_EQ(End->estimate(), 400);
-  EXPECT_EQ(End->mitLevel(), high());
-  EXPECT_EQ(End->startTime(), S.clock()); // s_η = entry completion time.
+  const uint64_t Start = S.clock(); // s_η = entry completion time.
+  EXPECT_TRUE(isa<SleepCmd>(*S.current()));
 
   S.step(); // sleep(h).
-  S.step(); // MitigateEnd pads.
+  ASSERT_FALSE(S.done());
+  // The settle transition reports the mitigate command as its origin.
+  EXPECT_EQ(S.current(), static_cast<const Cmd *>(Mit));
+  S.step(); // Settle: pad to the schedule's prediction.
   EXPECT_TRUE(S.done());
   ASSERT_EQ(S.trace().Mitigations.size(), 1u);
+  EXPECT_EQ(S.trace().Mitigations[0].Estimate, 400);
+  EXPECT_EQ(S.trace().Mitigations[0].Level, high());
+  EXPECT_EQ(S.trace().Mitigations[0].Start, Start);
   EXPECT_EQ(S.trace().Mitigations[0].Duration, 400u);
-  EXPECT_EQ(S.clock(), End->startTime() + 400);
+  EXPECT_EQ(S.clock(), Start + 400);
 }
 
-TEST(StepInterpreter, MitigateEndCarriesBottomLabels) {
-  // The Fig. 6 auxiliary commands are labeled [⊥,⊥].
+TEST(StepInterpreter, MitigateSettleIsOneStep) {
+  // The Fig. 6 settle transition consumes a step of its own, exactly like
+  // the paper's explicit MitigateEnd command.
   Program P = inferred("mitigate (10, H) { skip }");
   auto Env = createMachineEnv(HwKind::Partitioned, lh());
   StepInterpreter S(P, *Env);
-  S.step();
-  const auto *Seq = cast<SeqCmd>(S.current());
-  const Cmd &End = Seq->second();
-  EXPECT_EQ(*End.labels().Read, lh().bottom());
-  EXPECT_EQ(*End.labels().Write, lh().bottom());
+  Trace T = S.runToCompletion();
+  EXPECT_EQ(T.Steps, 3u); // Enter, body, settle.
 }
 
 TEST(StepInterpreter, SingleCommandConstructor) {

@@ -3,6 +3,10 @@
 // Usage:
 //   zamc check  <file.zam> [options]   parse, infer labels, type-check
 //   zamc print  <file.zam> [options]   pretty-print with inferred labels
+//   zamc ir     <file.zam> [options]   lower to the flat timing-IR and dump
+//                                      it (slots, code addresses, labels,
+//                                      branch targets) — what the execution
+//                                      core actually runs
 //   zamc run    <file.zam> [options]   execute on simulated hardware
 //   zamc trace  <file.zam> [options]   execute and print the event timeline
 //   zamc leakage <file.zam> --vary var=v1,v2,... [options]
@@ -49,6 +53,8 @@
 #include "analysis/PropertyCheckers.h"
 #include "analysis/RandomProgram.h"
 #include "exp/ParallelRunner.h"
+#include "ir/IrPrinter.h"
+#include "ir/Lowering.h"
 #include "obs/CostLedger.h"
 #include "obs/Json.h"
 #include "obs/LeakAudit.h"
@@ -124,7 +130,8 @@ int usage(const std::string &BadArg = "") {
                  BadArg.c_str());
   std::fprintf(
       stderr,
-      "usage: zamc <check|print|run|trace|profile|leakage|audit> <file.zam>\n"
+      "usage: zamc <check|print|ir|run|trace|profile|leakage|audit> "
+      "<file.zam>\n"
       "  [--levels L,M,H] [--hw nopar|nofill|partitioned]\n"
       "  [--set var=value]... [--vary var=v1,v2,...]\n"
       "  [--adversary LEVEL] [--no-equal-labels]\n"
@@ -827,6 +834,14 @@ int main(int Argc, char **Argv) {
     return checkProgram(*P, Opts, /*Verbose=*/true);
   if (Opts.Command == "print") {
     std::printf("%s", printProgram(*P).c_str());
+    return 0;
+  }
+  if (Opts.Command == "ir") {
+    IrProgram IR = [&] {
+      auto Scope = Phases.scope("lower");
+      return lowerProgram(*P);
+    }();
+    std::printf("%s", printIr(IR, P->lattice()).c_str());
     return 0;
   }
   if (Opts.Command == "run")
