@@ -145,7 +145,11 @@ LeakageResult zam::measureLeakage(const Program &P,
   Result.TheoremTwoHolds =
       Result.DistinctObservations <=
       std::max<unsigned>(Result.DistinctTimingVectors, 1);
-  Result.ClosedFormBoundBits = leakageBoundBits(
+  // The summary bound is the run-default policy's closed form (per-site
+  // overrides refine the per-window account, not this coarse global one);
+  // under the default selection this is the paper's
+  // |LeA↑|·log2(K+1)·(1+log2 T) bit for bit.
+  Result.ClosedFormBoundBits = Opts.Mitigation.base().closedFormBoundBits(
       UnobsUpward.count(), Result.RelevantMitigates, Result.MaxFinalTime);
   return Result;
 }

@@ -89,8 +89,7 @@ PropertyReport zam::checkSequentialComposition(const Program &P, const Cmd &C1,
   // mitigation Miss table is part of the carried configuration, so the two
   // halves share one.
   std::unique_ptr<MachineEnv> EnvSplit = EnvTemplate.clone();
-  MitigationState SplitState(P.lattice(),
-                             Opts.Scheme ? *Opts.Scheme : fastDoublingScheme(),
+  MitigationState SplitState(P.lattice(), Opts.Mitigation.base(),
                              Opts.Penalty);
   InterpreterOptions SplitOpts = Opts;
   SplitOpts.SharedMitState = &SplitState;

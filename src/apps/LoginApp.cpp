@@ -200,8 +200,7 @@ LoginSession::LoginSession(const SecurityLattice &Lat, const LoginTable &Table,
                            const LoginProgramConfig &Config, MachineEnv &Env,
                            InterpreterOptions Opts)
     : P(buildLoginProgram(Lat, Table, Config)), Env(Env), Opts(Opts),
-      MitState(Lat, Opts.Scheme ? *Opts.Scheme : fastDoublingScheme(),
-               Opts.Penalty) {
+      MitState(Lat, Opts.Mitigation.base(), Opts.Penalty) {
   this->Opts.SharedMitState = &MitState;
 }
 
@@ -240,7 +239,7 @@ zam::calibrateLoginEstimates(const SecurityLattice &Lat,
     else
       User = "ghost" + std::to_string(R.nextBelow(1000));
     InterpreterOptions Opts;
-    MitigationState St(Lat, fastDoublingScheme(), Opts.Penalty);
+    MitigationState St(Lat, fastDoublingPolicy(), Opts.Penalty);
     Opts.SharedMitState = &St;
     FullInterpreter Interp(P, *Env, Opts);
     setLoginRequest(Interp.memory(), User, "pass" + std::to_string(I));

@@ -104,8 +104,7 @@ RsaSession::RsaSession(const SecurityLattice &Lat, const RsaKey &Key,
                        const RsaProgramConfig &Config, MachineEnv &Env,
                        InterpreterOptions Opts)
     : P(buildRsaProgram(Lat, Key, Config)), Env(Env), Opts(Opts),
-      MitState(Lat, Opts.Scheme ? *Opts.Scheme : fastDoublingScheme(),
-               Opts.Penalty) {
+      MitState(Lat, Opts.Mitigation.base(), Opts.Penalty) {
   this->Opts.SharedMitState = &MitState;
 }
 

@@ -48,6 +48,8 @@
 
 namespace zam {
 
+class MitigationPolicy;
+
 /// One postfix expression operation. Operations execute left-to-right on a
 /// value stack, reproducing the AST evaluation order exactly: an array
 /// read's index is computed before the element access, a binary operator's
@@ -122,6 +124,11 @@ struct IrInstr {
   unsigned Eta = 0; ///< Mitigate site id η.
   Label MitLevel;   ///< The window's mitigation level ℓ.
   Label PcLabel;    ///< pc(M_η): static pc at the mitigate (Sec. 6.3).
+  /// The site's prediction schedule, resolved once at lowering from the
+  /// run's PolicySelection (per-site overrides land here). Borrowed — the
+  /// policy objects outlive the IR. Null only in hand-built IR; engines
+  /// fall back to the run default.
+  const MitigationPolicy *Policy = nullptr;
 
   IrExpr E0; ///< Value / index / guard / duration / estimate.
   IrExpr E1; ///< ArrayAssign: the stored value.

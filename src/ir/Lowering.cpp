@@ -22,7 +22,9 @@ struct PatchRef {
 
 class Lowerer {
 public:
-  Lowerer(const Program &P, const CostModel &Costs) : P(P), Costs(Costs) {
+  Lowerer(const Program &P, const CostModel &Costs,
+          const PolicySelection &Policies)
+      : P(P), Costs(Costs), Policies(Policies) {
     // Identical layout to Memory::fromProgram: declaration order,
     // contiguous 8-byte words from DataBase.
     Addr Next = Costs.DataBase;
@@ -58,6 +60,7 @@ public:
 private:
   const Program &P;
   const CostModel &Costs;
+  const PolicySelection &Policies;
   const std::unordered_map<unsigned, Label> *Pc = nullptr;
   std::unordered_map<std::string, uint32_t> Map;
   IrProgram Out;
@@ -254,6 +257,7 @@ private:
       Enter.K = IrInstr::Op::MitEnter;
       Enter.Eta = M.mitigateId();
       Enter.MitLevel = M.mitLevel();
+      Enter.Policy = &Policies.forSite(M.mitigateId());
       auto PcIt = Pc->find(C.nodeId());
       Enter.PcLabel = PcIt != Pc->end() ? PcIt->second : P.lattice().bottom();
       Enter.E0 = lowerExprFor(M.initialEstimate(), C);
@@ -275,6 +279,7 @@ private:
       End.Origin = &C;
       End.Eta = M.mitigateId();
       End.MitLevel = M.mitLevel();
+      End.Policy = &Policies.forSite(M.mitigateId());
       uint32_t EndIdx = emit(std::move(End));
       patch(BodyExits, EndIdx);
       Exits.push_back({EndIdx});
@@ -290,18 +295,20 @@ private:
 
 } // namespace
 
-IrProgram zam::lowerProgram(const Program &P, const CostModel &Costs) {
+IrProgram zam::lowerProgram(const Program &P, const CostModel &Costs,
+                            const PolicySelection &Policies) {
   if (!P.hasBody())
     reportFatalError("program has no body");
-  return Lowerer(P, Costs).take(P.body(), computePcLabels(P));
+  return Lowerer(P, Costs, Policies).take(P.body(), computePcLabels(P));
 }
 
 IrProgram zam::lowerCommand(const Program &P, const Cmd &C,
-                            const CostModel &Costs) {
-  return Lowerer(P, Costs).take(C, computePcLabels(C, P));
+                            const CostModel &Costs,
+                            const PolicySelection &Policies) {
+  return Lowerer(P, Costs, Policies).take(C, computePcLabels(C, P));
 }
 
 IrExpr zam::lowerExpr(const Expr &E, const Program &P, const CostModel &Costs,
                       SourceLoc CmdLoc) {
-  return Lowerer(P, Costs).lowerExprOnly(E, CmdLoc);
+  return Lowerer(P, Costs, PolicySelection()).lowerExprOnly(E, CmdLoc);
 }

@@ -24,18 +24,24 @@
 
 #include "ir/Ir.h"
 #include "sem/CostModel.h"
+#include "sem/Mitigation.h"
 
 namespace zam {
 
 /// Lowers \p P's body. Instruction origins point into \p P, which must
-/// outlive the IrProgram.
-IrProgram lowerProgram(const Program &P, const CostModel &Costs = CostModel());
+/// outlive the IrProgram. Every mitigate instruction resolves its
+/// prediction schedule from \p Policies once, here — per-site overrides
+/// are a lowering-time concern, not a per-transition lookup. The policy
+/// objects the selection points at must outlive the IrProgram.
+IrProgram lowerProgram(const Program &P, const CostModel &Costs = CostModel(),
+                       const PolicySelection &Policies = PolicySelection());
 
 /// Lowers the detached command \p C against \p P's declarations (the
 /// property checkers drive arbitrary labeled commands). \p C and \p P must
 /// outlive the IrProgram.
 IrProgram lowerCommand(const Program &P, const Cmd &C,
-                       const CostModel &Costs = CostModel());
+                       const CostModel &Costs = CostModel(),
+                       const PolicySelection &Policies = PolicySelection());
 
 /// Lowers a single expression against \p P's declarations, inheriting
 /// \p CmdLoc as the fallback attribution location (unit tests and tools).

@@ -6,38 +6,32 @@
 
 using namespace zam;
 
+// The paper-default free functions delegate to the fast-doubling policy
+// object, so the doubling math has exactly one home (sem/Mitigation.cpp)
+// and these stay bit-identical to the historical implementations.
+
 uint64_t zam::attainableScheduleValues(int64_t Estimate, uint64_t ElapsedTime) {
-  const uint64_t N = Estimate > 0 ? static_cast<uint64_t>(Estimate) : 1;
-  if (ElapsedTime <= N)
-    return 1;
-  uint64_t Count = 1;
-  // v ≤ T/2 (integer division) ⟺ 2v ≤ T without overflow.
-  for (uint64_t V = N; V <= ElapsedTime / 2; V <<= 1)
-    ++Count;
-  return Count;
+  return fastDoublingPolicy().attainableValues(Estimate, ElapsedTime);
 }
 
 double zam::windowBoundBits(int64_t Estimate, uint64_t ElapsedTime) {
-  return std::log2(
-      static_cast<double>(attainableScheduleValues(Estimate, ElapsedTime)));
+  return fastDoublingPolicy().windowBoundBits(Estimate, ElapsedTime);
 }
 
 double zam::mispredictPenaltyBits(unsigned Misses) {
-  return std::log2(static_cast<double>(Misses) + 1.0);
+  return fastDoublingPolicy().penaltyBits(Misses);
 }
 
 double zam::leakageBoundBits(unsigned UpwardClosureSize,
                              uint64_t RelevantMitigates, uint64_t ElapsedTime) {
-  if (RelevantMitigates == 0)
-    return 0;
-  double LogK = std::log2(static_cast<double>(RelevantMitigates) + 1.0);
-  double LogT =
-      ElapsedTime > 0 ? std::log2(static_cast<double>(ElapsedTime)) : 0.0;
-  return static_cast<double>(UpwardClosureSize) * LogK * (1.0 + LogT);
+  return fastDoublingPolicy().closedFormBoundBits(
+      UpwardClosureSize, RelevantMitigates, ElapsedTime);
 }
 
-LeakAudit::LeakAudit(const SecurityLattice &Lat, std::optional<Label> Adversary)
-    : Lat(Lat), Adversary(Adversary), Accounts(Lat.size()) {}
+LeakAudit::LeakAudit(const SecurityLattice &Lat, std::optional<Label> Adversary,
+                     PolicySelection Policies)
+    : Lat(Lat), Adversary(Adversary), Policies(std::move(Policies)),
+      Accounts(Lat.size()) {}
 
 bool LeakAudit::counts(const MitigateRecord &R) const {
   if (!Adversary)
@@ -63,8 +57,10 @@ void LeakAudit::onWindow(const MitigateRecord &R) {
   W.Mispredicted = R.Mispredicted;
   W.Line = R.Line;
   // T_i is the window's own completion time on the global clock: every
-  // schedule value attainable by then was a possible public duration.
-  W.Attainable = attainableScheduleValues(R.Estimate, R.Start + R.Duration);
+  // schedule value attainable by then was a possible public duration —
+  // counted under the policy that actually scheduled this site.
+  W.Policy = &Policies.forSite(R.Eta);
+  W.Attainable = W.Policy->attainableValues(R.Estimate, R.Start + R.Duration);
   W.WindowBits = std::log2(static_cast<double>(W.Attainable));
 
   LevelAccount &A = Accounts[R.Level.index()];
@@ -100,7 +96,7 @@ void LeakAudit::exportMetrics(MetricsRegistry &Reg,
     Reg.setCounter(Base + "windows", A.Windows);
     Reg.setGauge(Base + "bits_bound", A.BitsBound);
     Reg.setGauge(Base + "mispredict_penalty_bits",
-                 mispredictPenaltyBits(A.Misses));
+                 Policies.base().penaltyBits(A.Misses));
   }
   Reg.setCounter(Prefix + "leak.windows", Counted.size());
   Reg.setGauge(Prefix + "leak.total_bits_bound", totalBitsBound());

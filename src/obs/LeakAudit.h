@@ -42,6 +42,7 @@
 #include "lattice/SecurityLattice.h"
 #include "obs/Metrics.h"
 #include "sem/Event.h"
+#include "sem/Mitigation.h"
 
 #include <cstdint>
 #include <optional>
@@ -52,11 +53,13 @@ namespace zam {
 
 /// N(T) for one window of the fast-doubling scheme: how many schedule
 /// values max(Estimate,1)·2^k fit within global time \p ElapsedTime.
-/// Always at least 1 (the window did settle on something).
+/// Always at least 1 (the window did settle on something). Delegates to
+/// fastDoublingPolicy(); kept for the paper-default call sites — policy-
+/// aware code goes through MitigationPolicy::attainableValues instead.
 uint64_t attainableScheduleValues(int64_t Estimate, uint64_t ElapsedTime);
 
 /// log2 N(T) — the bits one settled window can transmit by time
-/// \p ElapsedTime.
+/// \p ElapsedTime (fast-doubling; see attainableScheduleValues).
 double windowBoundBits(int64_t Estimate, uint64_t ElapsedTime);
 
 /// log2(Miss[ℓ]+1): the bits revealed by the level's misprediction count
@@ -83,6 +86,9 @@ struct LeakWindow {
   double WindowBits = 0;     ///< log2 N_i(T_i).
   double CumLevelBits = 0;   ///< Running Σ log2 N over this window's level.
   uint32_t Line = 0;         ///< Source line of the mitigate (0: unknown).
+  /// The policy that scheduled (and priced) this window — resolved from
+  /// the audit's PolicySelection by η. Never null on a counted window.
+  const MitigationPolicy *Policy = nullptr;
 };
 
 /// Maintains per-security-level running leakage bounds. Feed it windows
@@ -98,8 +104,12 @@ public:
     double BitsBound = 0;  ///< Σ log2 N_i(T_i) over counted windows.
   };
 
+  /// \p Policies must mirror the run's InterpreterOptions::Mitigation so
+  /// every window is priced by the schedule that actually produced it;
+  /// defaulting it keeps the paper's fast-doubling account.
   explicit LeakAudit(const SecurityLattice &Lat,
-                     std::optional<Label> Adversary = std::nullopt);
+                     std::optional<Label> Adversary = std::nullopt,
+                     PolicySelection Policies = PolicySelection());
 
   /// Whether the Sec. 6.1 projection counts \p R (see file comment).
   bool counts(const MitigateRecord &R) const;
@@ -132,10 +142,12 @@ public:
 
   const SecurityLattice &lattice() const { return Lat; }
   std::optional<Label> adversary() const { return Adversary; }
+  const PolicySelection &policies() const { return Policies; }
 
 private:
   const SecurityLattice &Lat;
   std::optional<Label> Adversary;
+  PolicySelection Policies;
   std::vector<LeakWindow> Counted;
   std::vector<LevelAccount> Accounts; ///< Indexed by label index.
 };

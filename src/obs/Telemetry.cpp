@@ -140,8 +140,9 @@ size_t zam::exportTrace(TraceSink &Sink, const Trace &T,
     // One priced span per *counted* window (the online accountant's exact
     // projection), so the double sums recomputed offline from these spans
     // are bit-identical to the leak.* metrics — the zamtrace cross-check.
-    LeakAudit Audit(Lat, Opts.Adversary);
+    LeakAudit Audit(Lat, Opts.Adversary, Opts.Mitigation);
     Audit.ingest(T);
+    const MitigationPolicy &RunDefault = Opts.Mitigation.base();
     for (const LeakWindow &W : Audit.windows()) {
       TraceRecord R;
       R.RecordKind = TraceRecord::Kind::Span;
@@ -157,6 +158,10 @@ size_t zam::exportTrace(TraceSink &Sink, const Trace &T,
       R.Args.emplace_back("cum_level_bits",
                           jsonNumberString(W.CumLevelBits));
       R.Args.emplace_back("mispredicted", W.Mispredicted ? "true" : "false");
+      // Only sites diverging from the run default name their policy, so
+      // default-policy traces keep the historical byte layout.
+      if (W.Policy && W.Policy != &RunDefault)
+        R.Args.emplace_back("policy", W.Policy->spec());
       if (W.Line != 0)
         R.Args.emplace_back("loc", std::to_string(W.Line));
       Records.push_back(std::move(R));
@@ -242,6 +247,24 @@ zam::provenanceArgs(unsigned Threads) {
           {"threads", std::to_string(Threads)}};
 }
 
+std::vector<std::pair<std::string, std::string>>
+zam::provenanceArgs(unsigned Threads, const PolicySelection &Mitigation) {
+  auto Args = provenanceArgs(Threads);
+  if (Mitigation.isDefaultOnly())
+    return Args; // Paper default: keep the historical byte layout.
+  Args.emplace_back("mitigation", Mitigation.base().spec());
+  if (!Mitigation.PerSite.empty()) {
+    std::string Sites;
+    for (const auto &[Eta, P] : Mitigation.PerSite) {
+      if (!Sites.empty())
+        Sites += ",";
+      Sites += std::to_string(Eta) + "=" + P->spec();
+    }
+    Args.emplace_back("mitigation_sites", Sites);
+  }
+  return Args;
+}
+
 JsonValue zam::provenanceJson(unsigned Threads) {
   JsonValue Meta = JsonValue::object();
   Meta["tool"] = "zam";
@@ -250,5 +273,14 @@ JsonValue zam::provenanceJson(unsigned Threads) {
   Meta["compiler"] = buildCompiler();
   Meta["build_type"] = buildType();
   Meta["threads"] = Threads;
+  return Meta;
+}
+
+JsonValue zam::provenanceJson(unsigned Threads,
+                              const PolicySelection &Mitigation) {
+  JsonValue Meta = provenanceJson(Threads);
+  for (const auto &[Key, Value] : provenanceArgs(Threads, Mitigation))
+    if (Key == "mitigation" || Key == "mitigation_sites")
+      Meta[Key] = Value;
   return Meta;
 }

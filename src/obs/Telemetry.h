@@ -44,6 +44,7 @@
 #include "obs/Metrics.h"
 #include "obs/TraceSink.h"
 #include "sem/Event.h"
+#include "sem/Mitigation.h"
 
 #include <memory>
 #include <optional>
@@ -99,6 +100,12 @@ struct TraceExportOptions {
   /// at the run's final time. tools/zamtrace rebuilds what it can from the
   /// event stream and demands bit-for-bit agreement with these rows.
   const CostLedger *Ledger = nullptr;
+  /// The run's mitigation-policy selection; must mirror the interpreter's
+  /// so leak_budget spans are priced by the schedule that produced them.
+  /// Sites whose policy differs from the run default additionally carry a
+  /// per-span "policy" arg, so offline readers reconstruct the selection
+  /// from the trace alone.
+  PolicySelection Mitigation;
 };
 
 /// Streams \p T into \p Sink as one merged, time-ordered record sequence:
@@ -115,9 +122,23 @@ size_t exportTrace(TraceSink &Sink, const Trace &T, const SecurityLattice &Lat,
 std::vector<std::pair<std::string, std::string>> provenanceArgs(
     unsigned Threads);
 
+/// provenanceArgs plus the mitigation-policy record: when \p Mitigation is
+/// anything but default fast-doubling, appends "mitigation" (the default
+/// policy's canonical spec) and, with per-site overrides,
+/// "mitigation_sites" ("eta=spec,..."). The paper-default configuration
+/// adds no keys, so default-run artifacts stay byte-identical to the
+/// pre-policy format; offline readers treat the absent key as
+/// fast-doubling.
+std::vector<std::pair<std::string, std::string>> provenanceArgs(
+    unsigned Threads, const PolicySelection &Mitigation);
+
 /// The same provenance as a JSON object — the `meta` block of `--stats`
 /// and bench report documents.
 JsonValue provenanceJson(unsigned Threads);
+
+/// provenanceJson with the conditional mitigation-policy record (see the
+/// provenanceArgs overload).
+JsonValue provenanceJson(unsigned Threads, const PolicySelection &Mitigation);
 
 } // namespace zam
 

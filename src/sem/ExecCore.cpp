@@ -62,9 +62,8 @@ int64_t zam::evalIrExpr(const IrExpr &E, const Memory &M, MachineEnv &Env,
 
 ExecCore::ExecCore(const IrProgram &IR, const Program &P, Memory InitM,
                    MachineEnv &Env, const InterpreterOptions &Opts)
-    : P(P), Env(Env), Opts(Opts),
-      Scheme(Opts.Scheme ? *Opts.Scheme : fastDoublingScheme()),
-      M(std::move(InitM)), OwnMitState(P.lattice(), Scheme, Opts.Penalty),
+    : P(P), Env(Env), Opts(Opts), M(std::move(InitM)),
+      OwnMitState(P.lattice(), this->Opts.Mitigation.base(), Opts.Penalty),
       MitState(Opts.SharedMitState ? *Opts.SharedMitState : OwnMitState),
       Code(IR.Instrs.data()),
       TrackCursor(Opts.RecordMisses || Opts.Provenance != nullptr) {
@@ -186,7 +185,8 @@ void ExecCore::execInstr(const IrInstr &I) {
     // the body.
     charge(CycleKind::Step, Cycles);
     G += Cycles;
-    Frames.push_back({I.Eta, N, I.MitLevel, I.PcLabel, G});
+    Frames.push_back({I.Eta, N, I.MitLevel, I.PcLabel, G,
+                      I.Policy ? I.Policy : &Opts.Mitigation.base()});
     Cur.Site = I.Eta;
     PC = I.Next;
     return;
@@ -197,8 +197,8 @@ void ExecCore::execInstr(const IrInstr &I) {
     // the update rule and the padding to the final prediction.
     const MitFrame &F = Frames.back();
     const uint64_t Elapsed = G - F.Start;
-    MitigationState::Outcome Out = MitState.settle(F.Estimate, F.Level,
-                                                   Elapsed);
+    MitigationState::Outcome Out =
+        MitState.settle(F.Estimate, F.Level, Elapsed, *F.Policy);
     G = F.Start + Out.Duration;
 
     MitigateRecord R;

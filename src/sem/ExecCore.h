@@ -116,12 +116,16 @@ private:
     Label Level;
     Label Pc;
     uint64_t Start = 0; ///< s_η: G at completion of the entry step.
+    /// The site's resolved schedule (from the MitEnter instruction; never
+    /// null once a frame is open). Settlement prices with exactly this
+    /// policy, so per-site overrides stay per-site even when the Miss
+    /// table is shared.
+    const MitigationPolicy *Policy = nullptr;
   };
 
   const Program &P;
   MachineEnv &Env;
   InterpreterOptions Opts;
-  const MitigationScheme &Scheme;
   Memory M;
   MitigationState OwnMitState;
   MitigationState &MitState;

@@ -11,7 +11,8 @@ using namespace zam;
 FullInterpreter::FullInterpreter(const Program &P, MachineEnv &Env,
                                  InterpreterOptions Opts)
     : Env(Env), Opts(Opts),
-      IR(std::make_unique<IrProgram>(lowerProgram(P, Opts.Costs))),
+      IR(std::make_unique<IrProgram>(
+          lowerProgram(P, Opts.Costs, Opts.Mitigation))),
       Core(std::make_unique<ExecCore>(
           *IR, P, Memory::fromProgram(P, Opts.Costs.DataBase), Env, Opts)) {}
 

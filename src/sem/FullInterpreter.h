@@ -49,8 +49,12 @@ struct IrProgram;
 /// Knobs shared by both full-semantics engines.
 struct InterpreterOptions {
   CostModel Costs;
-  /// Prediction schedule; fastDoublingScheme() when null.
-  const MitigationScheme *Scheme = nullptr;
+  /// Which mitigation policy governs each mitigate site: a run-wide default
+  /// (fast-doubling when unset) plus optional per-η overrides. Lowering
+  /// resolves each mitigate instruction's policy from this selection, and
+  /// the same selection must be handed to the leakage accountant / trace
+  /// exporter so windows are priced by the policy that scheduled them.
+  PolicySelection Mitigation;
   PenaltyPolicy Penalty = PenaltyPolicy::PerLevel;
   /// Bound on primitive evaluation steps (diverging-program safety net;
   /// rationale at the constant's definition).
@@ -58,8 +62,8 @@ struct InterpreterOptions {
   /// When set, the interpreter uses (and mutates) this external Miss table
   /// instead of a fresh one, so predictive-mitigation state persists across
   /// runs — e.g. over the requests of one login session (Sec. 8.3). The
-  /// state must be over the program's lattice; Scheme/Penalty are ignored
-  /// in favor of the shared state's own.
+  /// state must be over the program's lattice; Penalty (and the selection's
+  /// default policy) are ignored in favor of the shared state's own.
   MitigationState *SharedMitState = nullptr;
   /// Record a per-access miss timeline into Trace::Misses (big-step engine
   /// only; costs an observer callback per hardware access, so it is off by

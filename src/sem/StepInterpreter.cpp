@@ -8,7 +8,9 @@ using namespace zam;
 
 StepInterpreter::StepInterpreter(const Program &P, MachineEnv &Env,
                                  InterpreterOptions Opts)
-    : Env(Env), IR(std::make_unique<IrProgram>(lowerProgram(P, Opts.Costs))),
+    : Env(Env),
+      IR(std::make_unique<IrProgram>(
+          lowerProgram(P, Opts.Costs, Opts.Mitigation))),
       Core(std::make_unique<ExecCore>(
           *IR, P, Memory::fromProgram(P, Opts.Costs.DataBase), Env, Opts)) {
   if (Opts.Provenance) {
@@ -23,7 +25,7 @@ StepInterpreter::StepInterpreter(const Program &P, CmdPtr C,
                                  InterpreterOptions Opts)
     : Env(Env), Owned(std::move(C)),
       IR(std::make_unique<IrProgram>(
-          lowerCommand(P, *Owned, Opts.Costs))),
+          lowerCommand(P, *Owned, Opts.Costs, Opts.Mitigation))),
       Core(std::make_unique<ExecCore>(*IR, P, std::move(InitialMemory), Env,
                                       Opts)) {
   if (Opts.Provenance) {

@@ -202,7 +202,7 @@ TEST(FullSemantics, SharedMitigationStatePersists) {
                        "mitigate (1, H) { sleep(h) @[H,H] }");
   auto Env = createMachineEnv(HwKind::Partitioned, lh(), MachineEnvConfig());
   InterpreterOptions Opts;
-  MitigationState Shared(lh(), fastDoublingScheme(), PenaltyPolicy::PerLevel);
+  MitigationState Shared(lh(), fastDoublingPolicy(), PenaltyPolicy::PerLevel);
   Opts.SharedMitState = &Shared;
 
   RunResult First = runFull(P, *Env, Opts);

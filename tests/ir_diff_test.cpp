@@ -3,15 +3,21 @@
 // Random well-typed programs pushed through all three semantics layers:
 // the timing-free core evaluator (the Fig. 2 reference), the big-step IR
 // driver, and the resumable small-step cursor — over all three hardware
-// designs. Adequacy says core and full agree on memory and the event
-// sequence; engine unification says the two IR engines agree on
-// everything, including the attribution ledger bit for bit.
+// designs, cycling the mitigation policy per program so every registered
+// schedule is exercised. Adequacy says core and full agree on memory and
+// the event sequence; engine unification says the two IR engines agree on
+// everything, including the attribution ledger bit for bit; and the
+// online leakage accountant (fed window-by-window during the run) must
+// match an offline accountant replaying the finished trace bit for bit
+// under whichever policy scheduled the run.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/RandomProgram.h"
 #include "hw/HardwareModels.h"
 #include "obs/CostLedger.h"
+#include "obs/LeakAudit.h"
+#include "sem/Mitigation.h"
 #include "sem/CoreInterpreter.h"
 #include "sem/FullInterpreter.h"
 #include "sem/StepInterpreter.h"
@@ -24,9 +30,28 @@ using namespace zam::test;
 
 namespace {
 
-/// Runs \p P through core, full, and step semantics on \p Kind hardware and
-/// checks the three-way agreement obligations.
-void expectThreeWayAgreement(const Program &P, HwKind Kind) {
+/// The policy rotation: every fuzz trial picks the next entry, so each
+/// schedule's settle loop, ledger attribution and leak pricing get fuzzed
+/// alongside the default.
+const MitigationPolicy &trialPolicy(unsigned Trial) {
+  static const BucketedPolicy Bucketed(3);
+  static const SeededPolicy Seeded(32);
+  switch (Trial % 4) {
+  case 1:
+    return linearPolicy();
+  case 2:
+    return Bucketed;
+  case 3:
+    return Seeded;
+  default:
+    return fastDoublingPolicy();
+  }
+}
+
+/// Runs \p P through core, full, and step semantics on \p Kind hardware
+/// under \p Sel and checks the three-way agreement obligations.
+void expectThreeWayAgreement(const Program &P, HwKind Kind,
+                             const PolicySelection &Sel) {
   CoreResult Core = runCore(P);
   ASSERT_FALSE(Core.HitStepLimit);
 
@@ -35,8 +60,14 @@ void expectThreeWayAgreement(const Program &P, HwKind Kind) {
 
   CostLedger FullLedger, StepLedger;
   InterpreterOptions FullOpts, StepOpts;
+  FullOpts.Mitigation = Sel;
+  StepOpts.Mitigation = Sel;
   FullOpts.Provenance = &FullLedger;
   StepOpts.Provenance = &StepLedger;
+  LeakAudit Online(P.lattice(), std::nullopt, Sel);
+  FullOpts.OnMitigateWindow = [&Online](const MitigateRecord &R) {
+    Online.onWindow(R);
+  };
 
   RunResult Full = runFull(P, *FullEnv, FullOpts);
   ASSERT_FALSE(Full.T.HitStepLimit);
@@ -76,6 +107,18 @@ void expectThreeWayAgreement(const Program &P, HwKind Kind) {
   EXPECT_EQ(FullLedger.toJson().dump(), StepLedger.toJson().dump());
   EXPECT_EQ(FullLedger.totalCycles(), Full.T.FinalTime)
       << "ledger must attribute every cycle";
+
+  // Online/offline agreement: replaying the finished trace through a
+  // fresh accountant must land on the same Sec. 6 bound, bit for bit,
+  // under whichever policy scheduled the run.
+  LeakAudit Offline(P.lattice(), std::nullopt, Sel);
+  Offline.ingest(Full.T);
+  EXPECT_EQ(Online.totalBitsBound(), Offline.totalBitsBound())
+      << Sel.base().spec() << " on " << hwKindName(Kind);
+  for (Label L : P.lattice().allLabels()) {
+    EXPECT_EQ(Online.account(L).Windows, Offline.account(L).Windows);
+    EXPECT_EQ(Online.account(L).BitsBound, Offline.account(L).BitsBound);
+  }
 }
 
 void fuzz(const SecurityLattice &Lat, HwKind Kind, uint64_t Seed,
@@ -89,7 +132,9 @@ void fuzz(const SecurityLattice &Lat, HwKind Kind, uint64_t Seed,
     if (!P)
       continue;
     ++Found;
-    expectThreeWayAgreement(*P, Kind);
+    PolicySelection Sel;
+    Sel.Default = &trialPolicy(Found);
+    expectThreeWayAgreement(*P, Kind, Sel);
   }
   EXPECT_GE(Found, Want / 2) << "random generator produced too few programs";
 }

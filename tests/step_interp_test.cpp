@@ -177,7 +177,7 @@ TEST(StepInterpreter, EventsTimedAtStepCompletion) {
 TEST(StepInterpreter, SharedMitigationState) {
   Program P = inferred("var h : H = 500;\nmitigate (1, H) { sleep(h) @[H,H] }");
   auto Env = createMachineEnv(HwKind::Partitioned, lh());
-  MitigationState Shared(lh(), fastDoublingScheme(), PenaltyPolicy::PerLevel);
+  MitigationState Shared(lh(), fastDoublingPolicy(), PenaltyPolicy::PerLevel);
   InterpreterOptions Opts;
   Opts.SharedMitState = &Shared;
   StepInterpreter S1(P, *Env, Opts);

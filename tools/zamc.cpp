@@ -19,6 +19,8 @@
 //                                      misses, padding and leakage bits
 //                                      charged to it, and each mitigate
 //                                      site with its window sub-account
+//   zamc policies                      list the registered mitigation
+//                                      policies with their parameter syntax
 //
 // Options:
 //   --levels L,M,H        use a total-order lattice with these level names
@@ -27,6 +29,13 @@
 //   --set var=value       override a variable's initial value (repeatable)
 //   --adversary LEVEL     adversary level for `leakage` and for projecting
 //                         exported traces (default: bottom / unprojected)
+//   --mitigation SPEC     prediction schedule for every mitigate window:
+//                         fast-doubling | linear | bucketed[:q=N] |
+//                         seeded:est=N (default: fast-doubling, the paper's)
+//   --mitigate-site E=SPEC  override the policy of mitigate site η=E only
+//                         (repeatable; other sites keep --mitigation)
+//   --recommend           with `profile`: suggest a per-site estimate and
+//                         schedule from the observed body-time distribution
 //   --no-equal-labels     drop the commodity er=ew side condition
 //   --threads N           worker threads for leakage/audit fan-out
 //                         (0 = auto via ZAM_THREADS / hardware)
@@ -45,7 +54,11 @@
 // Stats files and exported traces carry a provenance block (git hash,
 // compiler, build type, thread count); runs with telemetry also maintain
 // the online leakage accountant, so --stats includes the leak.* namespace
-// and traces include per-window leak_budget spans.
+// and traces include per-window leak_budget spans. A non-default
+// --mitigation/--mitigate-site selection is recorded in that provenance
+// ("mitigation", "mitigation_sites"), so tools/zamtrace prices the same
+// schedules offline; the default selection adds no keys and default
+// artifacts stay byte-identical.
 //
 //===----------------------------------------------------------------------===//
 
@@ -75,7 +88,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <algorithm>
 #include <fstream>
+#include <limits>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -108,8 +124,14 @@ struct Options {
   std::string StatsPath;    ///< Empty: render --stats to stdout.
   std::string TraceOutPath; ///< Empty: no trace export.
   TraceFormat TraceFmt = TraceFormat::Jsonl;
-  bool NoColor = false; ///< Force plain output regardless of the tty.
-  std::string BadArg;   ///< The offending argument when parsing failed.
+  bool NoColor = false;  ///< Force plain output regardless of the tty.
+  bool Recommend = false; ///< `profile`: emit per-site policy suggestions.
+  /// The run's mitigation-policy selection (--mitigation/--mitigate-site).
+  /// Parsed policies are owned here; Mitigation borrows them, so this
+  /// Options object must outlive every interpreter it configures.
+  std::vector<MitigationPolicyPtr> OwnedPolicies;
+  PolicySelection Mitigation;
+  std::string BadArg; ///< The offending argument when parsing failed.
 };
 
 /// Whether `profile` may colorize: an interactive stdout, no --no-color,
@@ -135,9 +157,11 @@ int usage(const std::string &BadArg = "") {
       "  [--levels L,M,H] [--hw nopar|nofill|partitioned]\n"
       "  [--set var=value]... [--vary var=v1,v2,...]\n"
       "  [--adversary LEVEL] [--no-equal-labels]\n"
-      "  [--threads N] [--json FILE]\n"
+      "  [--mitigation SPEC] [--mitigate-site ETA=SPEC]...\n"
+      "  [--recommend] [--threads N] [--json FILE]\n"
       "  [--stats[=FILE]] [--trace-out FILE]\n"
       "  [--trace-format jsonl|chrome] [--no-color]\n"
+      "   zamc policies   (list mitigation policies and parameter syntax)\n"
       "   zamc --version\n");
   return 2;
 }
@@ -267,6 +291,43 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.TraceOutPath = V;
     } else if (Arg == "--no-color") {
       Opts.NoColor = true;
+    } else if (Arg == "--recommend") {
+      Opts.Recommend = true;
+    } else if (Arg == "--mitigation" || Arg.rfind("--mitigation=", 0) == 0) {
+      const char *V = Arg == "--mitigation"
+                          ? Next()
+                          : Arg.c_str() + std::strlen("--mitigation=");
+      if (!V || !*V)
+        return false;
+      std::string Err;
+      MitigationPolicyPtr P = parseMitigationPolicy(V, &Err);
+      if (!P) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return false;
+      }
+      Opts.Mitigation.Default = P.get();
+      Opts.OwnedPolicies.push_back(std::move(P));
+    } else if (Arg == "--mitigate-site") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string Assign = V;
+      size_t Eq = Assign.find('=');
+      if (Eq == std::string::npos || Eq == 0)
+        return false;
+      char *End = nullptr;
+      unsigned long Eta = std::strtoul(Assign.c_str(), &End, 10);
+      if (End != Assign.c_str() + Eq)
+        return false;
+      std::string Err;
+      MitigationPolicyPtr P = parseMitigationPolicy(Assign.substr(Eq + 1),
+                                                    &Err);
+      if (!P) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return false;
+      }
+      Opts.Mitigation.overrideSite(static_cast<unsigned>(Eta), *P);
+      Opts.OwnedPolicies.push_back(std::move(P));
     } else if (Arg == "--trace-format") {
       const char *V = Next();
       if (!V)
@@ -299,7 +360,8 @@ bool emitStatsIfRequested(const Options &Opts, const MetricsRegistry &Reg) {
     return true;
   }
   JsonValue Doc = JsonValue::object();
-  Doc["meta"] = provenanceJson(resolveThreadCount(Opts.Threads));
+  Doc["meta"] =
+      provenanceJson(resolveThreadCount(Opts.Threads), Opts.Mitigation);
   Doc["metrics"] = Reg.toJson();
   Doc["phases"] = Phases.toJson();
   std::FILE *F = std::fopen(Opts.StatsPath.c_str(), "w");
@@ -327,8 +389,10 @@ bool emitTraceIfRequested(const Options &Opts, const Trace &T,
   if (AdvErr)
     return false;
   EOpts.Ledger = Ledger;
+  EOpts.Mitigation = Opts.Mitigation;
   std::unique_ptr<TraceSink> Sink = makeTraceSink(Opts.TraceFmt);
-  Sink->header(provenanceArgs(resolveThreadCount(Opts.Threads)));
+  Sink->header(
+      provenanceArgs(resolveThreadCount(Opts.Threads), Opts.Mitigation));
   size_t Emitted = exportTrace(*Sink, T, Lat, EOpts);
   const std::string &Text = Sink->finish();
   std::FILE *F = std::fopen(Opts.TraceOutPath.c_str(), "w");
@@ -385,8 +449,9 @@ int cmdRun(Program &P, const Options &Opts, bool Timeline) {
     return 1;
   // The online accountant: windows are priced as they settle, through the
   // interpreter hook — the same projection the trace exporter applies.
-  LeakAudit Audit(P.lattice(), Adv);
+  LeakAudit Audit(P.lattice(), Adv, Opts.Mitigation);
   InterpreterOptions IOpts;
+  IOpts.Mitigation = Opts.Mitigation;
   IOpts.RecordMisses = !Opts.TraceOutPath.empty();
   if (wantsTelemetry(Opts))
     IOpts.OnMitigateWindow = [&Audit](const MitigateRecord &R) {
@@ -515,6 +580,82 @@ bool checkLedgerConservation(const CostLedger &Ledger, const RunResult &R,
   return Ok;
 }
 
+/// One mitigate site's observed body-time distribution, for --recommend.
+struct SiteProfile {
+  uint32_t Line = 0;
+  int64_t Estimate = 0;
+  uint64_t Windows = 0;
+  uint64_t MinBody = UINT64_MAX;
+  uint64_t MaxBody = 0;
+};
+
+/// `zamc profile --recommend`: from the per-site body-time distributions,
+/// suggest the initial estimate and schedule a developer should configure.
+/// The heuristic mirrors the Pareto sweep's findings (bench/pareto_sweep):
+///   - near-constant bodies → a calibrated seeded schedule never doubles,
+///     so it pads least while keeping the doubling closed form;
+///   - moderate spread → bucketed:q=4 climbs in quarter-octaves, trading
+///     a little bound for most of linear's padding savings;
+///   - wide spread → fast-doubling, the paper's schedule, reaches any
+///     body in log steps and keeps the strongest log-shaped bound.
+/// The estimate is 1.1x the largest observed body (rounded up), so the
+/// first window of a rerun absorbs jitter without an immediate miss.
+void emitRecommendations(const Trace &T, const PolicySelection &Mitigation,
+                         JsonValue &Doc) {
+  std::map<unsigned, SiteProfile> Sites;
+  for (const MitigateRecord &R : T.Mitigations) {
+    SiteProfile &S = Sites[R.Eta];
+    S.Line = R.Line;
+    S.Estimate = R.Estimate;
+    ++S.Windows;
+    S.MinBody = std::min(S.MinBody, R.BodyTime);
+    S.MaxBody = std::max(S.MaxBody, R.BodyTime);
+  }
+  if (Sites.empty()) {
+    std::printf("\nno mitigate windows executed; nothing to recommend\n");
+    return;
+  }
+
+  std::printf("\nrecommended per-site mitigation (from this run's body"
+              " times):\n");
+  JsonValue Rows = JsonValue::array();
+  for (const auto &[Eta, S] : Sites) {
+    const uint64_t SuggestedEst =
+        std::max<uint64_t>(1, S.MaxBody + (S.MaxBody + 9) / 10);
+    const double Spread =
+        S.MinBody == 0 ? std::numeric_limits<double>::infinity()
+                       : static_cast<double>(S.MaxBody) /
+                             static_cast<double>(S.MinBody);
+    char Spec[64];
+    if (Spread <= 1.1)
+      std::snprintf(Spec, sizeof(Spec), "seeded:est=%" PRIu64, SuggestedEst);
+    else if (Spread <= 4.0)
+      std::snprintf(Spec, sizeof(Spec), "bucketed:q=4");
+    else
+      std::snprintf(Spec, sizeof(Spec), "fast-doubling");
+    std::printf("  mitigate #%u (line %u): bodies %" PRIu64 "..%" PRIu64
+                " over %" PRIu64 " window%s -> --mitigate-site %u=%s\n",
+                Eta, S.Line, S.MinBody == UINT64_MAX ? 0 : S.MinBody,
+                S.MaxBody, S.Windows, S.Windows == 1 ? "" : "s", Eta, Spec);
+    const MitigationPolicy &Cur = Mitigation.forSite(Eta);
+    if (Cur.spec() != Spec)
+      std::printf("    (currently %s; source estimate %" PRId64 ")\n",
+                  Cur.spec().c_str(), S.Estimate);
+
+    JsonValue Row = JsonValue::object();
+    Row["eta"] = JsonValue(static_cast<uint64_t>(Eta));
+    Row["line"] = JsonValue(static_cast<uint64_t>(S.Line));
+    Row["windows"] = JsonValue(S.Windows);
+    Row["body_min"] = JsonValue(S.MinBody == UINT64_MAX ? 0 : S.MinBody);
+    Row["body_max"] = JsonValue(S.MaxBody);
+    Row["estimate"] = JsonValue(SuggestedEst);
+    Row["policy"] = JsonValue(std::string(Spec));
+    Row["current_policy"] = JsonValue(Cur.spec());
+    Rows.push(std::move(Row));
+  }
+  Doc["recommendations"] = std::move(Rows);
+}
+
 int cmdProfile(Program &P, const Options &Opts, const std::string &Source) {
   if (int Rc = checkProgram(P, Opts, /*Verbose=*/false))
     return Rc;
@@ -528,8 +669,9 @@ int cmdProfile(Program &P, const Options &Opts, const std::string &Source) {
   // provenance sink, the audit prices windows online, and the windows'
   // bits are folded into the ledger after the run settles.
   CostLedger Ledger;
-  LeakAudit Audit(P.lattice(), Adv);
+  LeakAudit Audit(P.lattice(), Adv, Opts.Mitigation);
   InterpreterOptions IOpts;
+  IOpts.Mitigation = Opts.Mitigation;
   IOpts.Provenance = &Ledger;
   IOpts.RecordMisses = !Opts.TraceOutPath.empty();
   IOpts.OnMitigateWindow = [&Audit](const MitigateRecord &R) {
@@ -558,6 +700,10 @@ int cmdProfile(Program &P, const Options &Opts, const std::string &Source) {
               R.T.FinalTime, R.T.Steps, hwKindName(Opts.Hw),
               Audit.totalBitsBound());
 
+  JsonValue Doc = JsonValue::object();
+  if (Opts.Recommend)
+    emitRecommendations(R.T, Opts.Mitigation, Doc);
+
   if (Opts.Stats || !Opts.TraceOutPath.empty()) {
     MetricsRegistry Reg;
     collectRunMetrics(Reg, R.T, R.Hw, P.lattice());
@@ -568,7 +714,6 @@ int cmdProfile(Program &P, const Options &Opts, const std::string &Source) {
       return 1;
   }
 
-  JsonValue Doc = JsonValue::object();
   Doc["command"] = JsonValue("profile");
   Doc["file"] = JsonValue(Opts.File);
   Doc["hw"] = JsonValue(hwKindName(Opts.Hw));
@@ -617,16 +762,19 @@ int cmdLeakage(Program &P, const Options &Opts) {
   }
 
   auto Env = createMachineEnv(Opts.Hw, Lat);
-  LeakageResult R =
-      measureLeakage(P, *Env, Spec, InterpreterOptions(), Opts.Threads);
+  InterpreterOptions MOpts;
+  MOpts.Mitigation = Opts.Mitigation;
+  LeakageResult R = measureLeakage(P, *Env, Spec, MOpts, Opts.Threads);
 
   if (wantsTelemetry(Opts)) {
     // Counters and timeline of one representative run: the first secret
     // variation on a fresh environment.
     auto StatsEnv = createMachineEnv(Opts.Hw, Lat);
     bool AdvErr = false;
-    LeakAudit Audit(Lat, adversaryLabel(Opts, Lat, AdvErr));
+    LeakAudit Audit(Lat, adversaryLabel(Opts, Lat, AdvErr),
+                    Opts.Mitigation);
     InterpreterOptions IOpts;
+    IOpts.Mitigation = Opts.Mitigation;
     IOpts.RecordMisses = !Opts.TraceOutPath.empty();
     IOpts.OnMitigateWindow = [&Audit](const MitigateRecord &MR) {
       Audit.onWindow(MR);
@@ -694,8 +842,10 @@ int cmdAudit(Program &P, const Options &Opts) {
     // telemetry of record is one plain run of the program body.
     auto StatsEnv = createMachineEnv(Opts.Hw, Lat);
     bool AdvErr = false;
-    LeakAudit Audit(Lat, adversaryLabel(Opts, Lat, AdvErr));
+    LeakAudit Audit(Lat, adversaryLabel(Opts, Lat, AdvErr),
+                    Opts.Mitigation);
     InterpreterOptions IOpts;
+    IOpts.Mitigation = Opts.Mitigation;
     IOpts.RecordMisses = !Opts.TraceOutPath.empty();
     IOpts.OnMitigateWindow = [&Audit](const MitigateRecord &MR) {
       Audit.onWindow(MR);
@@ -801,6 +951,15 @@ int main(int Argc, char **Argv) {
     std::printf("%s\n", buildSummary().c_str());
     return 0;
   }
+  if (Argc == 2 && !std::strcmp(Argv[1], "policies")) {
+    std::printf("registered mitigation policies (--mitigation SPEC,"
+                " --mitigate-site ETA=SPEC):\n");
+    for (const MitigationPolicyInfo &Info : mitigationPolicyRegistry())
+      std::printf("  %-22s %s\n", Info.ParamSyntax, Info.Summary);
+    std::printf("the default is fast-doubling, the paper's Sec. 7"
+                " schedule.\n");
+    return 0;
+  }
 
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
@@ -839,7 +998,7 @@ int main(int Argc, char **Argv) {
   if (Opts.Command == "ir") {
     IrProgram IR = [&] {
       auto Scope = Phases.scope("lower");
-      return lowerProgram(*P);
+      return lowerProgram(*P, CostModel(), Opts.Mitigation);
     }();
     std::printf("%s", printIr(IR, P->lattice()).c_str());
     return 0;

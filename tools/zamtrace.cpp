@@ -14,9 +14,13 @@
 ///   * a mitigation overhead attribution (consumed vs padded cycles, per
 ///     window and aggregate, with mispredicted windows called out), and
 ///   * an offline recomputation of the Sec. 6 leakage bound from the
-///     `leak_budget` spans. With `--stats <file>` the recomputed figures
-///     are cross-checked bit-for-bit against the online `leak.*` metrics
-///     the run exported; any drift is a hard error (exit 1), and
+///     `leak_budget` spans. The recompute is priced by the mitigation
+///     policy the producer recorded — the meta "mitigation" /
+///     "mitigation_sites" keys plus any per-span "policy" args (absent
+///     keys mean the paper's fast-doubling), so every registered schedule
+///     round-trips bit for bit. With `--stats <file>` the recomputed
+///     figures are cross-checked bit-for-bit against the online `leak.*`
+///     metrics the run exported; any drift is a hard error (exit 1), and
 ///   * with `--by-line`, the source-attribution profile: per-line windows,
 ///     padding, leakage bits and sampled misses are rebuilt from the event
 ///     stream alone (mitigate spans, leak_budget spans, dmiss/imiss
@@ -28,7 +32,10 @@
 ///     never sampled), so the embedded rows are the ground truth for them.
 ///
 /// `zamtrace diff A B` compares two runs (traces or stats/report JSON
-/// documents) and exits nonzero when B regresses beyond budget:
+/// documents). It first demands that both sides recorded the same
+/// mitigation-policy selection — a bound that moved because the schedule
+/// changed is not a regression signal, so a mismatch is its own loud
+/// failure (exit 1) — then exits nonzero when B regresses beyond budget:
 /// `--budget-bits X` allows the total leakage bound to grow by at most X
 /// bits (default 0), `--budget-pct P` additionally caps the relative
 /// growth of mitigation overhead (mit.padded_idle_cycles,
@@ -43,6 +50,7 @@
 
 #include "obs/Json.h"
 #include "obs/LeakAudit.h"
+#include "sem/Mitigation.h"
 #include "support/BuildInfo.h"
 
 #include <cmath>
@@ -255,7 +263,104 @@ struct SiteRebuild {
   double EmbLeakBits = 0;
 };
 
+/// The mitigation-policy selection a trace recorded: the meta
+/// "mitigation"/"mitigation_sites" keys plus any per-span "policy" args.
+/// Owns every parsed policy for the analysis' lifetime; absent keys
+/// resolve to the paper's fast-doubling, so pre-policy traces and
+/// default-run traces price identically.
+struct PolicyResolver {
+  std::vector<MitigationPolicyPtr> Owned;
+  std::map<std::string, const MitigationPolicy *> BySpec;
+  PolicySelection Sel;
+
+  /// Parses \p Spec once and caches it, so repeated per-span "policy"
+  /// args don't re-parse.
+  const MitigationPolicy *intern(const std::string &Spec, std::string *Err) {
+    auto It = BySpec.find(Spec);
+    if (It != BySpec.end())
+      return It->second;
+    MitigationPolicyPtr P = parseMitigationPolicy(Spec, Err);
+    if (!P)
+      return nullptr;
+    const MitigationPolicy *Raw = P.get();
+    Owned.push_back(std::move(P));
+    BySpec.emplace(Spec, Raw);
+    return Raw;
+  }
+
+  /// Loads the run-wide selection from a trace/stats meta block.
+  bool loadMeta(const JsonValue &Meta) {
+    std::string Err;
+    const std::string Def = strField(Meta, "mitigation");
+    if (!Def.empty()) {
+      const MitigationPolicy *P = intern(Def, &Err);
+      if (!P) {
+        std::fprintf(stderr, "error: trace meta 'mitigation': %s\n",
+                     Err.c_str());
+        return false;
+      }
+      Sel.Default = P;
+    }
+    const std::string Sites = strField(Meta, "mitigation_sites");
+    size_t Pos = 0;
+    while (Pos < Sites.size()) {
+      const size_t Comma = Sites.find(',', Pos);
+      const std::string Item =
+          Sites.substr(Pos, Comma == std::string::npos ? std::string::npos
+                                                       : Comma - Pos);
+      Pos = Comma == std::string::npos ? Sites.size() : Comma + 1;
+      const size_t Eq = Item.find('=');
+      char *End = nullptr;
+      const unsigned long Eta =
+          Eq == std::string::npos ? 0 : std::strtoul(Item.c_str(), &End, 10);
+      if (Eq == std::string::npos || End != Item.c_str() + Eq) {
+        std::fprintf(stderr,
+                     "error: trace meta 'mitigation_sites' entry '%s' is "
+                     "not ETA=SPEC\n",
+                     Item.c_str());
+        return false;
+      }
+      const MitigationPolicy *P = intern(Item.substr(Eq + 1), &Err);
+      if (!P) {
+        std::fprintf(stderr, "error: trace meta 'mitigation_sites': %s\n",
+                     Err.c_str());
+        return false;
+      }
+      Sel.overrideSite(static_cast<unsigned>(Eta), *P);
+    }
+    return true;
+  }
+
+  /// The policy pricing one leak span: its own "policy" arg wins, then
+  /// the meta selection (per-site override, then run default, then
+  /// fast-doubling).
+  const MitigationPolicy *resolve(const std::string &SpanPolicy,
+                                  uint64_t Eta, std::string *Err) {
+    if (!SpanPolicy.empty())
+      return intern(SpanPolicy, Err);
+    return &Sel.forSite(static_cast<unsigned>(Eta));
+  }
+
+  /// One-line description for reports and the diff gate.
+  std::string description() const {
+    std::string Out = Sel.base().spec();
+    if (!Sel.PerSite.empty()) {
+      Out += " [";
+      bool First = true;
+      for (const auto &[Eta, P] : Sel.PerSite) {
+        if (!First)
+          Out += ",";
+        First = false;
+        Out += std::to_string(Eta) + "=" + P->spec();
+      }
+      Out += "]";
+    }
+    return Out;
+  }
+};
+
 struct Analysis {
+  PolicyResolver Policies;
   std::vector<WindowCost> Windows;
   std::map<uint64_t, uint64_t> DurationHistogram;
   uint64_t TotalCycles = 0;
@@ -294,6 +399,8 @@ LevelRecompute &levelAccount(Analysis &A, const std::string &Name) {
 /// checked against the online figures the producer embedded in the span
 /// args. \returns false (after a diagnostic) on any drift.
 bool analyzeTrace(const LoadedInput &In, Analysis &A) {
+  if (!A.Policies.loadMeta(In.Meta))
+    return false;
   for (const TraceRec &R : In.Records) {
     if (R.Kind == "instant") {
       if (R.Cat == "hw") {
@@ -374,9 +481,17 @@ bool analyzeTrace(const LoadedInput &In, Analysis &A) {
         return false;
       }
       const uint64_t Completed = R.Ts + R.Dur;
+      std::string PErr;
+      const MitigationPolicy *Pol = A.Policies.resolve(
+          strField(R.Args, "policy"), etaOfName(R.Name), &PErr);
+      if (!Pol) {
+        std::fprintf(stderr, "error: leak span '%s' policy arg: %s\n",
+                     R.Name.c_str(), PErr.c_str());
+        return false;
+      }
       const uint64_t WantAttainable =
-          attainableScheduleValues(Estimate, Completed);
-      const double WantBits = windowBoundBits(Estimate, Completed);
+          Pol->attainableValues(Estimate, Completed);
+      const double WantBits = Pol->windowBoundBits(Estimate, Completed);
       if (Attainable != WantAttainable || Bits->asNumber() != WantBits) {
         std::fprintf(stderr,
                      "error: leak span '%s' drifted from the bound core: "
@@ -756,7 +871,8 @@ void printReport(const LoadedInput &In, const Analysis &A) {
               static_cast<unsigned long long>(A.MispredictedWindows),
               static_cast<unsigned long long>(A.MispredictedCycles));
 
-  std::printf("\noffline leakage bound (Sec. 6, fast-doubling):\n");
+  std::printf("\noffline leakage bound (Sec. 6, %s):\n",
+              A.Policies.description().c_str());
   double Total = 0;
   for (const auto &[Name, Acc] : A.Levels) {
     std::printf("  level %-6s windows=%llu bits_bound=%s "
@@ -780,10 +896,19 @@ void printReport(const LoadedInput &In, const Analysis &A) {
 /// recomputed leak.* and mit.* figures, so `diff base.trace new.trace`
 /// works without a stats side-channel.
 std::optional<std::vector<std::pair<std::string, double>>>
-loadComparable(const std::string &Path) {
+loadComparable(const std::string &Path, std::string &PolicyDesc) {
   std::optional<LoadedInput> In = loadInput(Path);
   if (!In)
     return std::nullopt;
+  // Both input shapes record the selection the same way (absent keys are
+  // the fast-doubling default), so a trace diffs cleanly against a stats
+  // baseline of the same run.
+  PolicyDesc = strField(In->Meta, "mitigation");
+  if (PolicyDesc.empty())
+    PolicyDesc = "fast-doubling";
+  const std::string Sites = strField(In->Meta, "mitigation_sites");
+  if (!Sites.empty())
+    PolicyDesc += " [" + Sites + "]";
   std::vector<std::pair<std::string, double>> Out;
   if (!In->IsTrace) {
     for (const auto &[Key, Val] : In->Metrics.members())
@@ -838,7 +963,8 @@ int usage() {
       "       zamtrace --version\n"
       "\n"
       "report: histogram, overhead attribution and offline leakage bound\n"
-      "        for a JSONL or Chrome trace; --stats cross-checks the\n"
+      "        for a JSONL or Chrome trace, priced by the mitigation\n"
+      "        policy the trace recorded; --stats cross-checks the\n"
       "        recomputed bound bit-for-bit against the run's leak.*\n"
       "        metrics (mismatch exits 1). --by-line rebuilds the per-line\n"
       "        source profile from the event stream and verifies it against\n"
@@ -846,7 +972,8 @@ int usage() {
       "        them against a `zamc profile --json` ledger document.\n"
       "diff:   compares two runs (traces or --stats/--json documents) and\n"
       "        exits 1 when the candidate exceeds the leakage or overhead\n"
-      "        budget. Only the metrics object is compared.\n");
+      "        budget, or when the two sides recorded different mitigation\n"
+      "        policies. Only the metrics object is compared.\n");
   return 2;
 }
 
@@ -972,10 +1099,26 @@ int cmdDiff(int Argc, char **Argv) {
   if (BasePath.empty() || CandPath.empty())
     return usage();
 
-  auto Base = loadComparable(BasePath);
-  auto Cand = loadComparable(CandPath);
+  std::string BasePolicy, CandPolicy;
+  auto Base = loadComparable(BasePath, BasePolicy);
+  auto Cand = loadComparable(CandPath, CandPolicy);
   if (!Base || !Cand)
     return 2;
+
+  // A bound that moved because the candidate ran a different prediction
+  // schedule is not a regression signal — refuse the comparison outright
+  // rather than report a meaningless delta.
+  if (BasePolicy != CandPolicy) {
+    std::fprintf(stderr,
+                 "error: mitigation-policy mismatch: '%s' recorded '%s' "
+                 "but '%s' recorded '%s'; rerun the candidate under the "
+                 "baseline's --mitigation before diffing\n",
+                 BasePath.c_str(), BasePolicy.c_str(), CandPath.c_str(),
+                 CandPolicy.c_str());
+    return 1;
+  }
+  if (BasePolicy != "fast-doubling")
+    std::printf("mitigation policy: %s (both sides)\n", BasePolicy.c_str());
 
   JsonValue Deltas = JsonValue::object();
   std::vector<std::string> Violations;
