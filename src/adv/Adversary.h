@@ -1,0 +1,104 @@
+//===- Adversary.h - Secret sampler / observation collector -----*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sampling half of the empirical adversary: run N executions of a
+/// program with secrets drawn from named classes, and record for each run
+/// exactly what a Sec. 6.1 adversary at level ℓA can see — the end-to-end
+/// time and the durations of the ℓA-counted mitigate windows — plus the
+/// run's own analytic leakage bound for the empirical-vs-analytic
+/// cross-check.
+///
+/// Determinism contract: sample i always executes with Rng(mix(Seed, i))
+/// and classes are assigned round-robin (i mod K), so the observation
+/// vector is a pure function of (program, hw design, classes, samples,
+/// seed). Execution fans out over exp::ParallelRunner, which returns
+/// results in submission order — the bag is byte-identical at any thread
+/// count, and downstream detector sums consume it in that fixed order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_ADV_ADVERSARY_H
+#define ZAM_ADV_ADVERSARY_H
+
+#include "adv/LeakDetector.h"
+#include "exp/ParallelRunner.h"
+#include "hw/MachineEnv.h"
+#include "lang/Ast.h"
+#include "obs/TraceSink.h"
+#include "sem/FullInterpreter.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zam {
+
+/// How to draw one secret class's inputs before a sample runs. All three
+/// mechanisms compose: Fixed stores land first, then Ranges (drawn from
+/// the sample's Rng in declaration order), then the Prepare hook.
+struct SecretClassSpec {
+  struct Range {
+    std::string Var;
+    int64_t Lo = 0;
+    int64_t Hi = 0; ///< Inclusive.
+  };
+
+  std::string Name;
+  /// var := value, the same every sample of this class.
+  std::vector<std::pair<std::string, int64_t>> Fixed;
+  /// var := uniform draw from [Lo, Hi] per sample.
+  std::vector<Range> Ranges;
+  /// Arbitrary C++ preparation (bench workloads: login requests, RSA
+  /// ciphertexts). Must be thread-safe and draw randomness only from the
+  /// supplied Rng.
+  std::function<void(Memory &, Rng &)> Prepare;
+};
+
+/// Knobs for one attack experiment.
+struct AttackOptions {
+  unsigned Samples = 256; ///< Total, spread round-robin over the classes.
+  uint64_t Seed = 0x5EED; ///< Base seed; sample i runs with mix(Seed, i).
+  /// Sec. 6.1 adversary level for window counting and the analytic bound;
+  /// nullopt is the conservative any-observer account.
+  std::optional<Label> Adversary;
+};
+
+/// The per-sample seed: a splitmix-style mix so consecutive indices land
+/// in unrelated Rng streams. Exposed so offline tooling can restate which
+/// stream a sample used.
+inline uint64_t sampleSeed(uint64_t Seed, size_t Index) {
+  return Seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(Index) + 1));
+}
+
+/// Runs Opts.Samples executions of \p P (sample i: class i mod K) on
+/// clones of \p EnvTemplate under \p IOpts, fanning out over \p Runner.
+/// Each observation carries the adversary-projected window durations and
+/// the run's analytic bound from a per-run LeakAudit replay. Aborts on an
+/// unknown Fixed/Ranges variable (callers validate for graceful errors).
+std::vector<Observation>
+collectObservations(const Program &P, const MachineEnv &EnvTemplate,
+                    const std::vector<SecretClassSpec> &Classes,
+                    const AttackOptions &Opts, const InterpreterOptions &IOpts,
+                    const ParallelRunner &Runner);
+
+/// Serializes \p Obs through \p Sink as cat "adv" instant records, one per
+/// sample in bag order, Ts = sample index (trace time axes must be
+/// nondecreasing; the real timing rides in the args). Args: class,
+/// class_index, end_to_end, windows ("a,b,c"), bound_bits (shortest
+/// round-trip decimal, so offline recomputation is bit-for-bit). Returns
+/// the record count.
+size_t exportObservations(TraceSink &Sink, const std::vector<Observation> &Obs,
+                          const std::vector<std::string> &ClassNames);
+
+} // namespace zam
+
+#endif // ZAM_ADV_ADVERSARY_H

@@ -1,0 +1,292 @@
+//===- LeakDetector.cpp - Statistical timing-leak detector ----------------===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adv/LeakDetector.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace zam;
+
+double zam::advLgamma(double X) {
+  // Lanczos approximation, g = 7 with 9 coefficients (Godfrey's classic
+  // set). Only +,*,log are used, so the result is reproducible wherever
+  // glibc's log is correctly rounded. Callers never need the reflection
+  // branch: every argument is a half-integer >= 0.5.
+  assert(X >= 0.5 && "advLgamma: argument below the supported range");
+  static const double Coef[9] = {
+      0.99999999999980993,     676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,      -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012,    9.9843695780195716e-6, 1.5056327351493116e-7};
+  const double Z = X - 1.0;
+  double Sum = Coef[0];
+  for (int I = 1; I < 9; ++I)
+    Sum += Coef[I] / (Z + I);
+  const double T = Z + 7.5;
+  // 0.5 * ln(2*pi)
+  const double HalfLog2Pi = 0.91893853320467274178;
+  return HalfLog2Pi + (Z + 0.5) * std::log(T) - T + std::log(Sum);
+}
+
+namespace {
+
+/// The continued fraction for the incomplete beta function (modified
+/// Lentz's method). Converges in a handful of iterations for the
+/// detector's arguments; the iteration cap is a safety net.
+double betaContinuedFraction(double A, double B, double X) {
+  const double Eps = 3e-16;
+  const double FpMin = 1e-300;
+  const double Qab = A + B;
+  const double Qap = A + 1.0;
+  const double Qam = A - 1.0;
+  double C = 1.0;
+  double D = 1.0 - Qab * X / Qap;
+  if (std::fabs(D) < FpMin)
+    D = FpMin;
+  D = 1.0 / D;
+  double H = D;
+  for (int M = 1; M <= 300; ++M) {
+    const int M2 = 2 * M;
+    double Aa = M * (B - M) * X / ((Qam + M2) * (A + M2));
+    D = 1.0 + Aa * D;
+    if (std::fabs(D) < FpMin)
+      D = FpMin;
+    C = 1.0 + Aa / C;
+    if (std::fabs(C) < FpMin)
+      C = FpMin;
+    D = 1.0 / D;
+    H *= D * C;
+    Aa = -(A + M) * (Qab + M) * X / ((A + M2) * (Qap + M2));
+    D = 1.0 + Aa * D;
+    if (std::fabs(D) < FpMin)
+      D = FpMin;
+    C = 1.0 + Aa / C;
+    if (std::fabs(C) < FpMin)
+      C = FpMin;
+    D = 1.0 / D;
+    const double Del = D * C;
+    H *= Del;
+    if (std::fabs(Del - 1.0) <= Eps)
+      break;
+  }
+  return H;
+}
+
+constexpr double kLn10 = 2.30258509299404568402;
+
+} // namespace
+
+double zam::regularizedIncompleteBetaLog10(double A, double B, double X) {
+  assert(A >= 0.5 && B >= 0.5 && X >= 0.0 && X <= 1.0);
+  if (X <= 0.0)
+    return -HUGE_VAL; // log10(0); callers clamp.
+  if (X >= 1.0)
+    return 0.0; // log10(1)
+  // ln of the prefactor x^a (1-x)^b / (a B(a,b)) without forming it, so a
+  // far tail keeps its exponent instead of underflowing.
+  const double LnBt = advLgamma(A + B) - advLgamma(A) - advLgamma(B) +
+                      A * std::log(X) + B * std::log(1.0 - X);
+  if (X < (A + 1.0) / (A + B + 2.0))
+    return (LnBt + std::log(betaContinuedFraction(A, B, X) / A)) / kLn10;
+  // Symmetric branch: I_x(a,b) = 1 - I_{1-x}(b,a). Here I_x is not tiny,
+  // so the direct subtraction is safe.
+  const double Tail =
+      std::exp(LnBt) * betaContinuedFraction(B, A, 1.0 - X) / B;
+  return std::log(1.0 - Tail) / kLn10;
+}
+
+double zam::welchPValueLog10(double T, double Df) {
+  if (Df <= 0)
+    return 0.0;
+  // Two-sided p = I_x(df/2, 1/2) with x = df / (df + t^2).
+  const double X = Df / (Df + T * T);
+  const double L = regularizedIncompleteBetaLog10(Df / 2.0, 0.5, X);
+  if (!(L > kDegeneratePValueLog10)) // also catches -inf / NaN
+    return kDegeneratePValueLog10;
+  return L < 0.0 ? L : 0.0;
+}
+
+DetectorResult zam::detectLeak(const std::vector<Observation> &Obs,
+                               const std::vector<std::string> &ClassNames,
+                               double PValueLog10Threshold) {
+  const size_t K = ClassNames.size();
+  if (K < 2) {
+    std::fprintf(stderr, "detectLeak: need at least two secret classes\n");
+    std::abort();
+  }
+
+  DetectorResult R;
+  R.Samples = Obs.size();
+  R.Classes.resize(K);
+  for (size_t C = 0; C < K; ++C)
+    R.Classes[C].Name = ClassNames[C];
+
+  // Per-class sums in observation order (the collector's submission
+  // order), so the floating-point results are byte-stable.
+  std::vector<double> Sum(K, 0.0);
+  for (const Observation &O : Obs) {
+    if (O.ClassIndex >= K) {
+      std::fprintf(stderr, "detectLeak: class index %u out of range\n",
+                   O.ClassIndex);
+      std::abort();
+    }
+    ClassSummary &S = R.Classes[O.ClassIndex];
+    if (S.Count == 0) {
+      S.Min = S.Max = O.EndToEnd;
+    } else {
+      S.Min = std::min(S.Min, O.EndToEnd);
+      S.Max = std::max(S.Max, O.EndToEnd);
+    }
+    ++S.Count;
+    Sum[O.ClassIndex] += static_cast<double>(O.EndToEnd);
+    if (O.BoundBits > R.AnalyticBoundBits)
+      R.AnalyticBoundBits = O.BoundBits;
+  }
+  for (size_t C = 0; C < K; ++C)
+    if (R.Classes[C].Count > 0)
+      R.Classes[C].Mean = Sum[C] / static_cast<double>(R.Classes[C].Count);
+  // Second pass for the (n-1) variances, again in observation order.
+  std::vector<double> SqSum(K, 0.0);
+  for (const Observation &O : Obs) {
+    const double D =
+        static_cast<double>(O.EndToEnd) - R.Classes[O.ClassIndex].Mean;
+    SqSum[O.ClassIndex] += D * D;
+  }
+  for (size_t C = 0; C < K; ++C)
+    if (R.Classes[C].Count > 1)
+      R.Classes[C].Variance =
+          SqSum[C] / static_cast<double>(R.Classes[C].Count - 1);
+
+  // Welch's t over every class pair; keep the first pair of maximal |t|.
+  // Degenerate zero-variance pairs get the documented sentinels.
+  auto WelchPair = [&](size_t A, size_t B, double &T, double &Df,
+                       double &D) -> bool {
+    const ClassSummary &Sa = R.Classes[A];
+    const ClassSummary &Sb = R.Classes[B];
+    if (Sa.Count < 2 || Sb.Count < 2)
+      return false;
+    const double Na = static_cast<double>(Sa.Count);
+    const double Nb = static_cast<double>(Sb.Count);
+    const double Va = Sa.Variance / Na;
+    const double Vb = Sb.Variance / Nb;
+    const double Diff = Sa.Mean - Sb.Mean;
+    const double Pooled =
+        std::sqrt(((Na - 1.0) * Sa.Variance + (Nb - 1.0) * Sb.Variance) /
+                  (Na + Nb - 2.0));
+    if (Va + Vb == 0.0) {
+      if (Diff == 0.0) {
+        T = 0.0;
+        Df = Na + Nb - 2.0;
+        D = 0.0;
+      } else {
+        // Two disjoint constants: perfect separation.
+        T = Diff > 0 ? kDegenerateTStat : -kDegenerateTStat;
+        Df = Na + Nb - 2.0;
+        D = T;
+      }
+      return true;
+    }
+    T = Diff / std::sqrt(Va + Vb);
+    Df = (Va + Vb) * (Va + Vb) /
+         (Va * Va / (Na - 1.0) + Vb * Vb / (Nb - 1.0));
+    D = Pooled > 0.0 ? Diff / Pooled : (Diff > 0    ? kDegenerateTStat
+                                        : Diff < 0 ? -kDegenerateTStat
+                                                   : 0.0);
+    return true;
+  };
+  bool HavePair = false;
+  for (size_t A = 0; A < K; ++A) {
+    for (size_t B = A + 1; B < K; ++B) {
+      double T, Df, D;
+      if (!WelchPair(A, B, T, Df, D))
+        continue;
+      if (!HavePair || std::fabs(T) > std::fabs(R.TStat)) {
+        HavePair = true;
+        R.PairA = static_cast<unsigned>(A);
+        R.PairB = static_cast<unsigned>(B);
+        R.TStat = T;
+        R.Df = Df;
+        R.CohensD = D;
+      }
+    }
+  }
+  if (HavePair) {
+    R.PValueLog10 = std::fabs(R.TStat) >= kDegenerateTStat
+                        ? kDegeneratePValueLog10
+                        : welchPValueLog10(R.TStat, R.Df);
+  }
+
+  // Plug-in mutual information over the exact discrete cycle counts.
+  // std::map iteration gives a fixed (class, value) summation order.
+  std::map<uint64_t, uint64_t> ValueCounts;
+  std::map<std::pair<uint32_t, uint64_t>, uint64_t> JointCounts;
+  for (const Observation &O : Obs) {
+    ++ValueCounts[O.EndToEnd];
+    ++JointCounts[{O.ClassIndex, O.EndToEnd}];
+  }
+  R.DistinctTimings = ValueCounts.size();
+  const double N = static_cast<double>(Obs.size());
+  double Mi = 0.0;
+  if (!Obs.empty()) {
+    for (const auto &[Key, Ncv] : JointCounts) {
+      const double Nc = static_cast<double>(R.Classes[Key.first].Count);
+      const double Nv = static_cast<double>(ValueCounts.at(Key.second));
+      const double Joint = static_cast<double>(Ncv);
+      Mi += (Joint / N) * std::log2(Joint * N / (Nc * Nv));
+    }
+  }
+  R.MiPluginBits = Mi;
+  // Miller–Madow: apply the (m-1)/(2N) entropy bias correction to each of
+  // H(T), H(C), H(T,C); in bits the net correction on I is
+  // (K_T + K_C - K_joint - 1) / (2 N ln 2). Clamp to [0, H(C)]: mutual
+  // information cannot exceed the class entropy, and the plug-in class
+  // entropy is the natural deterministic cap.
+  size_t NonemptyClasses = 0;
+  double ClassEntropy = 0.0;
+  for (const ClassSummary &S : R.Classes) {
+    if (S.Count == 0)
+      continue;
+    ++NonemptyClasses;
+    const double P = static_cast<double>(S.Count) / N;
+    ClassEntropy -= P * std::log2(P);
+  }
+  if (!Obs.empty()) {
+    const double Ln2 = 0.69314718055994530942;
+    const double Corr =
+        (static_cast<double>(R.DistinctTimings) +
+         static_cast<double>(NonemptyClasses) -
+         static_cast<double>(JointCounts.size()) - 1.0) /
+        (2.0 * N * Ln2);
+    Mi += Corr;
+  }
+  if (Mi < 0.0)
+    Mi = 0.0;
+  if (Mi > ClassEntropy)
+    Mi = ClassEntropy;
+  R.MiBits = Mi;
+
+  R.LeakDetected = HavePair && R.PValueLog10 <= PValueLog10Threshold;
+  return R;
+}
+
+void zam::exportDetectorMetrics(MetricsRegistry &Reg, const DetectorResult &R,
+                                const std::string &Prefix) {
+  const std::string P = Prefix + "adv.";
+  Reg.setCounter(P + "samples", R.Samples);
+  Reg.setCounter(P + "classes", R.Classes.size());
+  Reg.setCounter(P + "distinct_timings", R.DistinctTimings);
+  Reg.setGauge(P + "t_stat", R.TStat);
+  Reg.setGauge(P + "cohens_d", R.CohensD);
+  Reg.setGauge(P + "p_value_log10", R.PValueLog10);
+  Reg.setGauge(P + "mi_bits", R.MiBits);
+  Reg.setGauge(P + "mi_plugin_bits", R.MiPluginBits);
+  Reg.setGauge(P + "analytic_bound_bits", R.AnalyticBoundBits);
+  Reg.setGauge(P + "verdict", R.LeakDetected ? 1.0 : 0.0);
+}

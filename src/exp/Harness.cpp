@@ -26,6 +26,21 @@ HarnessOptions zam::parseHarnessArgs(int Argc, char **Argv) {
       Opts.JsonPath = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--trace-out") && I + 1 < Argc) {
       Opts.TraceOutPath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--seed") && I + 1 < Argc) {
+      char *End = nullptr;
+      Opts.Seed = std::strtoull(Argv[++I], &End, 0);
+      if (End == Argv[I] || *End != '\0') {
+        Opts.Ok = false;
+        return Opts;
+      }
+    } else if (!std::strcmp(Argv[I], "--samples") && I + 1 < Argc) {
+      char *End = nullptr;
+      unsigned long V = std::strtoul(Argv[++I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || V < 1 || V > 10000000) {
+        Opts.Ok = false;
+        return Opts;
+      }
+      Opts.Samples = static_cast<unsigned>(V);
     } else if (!std::strcmp(Argv[I], "--trace-format") && I + 1 < Argc) {
       Opts.TraceFormatName = Argv[++I];
       if (!parseTraceFormat(Opts.TraceFormatName)) {
@@ -39,7 +54,8 @@ HarnessOptions zam::parseHarnessArgs(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "unknown argument '%s'; expected [--threads N] "
                    "[--json FILE] [--trace-out FILE] "
-                   "[--trace-format jsonl|chrome]\n",
+                   "[--trace-format jsonl|chrome] [--seed S] "
+                   "[--samples N]\n",
                    Argv[I]);
       Opts.Ok = false;
       return Opts;

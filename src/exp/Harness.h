@@ -11,8 +11,13 @@
 /// as machine-readable JSON next to the human-readable tables) and
 /// `--trace-out <file>` / `--trace-format jsonl|chrome` (export the
 /// bench's representative run as a telemetry trace with a provenance
-/// header). Emitted reports carry a `meta` provenance block
-/// (obs/Telemetry.h provenanceJson).
+/// header). Benches that sample randomized inputs also honour
+/// `--seed S` (base Rng seed; 0 keeps the bench default) and
+/// `--samples N` (per-cell sample budget; 0 keeps the bench default) so
+/// that report content is a pure function of (program, seed, samples)
+/// and byte-identical at any `--threads` / ZAM_THREADS setting. Emitted
+/// reports carry a `meta` provenance block (obs/Telemetry.h
+/// provenanceJson).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +27,7 @@
 #include "exp/Report.h"
 #include "sem/Event.h"
 
+#include <cstdint>
 #include <string>
 
 namespace zam {
@@ -34,12 +40,15 @@ struct HarnessOptions {
   std::string JsonPath;        ///< Empty: no JSON output.
   std::string TraceOutPath;    ///< Empty: no trace export.
   std::string TraceFormatName = "jsonl"; ///< "jsonl" or "chrome".
+  uint64_t Seed = 0;           ///< --seed: base Rng seed (0 = bench default).
+  unsigned Samples = 0;        ///< --samples: sample budget (0 = default).
   bool Ok = true;              ///< False on malformed arguments.
 };
 
-/// Parses `--threads N`, `--json FILE`, `--trace-out FILE` and
-/// `--trace-format jsonl|chrome` from a bench's argv; unknown arguments
-/// set Ok = false (benches exit 2 with a usage line).
+/// Parses `--threads N`, `--json FILE`, `--trace-out FILE`,
+/// `--trace-format jsonl|chrome`, `--seed S` and `--samples N` from a
+/// bench's argv; unknown arguments set Ok = false (benches exit 2 with a
+/// usage line).
 HarnessOptions parseHarnessArgs(int Argc, char **Argv);
 
 /// Writes \p R to Opts.JsonPath when requested, with the provenance `meta`

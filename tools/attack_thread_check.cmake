@@ -1,0 +1,26 @@
+# Runs `zamc attack --json` at 1, 2 and 8 threads and fails unless the
+# three reports are byte-identical — the determinism contract of the
+# empirical adversary (OBSERVABILITY.md): observations are reduced in
+# submission order, so the thread count must never show in the output.
+foreach(T 1 2 8)
+  execute_process(
+    COMMAND ${ZAMC} attack ${PROGRAM}
+            --class low:h=1..60 --class high:h=600..700
+            --samples 24 --seed 42 --threads ${T}
+            --json ${OUT}.t${T}.json
+    RESULT_VARIABLE RC
+    OUTPUT_QUIET)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "zamc attack --threads ${T} failed (exit ${RC})")
+  endif()
+endforeach()
+foreach(T 2 8)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}.t1.json ${OUT}.t${T}.json
+    RESULT_VARIABLE DIFF)
+  if(NOT DIFF EQUAL 0)
+    message(FATAL_ERROR
+            "attack --json differs between --threads 1 and --threads ${T}")
+  endif()
+endforeach()
+message(STATUS "attack --json byte-identical at 1/2/8 threads")

@@ -19,6 +19,14 @@
 //                                      misses, padding and leakage bits
 //                                      charged to it, and each mitigate
 //                                      site with its window sub-account
+//   zamc attack <file.zam> --class NAME:var=V|var=LO..HI[,...] ... [options]
+//                                      run the empirical adversary: sample
+//                                      secrets from two or more named
+//                                      classes, measure the adversary-
+//                                      visible timings over --samples seeded
+//                                      runs, and report Welch's t / Cohen's
+//                                      d / mutual information next to the
+//                                      analytic Sec. 6 bound (adv.* metrics)
 //   zamc policies                      list the registered mitigation
 //                                      policies with their parameter syntax
 //
@@ -37,8 +45,13 @@
 //   --recommend           with `profile`: suggest a per-site estimate and
 //                         schedule from the observed body-time distribution
 //   --no-equal-labels     drop the commodity er=ew side condition
-//   --threads N           worker threads for leakage/audit fan-out
+//   --threads N           worker threads for leakage/audit/attack fan-out
 //                         (0 = auto via ZAM_THREADS / hardware)
+//   --seed S              base Rng seed for the sampled commands (attack,
+//                         audit); results are a pure function of the seed,
+//                         independent of --threads/ZAM_THREADS
+//   --samples N           attack: total sampled executions, spread
+//                         round-robin over the classes (default 256)
 //   --json FILE           also write the result as machine-readable JSON
 //   --stats[=FILE]        print run counters and phase timings; with =FILE,
 //                         write them as JSON instead
@@ -62,6 +75,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "adv/Adversary.h"
 #include "analysis/Leakage.h"
 #include "analysis/PropertyCheckers.h"
 #include "analysis/RandomProgram.h"
@@ -126,6 +140,10 @@ struct Options {
   TraceFormat TraceFmt = TraceFormat::Jsonl;
   bool NoColor = false;  ///< Force plain output regardless of the tty.
   bool Recommend = false; ///< `profile`: emit per-site policy suggestions.
+  uint64_t Seed = 0;      ///< --seed: base Rng seed for sampled commands.
+  bool SeedSet = false;   ///< Whether --seed was given explicitly.
+  unsigned Samples = 256; ///< `attack`: total sampled executions.
+  std::vector<std::string> ClassSpecs; ///< `attack`: raw --class specs.
   /// The run's mitigation-policy selection (--mitigation/--mitigate-site).
   /// Parsed policies are owned here; Mitigation borrows them, so this
   /// Options object must outlive every interpreter it configures.
@@ -152,15 +170,17 @@ int usage(const std::string &BadArg = "") {
                  BadArg.c_str());
   std::fprintf(
       stderr,
-      "usage: zamc <check|print|ir|run|trace|profile|leakage|audit> "
+      "usage: zamc <check|print|ir|run|trace|profile|leakage|audit|attack> "
       "<file.zam>\n"
       "  [--levels L,M,H] [--hw nopar|nofill|partitioned]\n"
       "  [--set var=value]... [--vary var=v1,v2,...]\n"
       "  [--adversary LEVEL] [--no-equal-labels]\n"
       "  [--mitigation SPEC] [--mitigate-site ETA=SPEC]...\n"
-      "  [--recommend] [--threads N] [--json FILE]\n"
+      "  [--recommend] [--threads N] [--seed S] [--json FILE]\n"
       "  [--stats[=FILE]] [--trace-out FILE]\n"
       "  [--trace-format jsonl|chrome] [--no-color]\n"
+      "  attack only: --class NAME:var=V|var=LO..HI[,...] (two or more)\n"
+      "               [--samples N]\n"
       "   zamc policies   (list mitigation policies and parameter syntax)\n"
       "   zamc --version\n");
   return 2;
@@ -328,6 +348,30 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       }
       Opts.Mitigation.overrideSite(static_cast<unsigned>(Eta), *P);
       Opts.OwnedPolicies.push_back(std::move(P));
+    } else if (Arg == "--seed") {
+      const char *V = Next();
+      if (!V || !*V)
+        return false;
+      char *End = nullptr;
+      unsigned long long S = std::strtoull(V, &End, 0);
+      if (End == V || *End != '\0')
+        return false;
+      Opts.Seed = S;
+      Opts.SeedSet = true;
+    } else if (Arg == "--samples") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      char *End = nullptr;
+      unsigned long N = std::strtoul(V, &End, 10);
+      if (End == V || *End != '\0' || N == 0 || N > 10000000)
+        return false;
+      Opts.Samples = static_cast<unsigned>(N);
+    } else if (Arg == "--class") {
+      const char *V = Next();
+      if (!V || !*V)
+        return false;
+      Opts.ClassSpecs.emplace_back(V);
     } else if (Arg == "--trace-format") {
       const char *V = Next();
       if (!V)
@@ -612,7 +656,13 @@ void emitRecommendations(const Trace &T, const PolicySelection &Mitigation,
     S.MaxBody = std::max(S.MaxBody, R.BodyTime);
   }
   if (Sites.empty()) {
-    std::printf("\nno mitigate windows executed; nothing to recommend\n");
+    // Zero mitigate sites is a fine answer, not a failure: say so plainly,
+    // skip the table, and leave an empty recommendations array so --json
+    // consumers see the key either way.
+    std::printf("\nthis run executed no mitigate windows; nothing to "
+                "recommend (add mitigate blocks around secret-dependent "
+                "timing first)\n");
+    Doc["recommendations"] = JsonValue::array();
     return;
   }
 
@@ -876,7 +926,9 @@ int cmdAudit(Program &P, const Options &Opts) {
   };
   ParallelRunner Runner(Opts.Threads);
   std::vector<TrialResult> Results = Runner.map(Trials, [&](size_t I) {
-    Rng R(0xA0D17 ^ (0x9E3779B97F4A7C15ULL * (I + 1)));
+    // --seed folds in at zero cost: the default of 0 reproduces the
+    // historical trial streams byte-for-byte.
+    Rng R(0xA0D17 ^ Opts.Seed ^ (0x9E3779B97F4A7C15ULL * (I + 1)));
     TrialResult Out;
     CmdPtr C = randomCommand(P, R, O);
     Memory M = Memory::fromProgram(P, CostModel().DataBase);
@@ -942,6 +994,232 @@ int cmdAudit(Program &P, const Options &Opts) {
   if (!writeJsonIfRequested(Opts, Doc))
     return 1;
   return Pass ? 0 : 1;
+}
+
+/// Strict base-10 int64 parse for class-spec values.
+bool parseInt64(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  long long V = std::strtoll(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size() || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Parses one --class spec "NAME:var=V[,var=LO..HI]..." against the
+/// program's declarations. Diagnoses and returns false on any malformed
+/// piece or unknown variable.
+bool parseClassSpec(const std::string &Raw, const Program &P,
+                    SecretClassSpec &Out) {
+  auto Complain = [&](const char *Why) {
+    std::fprintf(stderr,
+                 "error: --class expects NAME:var=value|var=lo..hi[,...], "
+                 "got '%s' (%s)\n",
+                 Raw.c_str(), Why);
+    return false;
+  };
+  size_t Colon = Raw.find(':');
+  if (Colon == std::string::npos || Colon == 0)
+    return Complain("missing NAME:");
+  Out.Name = Raw.substr(0, Colon);
+  for (const std::string &Item : splitCommas(Raw.substr(Colon + 1))) {
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos || Eq == 0)
+      return Complain("assignment without '='");
+    std::string Var = Item.substr(0, Eq);
+    if (!P.findVar(Var)) {
+      std::fprintf(stderr, "error: --class %s: no variable '%s'\n",
+                   Out.Name.c_str(), Var.c_str());
+      return false;
+    }
+    std::string Val = Item.substr(Eq + 1);
+    size_t Dots = Val.find("..");
+    if (Dots == std::string::npos) {
+      int64_t V;
+      if (!parseInt64(Val, V))
+        return Complain("value is not an integer");
+      Out.Fixed.emplace_back(Var, V);
+    } else {
+      SecretClassSpec::Range Rg;
+      Rg.Var = Var;
+      if (!parseInt64(Val.substr(0, Dots), Rg.Lo) ||
+          !parseInt64(Val.substr(Dots + 2), Rg.Hi) || Rg.Lo > Rg.Hi)
+        return Complain("range is not lo..hi with lo <= hi");
+      Out.Ranges.push_back(std::move(Rg));
+    }
+  }
+  if (Out.Fixed.empty() && Out.Ranges.empty())
+    return Complain("class needs at least one assignment");
+  return true;
+}
+
+/// `zamc attack`: the empirical adversary. Samples secrets from the
+/// --class specs, measures the adversary-visible timings over N seeded
+/// runs, and reports the detector's statistics next to the analytic
+/// Sec. 6 bound. Deliberately does NOT type-check first: the attacker
+/// measures insecure programs too — that is the point.
+int cmdAttack(Program &P, const Options &Opts) {
+  const SecurityLattice &Lat = P.lattice();
+  if (Opts.ClassSpecs.size() < 2) {
+    std::fprintf(stderr,
+                 "error: attack needs at least two --class specs, e.g. "
+                 "--class lo:h=5 --class hi:h=700\n");
+    return 2;
+  }
+  std::vector<SecretClassSpec> Classes;
+  std::vector<std::string> Names;
+  for (const std::string &Raw : Opts.ClassSpecs) {
+    SecretClassSpec Spec;
+    if (!parseClassSpec(Raw, P, Spec))
+      return 2;
+    for (const std::string &Seen : Names)
+      if (Seen == Spec.Name) {
+        std::fprintf(stderr, "error: duplicate --class name '%s'\n",
+                     Seen.c_str());
+        return 2;
+      }
+    // Global --set overrides apply to every class, before its own stores.
+    for (const auto &[Var, Value] : Opts.Overrides) {
+      if (!P.findVar(Var)) {
+        std::fprintf(stderr, "error: no variable '%s' to set\n", Var.c_str());
+        return 2;
+      }
+      Spec.Fixed.insert(Spec.Fixed.begin(), {Var, Value});
+    }
+    Names.push_back(Spec.Name);
+    Classes.push_back(std::move(Spec));
+  }
+  if (Opts.Samples < 2 * Classes.size()) {
+    std::fprintf(stderr,
+                 "error: --samples %u is too few for %zu classes "
+                 "(need at least two per class)\n",
+                 Opts.Samples, Classes.size());
+    return 2;
+  }
+  bool AdvErr = false;
+  std::optional<Label> Adv = adversaryLabel(Opts, Lat, AdvErr);
+  if (AdvErr)
+    return 1;
+
+  auto Env = createMachineEnv(Opts.Hw, Lat);
+  AttackOptions AOpts;
+  AOpts.Samples = Opts.Samples;
+  if (Opts.SeedSet)
+    AOpts.Seed = Opts.Seed;
+  AOpts.Adversary = Adv;
+  InterpreterOptions IOpts;
+  IOpts.Mitigation = Opts.Mitigation;
+  ParallelRunner Runner(Opts.Threads);
+  std::vector<Observation> Obs = [&] {
+    auto Scope = Phases.scope("run");
+    return collectObservations(P, *Env, Classes, AOpts, IOpts, Runner);
+  }();
+  DetectorResult D = detectLeak(Obs, Names);
+
+  std::printf("attack: %" PRIu64 " samples over %zu classes on %s hardware"
+              " (seed %" PRIu64 "%s)\n",
+              D.Samples, Classes.size(), hwKindName(Opts.Hw), AOpts.Seed,
+              Adv ? (", adversary " + Lat.name(*Adv)).c_str() : "");
+  for (const ClassSummary &S : D.Classes)
+    std::printf("  class %-12s n=%-5" PRIu64 " mean=%.1f sd=%.1f "
+                "range=[%" PRIu64 ", %" PRIu64 "]\n",
+                S.Name.c_str(), S.Count, S.Mean, std::sqrt(S.Variance),
+                S.Min, S.Max);
+  std::printf("  Welch t=%.6g (df=%.6g, %s vs %s)  Cohen's d=%.6g  "
+              "log10(p)=%.6g\n",
+              D.TStat, D.Df, Names[D.PairA].c_str(), Names[D.PairB].c_str(),
+              D.CohensD, D.PValueLog10);
+  std::printf("  mutual information: %.6g bits (plug-in %.6g, %" PRIu64
+              " distinct timings); analytic bound %.6g bits\n",
+              D.MiBits, D.MiPluginBits, D.DistinctTimings,
+              D.AnalyticBoundBits);
+  if (D.LeakDetected)
+    std::printf("  verdict: TIMING LEAK DETECTED (p <= 1e%d)\n",
+                static_cast<int>(kDetectPValueLog10));
+  else
+    std::printf("  verdict: no leak detected at p <= 1e%d\n",
+                static_cast<int>(kDetectPValueLog10));
+  if (D.MiBits > D.AnalyticBoundBits)
+    std::printf("  WARNING: empirical MI exceeds the analytic bound — "
+                "mitigation accounting and measurement disagree\n");
+
+  if (wantsTelemetry(Opts)) {
+    MetricsRegistry Reg;
+    exportDetectorMetrics(Reg, D);
+    if (!emitStatsIfRequested(Opts, Reg))
+      return 1;
+    if (!Opts.TraceOutPath.empty()) {
+      std::unique_ptr<TraceSink> Sink = makeTraceSink(Opts.TraceFmt);
+      auto Meta =
+          provenanceArgs(resolveThreadCount(Opts.Threads), Opts.Mitigation);
+      Meta.emplace_back("attack_samples", std::to_string(AOpts.Samples));
+      Meta.emplace_back("attack_seed", std::to_string(AOpts.Seed));
+      std::string Joined;
+      for (const std::string &N : Names) {
+        if (!Joined.empty())
+          Joined += ',';
+        Joined += N;
+      }
+      Meta.emplace_back("attack_classes", Joined);
+      if (Adv)
+        Meta.emplace_back("adversary", Lat.name(*Adv));
+      Sink->header(Meta);
+      size_t Emitted = exportObservations(*Sink, Obs, Names);
+      const std::string &Text = Sink->finish();
+      std::FILE *F = std::fopen(Opts.TraceOutPath.c_str(), "w");
+      if (!F) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     Opts.TraceOutPath.c_str());
+        return 1;
+      }
+      bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+      Ok &= std::fclose(F) == 0;
+      if (!Ok)
+        return 1;
+      std::fprintf(stderr, "wrote %zu trace records to %s\n", Emitted,
+                   Opts.TraceOutPath.c_str());
+    }
+  }
+
+  // The deterministic result document: everything below derives from
+  // cycle counts and the seed, never from wall clock or thread count, so
+  // the bytes are identical at any --threads value.
+  JsonValue Doc = JsonValue::object();
+  Doc["command"] = JsonValue("attack");
+  Doc["file"] = JsonValue(Opts.File);
+  Doc["hw"] = JsonValue(hwKindName(Opts.Hw));
+  if (Adv)
+    Doc["adversary"] = JsonValue(Lat.name(*Adv));
+  Doc["samples"] = JsonValue(D.Samples);
+  Doc["seed"] = JsonValue(AOpts.Seed);
+  JsonValue ClassArr = JsonValue::array();
+  for (const ClassSummary &S : D.Classes) {
+    JsonValue Row = JsonValue::object();
+    Row["name"] = JsonValue(S.Name);
+    Row["samples"] = JsonValue(S.Count);
+    Row["mean"] = JsonValue(S.Mean);
+    Row["variance"] = JsonValue(S.Variance);
+    Row["min"] = JsonValue(S.Min);
+    Row["max"] = JsonValue(S.Max);
+    ClassArr.push(std::move(Row));
+  }
+  Doc["classes"] = std::move(ClassArr);
+  JsonValue Det = JsonValue::object();
+  Det["t_stat"] = JsonValue(D.TStat);
+  Det["df"] = JsonValue(D.Df);
+  Det["pair"] = JsonValue(Names[D.PairA] + "/" + Names[D.PairB]);
+  Det["cohens_d"] = JsonValue(D.CohensD);
+  Det["p_value_log10"] = JsonValue(D.PValueLog10);
+  Det["mi_plugin_bits"] = JsonValue(D.MiPluginBits);
+  Det["mi_bits"] = JsonValue(D.MiBits);
+  Det["distinct_timings"] = JsonValue(D.DistinctTimings);
+  Det["analytic_bound_bits"] = JsonValue(D.AnalyticBoundBits);
+  Det["leak_detected"] = JsonValue(D.LeakDetected);
+  Doc["detector"] = std::move(Det);
+  return writeJsonIfRequested(Opts, Doc) ? 0 : 1;
 }
 
 } // namespace
@@ -1013,5 +1291,7 @@ int main(int Argc, char **Argv) {
     return cmdLeakage(*P, Opts);
   if (Opts.Command == "audit")
     return cmdAudit(*P, Opts);
+  if (Opts.Command == "attack")
+    return cmdAttack(*P, Opts);
   return usage();
 }

@@ -10,7 +10,8 @@
 /// reads a telemetry trace (JSONL or Chrome trace-event, as written by
 /// `zamc --trace-out` or a bench's `--trace-out`) and produces
 ///
-///   * the adversary-observed timing histogram over mitigate windows,
+///   * the adversary-observed timing histogram over mitigate windows
+///     (exportable as CSV via `--csv <file>` for outside tooling),
 ///   * a mitigation overhead attribution (consumed vs padded cycles, per
 ///     window and aggregate, with mispredicted windows called out), and
 ///   * an offline recomputation of the Sec. 6 leakage bound from the
@@ -31,6 +32,14 @@
 ///     Per-line *cycles* are not reconstructible offline (cache hits are
 ///     never sampled), so the embedded rows are the ground truth for them.
 ///
+/// Attack observation traces (`zamc attack --trace-out`, cat "adv"
+/// records) take a parallel path: the per-sample observations are decoded
+/// in record order and the full statistical detector (Welch's t, Cohen's
+/// d, Miller–Madow mutual information — src/adv) is rerun offline; with
+/// `--stats` the recomputed statistics must match the online `adv.*`
+/// metrics bit for bit, and `--csv` exports the per-class end-to-end
+/// timing histogram instead of the window histogram.
+///
 /// `zamtrace diff A B` compares two runs (traces or stats/report JSON
 /// documents). It first demands that both sides recorded the same
 /// mitigation-policy selection — a bound that moved because the schedule
@@ -48,11 +57,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "adv/LeakDetector.h"
 #include "obs/Json.h"
 #include "obs/LeakAudit.h"
 #include "sem/Mitigation.h"
 #include "support/BuildInfo.h"
 
+#include <cinttypes>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -376,6 +387,10 @@ struct Analysis {
   std::map<uint64_t, SiteRebuild> Sites;
   bool HasProf = false; ///< The trace embedded prof_line#/prof_site# rows.
   bool SawHwInstants = false; ///< The trace sampled misses (loc-tagged).
+  /// Attack observations (cat "adv" instants) in record order — the
+  /// collector's bag order, so detector sums replay bit-for-bit.
+  std::vector<Observation> AdvObs;
+  std::vector<std::string> AdvClassNames; ///< ClassIndex -> display name.
 };
 
 /// The η suffix of "mitigate#3" / "leak_budget#3" / "prof_site#3".
@@ -415,6 +430,22 @@ bool analyzeTrace(const LoadedInput &In, Analysis &A) {
         if (strField(R.Args, "memory") == "true")
           ++N;
         A.Lines[numField(R.Args, "loc")].Misses += N;
+      } else if (R.Cat == "adv") {
+        // One attack sample. bound_bits round-trips through the shortest
+        // decimal form, so the offline detector sees the exact double the
+        // collector recorded.
+        Observation O;
+        O.ClassIndex = static_cast<uint32_t>(numField(R.Args, "class_index"));
+        O.EndToEnd = numField(R.Args, "end_to_end");
+        if (const JsonValue *B = R.Args.find("bound_bits"))
+          if (B->kind() == JsonValue::Kind::Number)
+            O.BoundBits = B->asNumber();
+        if (A.AdvClassNames.size() <= O.ClassIndex)
+          A.AdvClassNames.resize(O.ClassIndex + 1);
+        const std::string Cls = strField(R.Args, "class");
+        if (!Cls.empty())
+          A.AdvClassNames[O.ClassIndex] = Cls;
+        A.AdvObs.push_back(std::move(O));
       } else if (R.Cat == "prof") {
         A.HasProf = true;
         if (R.Name.rfind("prof_line#", 0) == 0) {
@@ -790,6 +821,161 @@ bool crossCheck(const Analysis &A, const JsonValue &Metrics) {
   return Ok;
 }
 
+/// Reruns the statistical detector over the decoded attack observations.
+/// Fills unnamed class slots with "class<i>" so hand-edited traces still
+/// analyze.
+DetectorResult recomputeDetector(Analysis &A) {
+  for (size_t I = 0; I != A.AdvClassNames.size(); ++I)
+    if (A.AdvClassNames[I].empty())
+      A.AdvClassNames[I] = "class" + std::to_string(I);
+  return detectLeak(A.AdvObs, A.AdvClassNames);
+}
+
+/// Cross-checks the offline detector rerun against the online `adv.*`
+/// metrics. Both sides run the same code over the same round-tripped
+/// inputs, so equality is exact — any difference is a real divergence.
+bool advCrossCheck(const DetectorResult &D, const JsonValue &Metrics) {
+  MetricsRegistry Reg;
+  exportDetectorMetrics(Reg, D);
+  bool SawAny = false;
+  bool Ok = true;
+  for (const MetricsRegistry::Entry &E : Reg.entries()) {
+    const JsonValue *V = Metrics.find(E.Name);
+    if (!V || V->kind() != JsonValue::Kind::Number) {
+      std::fprintf(stderr, "error: stats document is missing %s\n",
+                   E.Name.c_str());
+      Ok = false;
+      continue;
+    }
+    SawAny = true;
+    const double Want =
+        E.IsGauge ? E.Gauge : static_cast<double>(E.Counter);
+    if (V->asNumber() != Want) {
+      std::fprintf(stderr,
+                   "error: cross-check failed on %s: stats %s, offline %s\n",
+                   E.Name.c_str(), jsonNumberString(V->asNumber()).c_str(),
+                   jsonNumberString(Want).c_str());
+      Ok = false;
+    }
+  }
+  if (!SawAny) {
+    std::fprintf(stderr,
+                 "error: stats document has no adv.* metrics to check\n");
+    return false;
+  }
+  return Ok;
+}
+
+void printAdvReport(const LoadedInput &In, const Analysis &A,
+                    const DetectorResult &D) {
+  if (!In.Meta.isNull())
+    std::printf("trace producer: %s %s (git %s)\n",
+                strField(In.Meta, "tool").c_str(),
+                strField(In.Meta, "version").c_str(),
+                strField(In.Meta, "git").c_str());
+  std::printf("\nattack observations: %" PRIu64 " samples over %zu classes"
+              "\n",
+              D.Samples, D.Classes.size());
+  for (const ClassSummary &S : D.Classes)
+    std::printf("  class %-12s n=%-5" PRIu64 " mean=%.1f sd=%.1f "
+                "range=[%" PRIu64 ", %" PRIu64 "]\n",
+                S.Name.c_str(), S.Count, S.Mean, std::sqrt(S.Variance),
+                S.Min, S.Max);
+  std::printf("\nadversary-observed end-to-end timing histogram:\n");
+  std::printf("  %-12s %12s %8s\n", "class", "end_to_end", "samples");
+  std::map<std::pair<uint32_t, uint64_t>, uint64_t> Hist;
+  for (const Observation &O : A.AdvObs)
+    ++Hist[{O.ClassIndex, O.EndToEnd}];
+  for (const auto &[Key, Count] : Hist)
+    std::printf("  %-12s %12llu %8llu\n",
+                A.AdvClassNames[Key.first].c_str(),
+                static_cast<unsigned long long>(Key.second),
+                static_cast<unsigned long long>(Count));
+  std::printf("\noffline detector rerun:\n");
+  std::printf("  Welch t=%.6g (df=%.6g)  Cohen's d=%.6g  log10(p)=%.6g\n",
+              D.TStat, D.Df, D.CohensD, D.PValueLog10);
+  std::printf("  mutual information %.6g bits (plug-in %.6g, %" PRIu64
+              " distinct timings); analytic bound %.6g bits\n",
+              D.MiBits, D.MiPluginBits, D.DistinctTimings,
+              D.AnalyticBoundBits);
+  std::printf("  verdict: %s\n", D.LeakDetected ? "TIMING LEAK DETECTED"
+                                                : "no leak detected");
+}
+
+JsonValue advJson(const Analysis &A, const DetectorResult &D) {
+  JsonValue Doc = JsonValue::object();
+  Doc["samples"] = JsonValue(D.Samples);
+  JsonValue ClassArr = JsonValue::array();
+  for (const ClassSummary &S : D.Classes) {
+    JsonValue Row = JsonValue::object();
+    Row["name"] = JsonValue(S.Name);
+    Row["samples"] = JsonValue(S.Count);
+    Row["mean"] = JsonValue(S.Mean);
+    Row["variance"] = JsonValue(S.Variance);
+    Row["min"] = JsonValue(S.Min);
+    Row["max"] = JsonValue(S.Max);
+    ClassArr.push(std::move(Row));
+  }
+  Doc["classes"] = std::move(ClassArr);
+  Doc["t_stat"] = JsonValue(D.TStat);
+  Doc["df"] = JsonValue(D.Df);
+  Doc["cohens_d"] = JsonValue(D.CohensD);
+  Doc["p_value_log10"] = JsonValue(D.PValueLog10);
+  Doc["mi_plugin_bits"] = JsonValue(D.MiPluginBits);
+  Doc["mi_bits"] = JsonValue(D.MiBits);
+  Doc["distinct_timings"] = JsonValue(D.DistinctTimings);
+  Doc["analytic_bound_bits"] = JsonValue(D.AnalyticBoundBits);
+  Doc["leak_detected"] = JsonValue(D.LeakDetected);
+  return Doc;
+}
+
+/// One CSV field, quoted per RFC 4180 only when it needs to be.
+std::string csvField(const std::string &S) {
+  if (S.find_first_of(",\"\n") == std::string::npos)
+    return S;
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+/// --csv: the adversary-observed timing histogram as a flat table. Attack
+/// traces export class,end_to_end,count; run traces export the mitigate-
+/// window duration,windows histogram.
+bool writeCsv(const Analysis &A, const std::string &Path) {
+  std::string Text;
+  if (!A.AdvObs.empty()) {
+    Text = "class,end_to_end,count\n";
+    std::map<std::pair<uint32_t, uint64_t>, uint64_t> Hist;
+    for (const Observation &O : A.AdvObs)
+      ++Hist[{O.ClassIndex, O.EndToEnd}];
+    for (const auto &[Key, Count] : Hist)
+      Text += csvField(A.AdvClassNames[Key.first]) + "," +
+              std::to_string(Key.second) + "," + std::to_string(Count) +
+              "\n";
+  } else {
+    Text = "duration,windows\n";
+    for (const auto &[Dur, Count] : A.DurationHistogram)
+      Text += std::to_string(Dur) + "," + std::to_string(Count) + "\n";
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fclose(F) == 0;
+  if (Ok)
+    std::fprintf(stderr, "wrote timing-histogram CSV to %s\n", Path.c_str());
+  else
+    std::fprintf(stderr, "error: short write to '%s'\n", Path.c_str());
+  return Ok;
+}
+
 JsonValue analysisJson(const LoadedInput &In, const Analysis &A) {
   JsonValue Doc = JsonValue::object();
   if (!In.Meta.isNull())
@@ -957,7 +1143,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: zamtrace report <trace> [--stats FILE] [--json FILE]\n"
-      "                [--by-line] [--check-ledger FILE]\n"
+      "                [--by-line] [--check-ledger FILE] [--csv FILE]\n"
       "       zamtrace diff <base> <candidate> [--budget-bits X]\n"
       "                [--budget-pct P] [--json FILE]\n"
       "       zamtrace --version\n"
@@ -970,6 +1156,9 @@ int usage() {
       "        source profile from the event stream and verifies it against\n"
       "        the embedded prof rows; --check-ledger additionally compares\n"
       "        them against a `zamc profile --json` ledger document.\n"
+      "        --csv exports the observed timing histogram. Attack traces\n"
+      "        (`zamc attack --trace-out`) rerun the statistical detector\n"
+      "        offline and cross-check the adv.* metrics instead.\n"
       "diff:   compares two runs (traces or --stats/--json documents) and\n"
       "        exits 1 when the candidate exceeds the leakage or overhead\n"
       "        budget, or when the two sides recorded different mitigation\n"
@@ -992,7 +1181,7 @@ bool writeJsonFile(const JsonValue &Doc, const std::string &Path) {
 }
 
 int cmdReport(int Argc, char **Argv) {
-  std::string TracePath, StatsPath, JsonPath, LedgerPath;
+  std::string TracePath, StatsPath, JsonPath, LedgerPath, CsvPath;
   bool ByLine = false;
   for (int I = 2; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--stats") && I + 1 < Argc)
@@ -1001,6 +1190,8 @@ int cmdReport(int Argc, char **Argv) {
       JsonPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--check-ledger") && I + 1 < Argc)
       LedgerPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--csv") && I + 1 < Argc)
+      CsvPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--by-line"))
       ByLine = true;
     else if (Argv[I][0] != '-' && TracePath.empty())
@@ -1024,6 +1215,51 @@ int cmdReport(int Argc, char **Argv) {
   Analysis A;
   if (!analyzeTrace(*In, A))
     return 1;
+
+  // Attack observation traces take the detector path: rerun the statistics
+  // offline and (with --stats) demand bit-for-bit agreement with the
+  // online adv.* metrics. There are no mit/leak spans to report on.
+  if (!A.AdvObs.empty()) {
+    if (A.AdvClassNames.size() < 2) {
+      std::fprintf(stderr,
+                   "error: attack trace has fewer than two classes\n");
+      return 1;
+    }
+    DetectorResult D = recomputeDetector(A);
+    printAdvReport(*In, A, D);
+    std::string CrossCheck = "not requested";
+    if (!StatsPath.empty()) {
+      std::optional<LoadedInput> Stats = loadInput(StatsPath);
+      if (!Stats)
+        return 2;
+      if (Stats->IsTrace || Stats->Metrics.isNull()) {
+        std::fprintf(stderr, "error: '%s' has no metrics object\n",
+                     StatsPath.c_str());
+        return 2;
+      }
+      if (!advCrossCheck(D, Stats->Metrics)) {
+        std::printf("\ncross-check FAILED: offline detector disagrees with "
+                    "online adv.* metrics\n");
+        return 1;
+      }
+      CrossCheck = "ok";
+      std::printf("\ncross-check OK: offline detector matches online adv.* "
+                  "metrics bit-for-bit\n");
+    }
+    if (!CsvPath.empty() && !writeCsv(A, CsvPath))
+      return 2;
+    if (!JsonPath.empty()) {
+      JsonValue Doc = JsonValue::object();
+      if (!In->Meta.isNull())
+        Doc["meta"] = In->Meta;
+      Doc["adv"] = advJson(A, D);
+      Doc["crosscheck"] = JsonValue(CrossCheck);
+      if (!writeJsonFile(Doc, JsonPath))
+        return 2;
+    }
+    return 0;
+  }
+
   printReport(*In, A);
 
   if (ByLine || !LedgerPath.empty()) {
@@ -1066,6 +1302,9 @@ int cmdReport(int Argc, char **Argv) {
     std::printf("\ncross-check OK: offline bound matches online leak.* "
                 "metrics bit-for-bit\n");
   }
+
+  if (!CsvPath.empty() && !writeCsv(A, CsvPath))
+    return 2;
 
   if (!JsonPath.empty()) {
     JsonValue Doc = analysisJson(*In, A);
