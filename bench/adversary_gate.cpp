@@ -63,29 +63,37 @@ void printCell(const CellResult &C, const char *Check) {
               C.Pass ? "ok" : "FAIL");
 }
 
-/// One attack cell: collect observations, run the detector, export the
-/// prefixed adv.* metrics into the report.
+/// One attack cell: stream observations through the bounded-memory
+/// collector (compact detector rows only; the full window lists are kept
+/// solely for the representative cell a trace was requested for), run the
+/// detector, export the prefixed adv.* metrics into the report.
 CellResult runCell(Report &R, const std::string &Prefix, const Program &P,
                    const MachineEnv &Env,
                    const std::vector<SecretClassSpec> &Classes,
                    unsigned Samples, uint64_t Seed,
-                   const ParallelRunner &Runner,
+                   const ParallelRunner &Runner, ProgressMeter &Progress,
                    std::vector<Observation> *KeepObs = nullptr) {
   AttackOptions AOpts;
   AOpts.Samples = Samples;
   AOpts.Seed = Seed;
   InterpreterOptions IOpts;
-  std::vector<Observation> Obs =
-      collectObservations(P, Env, Classes, AOpts, IOpts, Runner);
+  std::vector<CompactObservation> Compact;
+  Compact.reserve(Samples);
+  streamObservations(P, Env, Classes, AOpts, IOpts, Runner,
+                     [&](const Observation &O, size_t) {
+                       Compact.push_back({O.ClassIndex, O.EndToEnd,
+                                          O.BoundBits});
+                       if (KeepObs)
+                         KeepObs->push_back(O);
+                       Progress.tick();
+                     });
   std::vector<std::string> Names;
   for (const SecretClassSpec &C : Classes)
     Names.push_back(C.Name);
   CellResult Cell;
   Cell.Prefix = Prefix;
-  Cell.D = detectLeak(Obs, Names);
+  Cell.D = detectLeak(Compact, Names);
   exportDetectorMetrics(R.metrics(), Cell.D, Prefix);
-  if (KeepObs)
-    *KeepObs = std::move(Obs);
   return Cell;
 }
 
@@ -184,6 +192,10 @@ int main(int Argc, char **Argv) {
               "(%u samples/cell, seed 0x%" PRIx64 ") ===\n",
               Samples, Seed);
 
+  // 3 designs × 4 cells, one meter across the whole gate (stderr only).
+  ProgressMeter Progress("adversary_gate", 12ull * Samples,
+                         Harness.Progress);
+
   for (HwKind Kind : Designs) {
     const std::string Design = hwKindName(Kind);
     auto Env = createMachineEnv(Kind, Lat);
@@ -242,7 +254,7 @@ int main(int Argc, char **Argv) {
                   std::string(Spec.Workload) == "login";
       CellResult Cell =
           runCell(R, Prefix, *Spec.P, *Env, *Spec.Classes, Samples, Seed,
-                  Runner, Keep ? &RepresentativeObs : nullptr);
+                  Runner, Progress, Keep ? &RepresentativeObs : nullptr);
       if (Spec.WantDetected) {
         // The attack must work: overwhelming significance, large effect.
         Cell.Pass = Cell.D.LeakDetected &&
@@ -268,11 +280,17 @@ int main(int Argc, char **Argv) {
   // Representative observation trace (partitioned/login/mit) for offline
   // inspection: zamtrace report reruns the detector over it.
   if (!Harness.TraceOutPath.empty()) {
-    std::optional<TraceFormat> Format =
-        parseTraceFormat(Harness.TraceFormatName);
+    std::optional<TraceFormat> Format = resolveBenchTraceFormat(Harness);
     if (!Format)
       return 2;
-    std::unique_ptr<TraceSink> Sink = makeTraceSink(*Format);
+    std::FILE *F = std::fopen(Harness.TraceOutPath.c_str(), "wb");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   Harness.TraceOutPath.c_str());
+      return 2;
+    }
+    FileByteSink Bytes(F);
+    std::unique_ptr<TraceSink> Sink = makeTraceSink(*Format, Bytes);
     auto Args = provenanceArgs(resolveThreadCount(Harness.Threads));
     Args.emplace_back("attack_samples", std::to_string(Samples));
     Args.emplace_back("attack_seed", std::to_string(Seed));
@@ -280,10 +298,8 @@ int main(int Argc, char **Argv) {
     Sink->header(Args);
     size_t Count = exportObservations(*Sink, RepresentativeObs,
                                       {"present", "absent"});
-    const std::string &Bytes = Sink->finish();
-    std::FILE *F = std::fopen(Harness.TraceOutPath.c_str(), "w");
-    if (!F || std::fwrite(Bytes.data(), 1, Bytes.size(), F) != Bytes.size() ||
-        std::fclose(F) != 0) {
+    Sink->close();
+    if (!Sink->ok() || std::fclose(F) != 0) {
       std::fprintf(stderr, "error: cannot write trace to '%s'\n",
                    Harness.TraceOutPath.c_str());
       return 2;

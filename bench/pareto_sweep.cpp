@@ -322,18 +322,32 @@ int main(int Argc, char **Argv) {
   std::vector<PolicyPoint> LoginPoints = withSeeded(E2);
   std::vector<PolicyPoint> RsaPoints = withSeeded(RsaEst);
 
-  // --- The sweep proper: every policy point independent, fanned out. ---
+  // --- The sweep proper: every policy point independent, fanned out.
+  // The meter ticks from worker threads (stderr only; report bytes are
+  // submission-order reduced and unaffected).
+  ProgressMeter Progress(
+      "pareto_sweep",
+      SweepPoints.size() + LoginPoints.size() + RsaPoints.size(),
+      Harness.Progress);
   std::vector<FrontierRow> SweepRows =
       Runner.map(SweepPoints.size(), [&](size_t I) {
-        return sweepWorkload(Lat, *SweepPoints[I].Policy);
+        FrontierRow Row = sweepWorkload(Lat, *SweepPoints[I].Policy);
+        Progress.tick();
+        return Row;
       });
   std::vector<FrontierRow> LoginRows =
       Runner.map(LoginPoints.size(), [&](size_t I) {
-        return loginWorkload(Lat, Table, LoginConfig, *LoginPoints[I].Policy);
+        FrontierRow Row =
+            loginWorkload(Lat, Table, LoginConfig, *LoginPoints[I].Policy);
+        Progress.tick();
+        return Row;
       });
   std::vector<FrontierRow> RsaRows =
       Runner.map(RsaPoints.size(), [&](size_t I) {
-        return rsaWorkload(Lat, Key, RsaUnder, Msgs, *RsaPoints[I].Policy);
+        FrontierRow Row =
+            rsaWorkload(Lat, Key, RsaUnder, Msgs, *RsaPoints[I].Policy);
+        Progress.tick();
+        return Row;
       });
 
   std::printf("\n=== mitigation-policy Pareto sweep: leakage bound vs"

@@ -79,23 +79,48 @@ inline uint64_t sampleSeed(uint64_t Seed, size_t Index) {
   return Seed ^ (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(Index) + 1));
 }
 
+/// Fixed fan-out chunk of the streaming collector. Chunking is a function
+/// of the sample index only — never the thread count — so the drain order
+/// (and with it every downstream double sum and trace byte) is identical
+/// at any parallelism.
+inline constexpr size_t kObservationChunk = 2048;
+
+/// Streams Opts.Samples executions of \p P (sample i: class i mod K) on
+/// clones of \p EnvTemplate under \p IOpts, fanning out over \p Runner in
+/// fixed kObservationChunk batches and invoking \p OnObservation(O, i) in
+/// strict sample order as each batch drains. At most one chunk of full
+/// observations is alive at a time, so collecting 10^6 samples needs
+/// O(chunk) memory; the callback owns all retention (compact rows, online
+/// histograms, trace records). Aborts on an unknown Fixed/Ranges variable
+/// (callers validate for graceful errors). \returns the sample count.
+size_t streamObservations(
+    const Program &P, const MachineEnv &EnvTemplate,
+    const std::vector<SecretClassSpec> &Classes, const AttackOptions &Opts,
+    const InterpreterOptions &IOpts, const ParallelRunner &Runner,
+    const std::function<void(const Observation &, size_t)> &OnObservation);
+
 /// Runs Opts.Samples executions of \p P (sample i: class i mod K) on
 /// clones of \p EnvTemplate under \p IOpts, fanning out over \p Runner.
 /// Each observation carries the adversary-projected window durations and
 /// the run's analytic bound from a per-run LeakAudit replay. Aborts on an
 /// unknown Fixed/Ranges variable (callers validate for graceful errors).
+/// Retains every observation — prefer streamObservations at scale.
 std::vector<Observation>
 collectObservations(const Program &P, const MachineEnv &EnvTemplate,
                     const std::vector<SecretClassSpec> &Classes,
                     const AttackOptions &Opts, const InterpreterOptions &IOpts,
                     const ParallelRunner &Runner);
 
-/// Serializes \p Obs through \p Sink as cat "adv" instant records, one per
-/// sample in bag order, Ts = sample index (trace time axes must be
-/// nondecreasing; the real timing rides in the args). Args: class,
-/// class_index, end_to_end, windows ("a,b,c"), bound_bits (shortest
-/// round-trip decimal, so offline recomputation is bit-for-bit). Returns
-/// the record count.
+/// Serializes one observation through \p Sink as a cat "adv" instant
+/// record, Ts = \p Index (trace time axes must be nondecreasing; the real
+/// timing rides in the args). Args: class, class_index, end_to_end,
+/// windows ("a,b,c"), bound_bits (shortest round-trip decimal, so offline
+/// recomputation is bit-for-bit). Returns the record count (1).
+size_t exportObservation(TraceSink &Sink, const Observation &O, size_t Index,
+                         const std::vector<std::string> &ClassNames);
+
+/// Serializes \p Obs through \p Sink via exportObservation, one record per
+/// sample in bag order. Returns the record count.
 size_t exportObservations(TraceSink &Sink, const std::vector<Observation> &Obs,
                           const std::vector<std::string> &ClassNames);
 

@@ -116,6 +116,16 @@ double zam::welchPValueLog10(double T, double Df) {
 DetectorResult zam::detectLeak(const std::vector<Observation> &Obs,
                                const std::vector<std::string> &ClassNames,
                                double PValueLog10Threshold) {
+  std::vector<CompactObservation> Compact;
+  Compact.reserve(Obs.size());
+  for (const Observation &O : Obs)
+    Compact.push_back({O.ClassIndex, O.EndToEnd, O.BoundBits});
+  return detectLeak(Compact, ClassNames, PValueLog10Threshold);
+}
+
+DetectorResult zam::detectLeak(const std::vector<CompactObservation> &Obs,
+                               const std::vector<std::string> &ClassNames,
+                               double PValueLog10Threshold) {
   const size_t K = ClassNames.size();
   if (K < 2) {
     std::fprintf(stderr, "detectLeak: need at least two secret classes\n");
@@ -131,7 +141,7 @@ DetectorResult zam::detectLeak(const std::vector<Observation> &Obs,
   // Per-class sums in observation order (the collector's submission
   // order), so the floating-point results are byte-stable.
   std::vector<double> Sum(K, 0.0);
-  for (const Observation &O : Obs) {
+  for (const CompactObservation &O : Obs) {
     if (O.ClassIndex >= K) {
       std::fprintf(stderr, "detectLeak: class index %u out of range\n",
                    O.ClassIndex);
@@ -154,7 +164,7 @@ DetectorResult zam::detectLeak(const std::vector<Observation> &Obs,
       R.Classes[C].Mean = Sum[C] / static_cast<double>(R.Classes[C].Count);
   // Second pass for the (n-1) variances, again in observation order.
   std::vector<double> SqSum(K, 0.0);
-  for (const Observation &O : Obs) {
+  for (const CompactObservation &O : Obs) {
     const double D =
         static_cast<double>(O.EndToEnd) - R.Classes[O.ClassIndex].Mean;
     SqSum[O.ClassIndex] += D * D;
@@ -227,7 +237,7 @@ DetectorResult zam::detectLeak(const std::vector<Observation> &Obs,
   // std::map iteration gives a fixed (class, value) summation order.
   std::map<uint64_t, uint64_t> ValueCounts;
   std::map<std::pair<uint32_t, uint64_t>, uint64_t> JointCounts;
-  for (const Observation &O : Obs) {
+  for (const CompactObservation &O : Obs) {
     ++ValueCounts[O.EndToEnd];
     ++JointCounts[{O.ClassIndex, O.EndToEnd}];
   }

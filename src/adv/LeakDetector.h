@@ -49,6 +49,16 @@ struct Observation {
   double BoundBits = 0;          ///< This run's analytic Sec. 6 bound.
 };
 
+/// The detector's working representation: everything the statistics read,
+/// nothing they don't. Fixed-size (no per-sample window vector), so a
+/// million-sample bag costs ~24 MB instead of retaining every window list;
+/// window durations stream into online histograms instead (obs/Histogram.h).
+struct CompactObservation {
+  uint32_t ClassIndex = 0; ///< Which secret class was sampled.
+  uint64_t EndToEnd = 0;   ///< End-to-end time (cycles).
+  double BoundBits = 0;    ///< This run's analytic Sec. 6 bound.
+};
+
 /// Per-class summary of the end-to-end timing distribution.
 struct ClassSummary {
   std::string Name;
@@ -94,6 +104,13 @@ inline constexpr double kDegeneratePValueLog10 = -350.0;
 /// display name and fixes the class count (indices out of range abort).
 /// Requires at least two classes with at least two samples each for the
 /// t-test; classes with fewer samples still enter the MI histogram.
+DetectorResult detectLeak(const std::vector<CompactObservation> &Obs,
+                          const std::vector<std::string> &ClassNames,
+                          double PValueLog10Threshold = kDetectPValueLog10);
+
+/// Convenience overload over full observations: projects each to its
+/// compact form (the detector never reads the window lists) and delegates
+/// — the statistics are bit-identical either way.
 DetectorResult detectLeak(const std::vector<Observation> &Obs,
                           const std::vector<std::string> &ClassNames,
                           double PValueLog10Threshold = kDetectPValueLog10);

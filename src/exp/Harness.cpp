@@ -5,6 +5,7 @@
 #include "exp/ParallelRunner.h"
 #include "obs/Telemetry.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,11 +42,13 @@ HarnessOptions zam::parseHarnessArgs(int Argc, char **Argv) {
         return Opts;
       }
       Opts.Samples = static_cast<unsigned>(V);
+    } else if (!std::strcmp(Argv[I], "--progress")) {
+      Opts.Progress = true;
     } else if (!std::strcmp(Argv[I], "--trace-format") && I + 1 < Argc) {
       Opts.TraceFormatName = Argv[++I];
       if (!parseTraceFormat(Opts.TraceFormatName)) {
         std::fprintf(stderr, "unknown trace format '%s'; expected "
-                             "jsonl or chrome\n",
+                             "jsonl, chrome or ztb\n",
                      Opts.TraceFormatName.c_str());
         Opts.Ok = false;
         return Opts;
@@ -54,14 +57,27 @@ HarnessOptions zam::parseHarnessArgs(int Argc, char **Argv) {
       std::fprintf(stderr,
                    "unknown argument '%s'; expected [--threads N] "
                    "[--json FILE] [--trace-out FILE] "
-                   "[--trace-format jsonl|chrome] [--seed S] "
-                   "[--samples N]\n",
+                   "[--trace-format jsonl|chrome|ztb] [--seed S] "
+                   "[--samples N] [--progress]\n",
                    Argv[I]);
       Opts.Ok = false;
       return Opts;
     }
   }
   return Opts;
+}
+
+std::optional<TraceFormat>
+zam::resolveBenchTraceFormat(const HarnessOptions &Opts) {
+  if (!Opts.TraceFormatName.empty())
+    return parseTraceFormat(Opts.TraceFormatName);
+  std::optional<TraceFormat> F = inferTraceFormat(Opts.TraceOutPath);
+  if (!F)
+    std::fprintf(stderr,
+                 "error: cannot infer a trace format from '%s' (expected a "
+                 ".jsonl, .json or .ztb extension); pass --trace-format\n",
+                 Opts.TraceOutPath.c_str());
+  return F;
 }
 
 bool zam::emitReportJson(const Report &R, const HarnessOptions &Opts) {
@@ -91,23 +107,22 @@ bool zam::emitBenchTrace(const Trace &T, const SecurityLattice &Lat,
                          const HarnessOptions &Opts) {
   if (Opts.TraceOutPath.empty())
     return true;
-  std::optional<TraceFormat> Format = parseTraceFormat(Opts.TraceFormatName);
-  if (!Format) {
-    std::fprintf(stderr, "error: unknown trace format '%s'\n",
-                 Opts.TraceFormatName.c_str());
+  std::optional<TraceFormat> Format = resolveBenchTraceFormat(Opts);
+  if (!Format)
     return false;
-  }
-  std::unique_ptr<TraceSink> Sink = makeTraceSink(*Format);
-  Sink->header(provenanceArgs(resolveThreadCount(Opts.Threads)));
-  size_t Count = exportTrace(*Sink, T, Lat);
-  const std::string &Bytes = Sink->finish();
-  std::FILE *F = std::fopen(Opts.TraceOutPath.c_str(), "w");
+  // Stream straight to disk: the trace is never buffered whole.
+  std::FILE *F = std::fopen(Opts.TraceOutPath.c_str(), "wb");
   if (!F) {
     std::fprintf(stderr, "error: cannot write trace to '%s'\n",
                  Opts.TraceOutPath.c_str());
     return false;
   }
-  bool Ok = std::fwrite(Bytes.data(), 1, Bytes.size(), F) == Bytes.size();
+  FileByteSink Bytes(F);
+  std::unique_ptr<TraceSink> Sink = makeTraceSink(*Format, Bytes);
+  Sink->header(provenanceArgs(resolveThreadCount(Opts.Threads)));
+  size_t Count = exportTrace(*Sink, T, Lat);
+  Sink->close();
+  bool Ok = Sink->ok();
   Ok &= std::fclose(F) == 0;
   if (!Ok) {
     std::fprintf(stderr, "error: cannot write trace to '%s'\n",
@@ -117,4 +132,39 @@ bool zam::emitBenchTrace(const Trace &T, const SecurityLattice &Lat,
   std::printf("wrote %zu trace records to %s\n", Count,
               Opts.TraceOutPath.c_str());
   return true;
+}
+
+ProgressMeter::ProgressMeter(const char *What, uint64_t Total, bool Enabled)
+    : What(What), Total(Total), Enabled(Enabled),
+      Start(std::chrono::steady_clock::now()), Last(Start) {}
+
+void ProgressMeter::tick() {
+  const uint64_t Done = Count.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Enabled)
+    paint(Done);
+}
+
+void ProgressMeter::update(uint64_t Done) {
+  Count.store(Done, std::memory_order_relaxed);
+  if (Enabled)
+    paint(Done);
+}
+
+void ProgressMeter::paint(uint64_t Done) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const auto Now = std::chrono::steady_clock::now();
+  if (Done < Total && Now - Last < std::chrono::milliseconds(100))
+    return;
+  Last = Now;
+  const double Sec = std::chrono::duration<double>(Now - Start).count();
+  char Eta[48] = "";
+  if (Done > 0 && Done < Total && Sec > 0.5)
+    std::snprintf(Eta, sizeof(Eta), " eta %.0fs",
+                  Sec * static_cast<double>(Total - Done) /
+                      static_cast<double>(Done));
+  std::fprintf(stderr, "\r%s: %" PRIu64 "/%" PRIu64 " (%d%%)%s%s", What,
+               Done, Total,
+               static_cast<int>(Total ? 100 * Done / Total : 100), Eta,
+               Done >= Total ? "\n" : "");
+  std::fflush(stderr);
 }

@@ -9,15 +9,18 @@
 /// The options every harness binary shares: `--threads N` (0 = auto via
 /// ZAM_THREADS / hardware_concurrency), `--json <file>` (write the Report
 /// as machine-readable JSON next to the human-readable tables) and
-/// `--trace-out <file>` / `--trace-format jsonl|chrome` (export the
+/// `--trace-out <file>` / `--trace-format jsonl|chrome|ztb` (export the
 /// bench's representative run as a telemetry trace with a provenance
-/// header). Benches that sample randomized inputs also honour
-/// `--seed S` (base Rng seed; 0 keeps the bench default) and
-/// `--samples N` (per-cell sample budget; 0 keeps the bench default) so
-/// that report content is a pure function of (program, seed, samples)
-/// and byte-identical at any `--threads` / ZAM_THREADS setting. Emitted
-/// reports carry a `meta` provenance block (obs/Telemetry.h
-/// provenanceJson).
+/// header; without an explicit --trace-format the path's extension decides
+/// — .jsonl, .json or .ztb — and any other extension is an error).
+/// Benches that sample randomized inputs also honour `--seed S` (base Rng
+/// seed; 0 keeps the bench default) and `--samples N` (per-cell sample
+/// budget; 0 keeps the bench default) so that report content is a pure
+/// function of (program, seed, samples) and byte-identical at any
+/// `--threads` / ZAM_THREADS setting. `--progress` turns on a stderr-only
+/// progress meter (ProgressMeter below) that never touches stdout, JSON
+/// reports or trace bytes. Emitted reports carry a `meta` provenance block
+/// (obs/Telemetry.h provenanceJson).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,29 +30,43 @@
 #include "exp/Report.h"
 #include "sem/Event.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 
 namespace zam {
 
 class SecurityLattice;
+enum class TraceFormat;
 
 /// Parsed harness options.
 struct HarnessOptions {
   unsigned Threads = 0;        ///< 0: resolve from ZAM_THREADS / hardware.
   std::string JsonPath;        ///< Empty: no JSON output.
   std::string TraceOutPath;    ///< Empty: no trace export.
-  std::string TraceFormatName = "jsonl"; ///< "jsonl" or "chrome".
+  /// "jsonl", "chrome" or "ztb"; empty means infer from the --trace-out
+  /// extension (unknown extensions are an error at emission time).
+  std::string TraceFormatName;
   uint64_t Seed = 0;           ///< --seed: base Rng seed (0 = bench default).
   unsigned Samples = 0;        ///< --samples: sample budget (0 = default).
+  bool Progress = false;       ///< --progress: stderr-only meter.
   bool Ok = true;              ///< False on malformed arguments.
 };
 
 /// Parses `--threads N`, `--json FILE`, `--trace-out FILE`,
-/// `--trace-format jsonl|chrome`, `--seed S` and `--samples N` from a
-/// bench's argv; unknown arguments set Ok = false (benches exit 2 with a
-/// usage line).
+/// `--trace-format jsonl|chrome|ztb`, `--seed S`, `--samples N` and
+/// `--progress` from a bench's argv; unknown arguments set Ok = false
+/// (benches exit 2 with a usage line).
 HarnessOptions parseHarnessArgs(int Argc, char **Argv);
+
+/// Resolves the bench trace format: the explicit --trace-format when
+/// given, else the --trace-out extension (.jsonl/.json/.ztb). Prints a
+/// diagnostic and returns nullopt on an uninferable extension. Requires a
+/// nonempty TraceOutPath.
+std::optional<TraceFormat> resolveBenchTraceFormat(const HarnessOptions &Opts);
 
 /// Writes \p R to Opts.JsonPath when requested, with the provenance `meta`
 /// block appended, reporting failures on stderr. \returns false on write
@@ -57,11 +74,39 @@ HarnessOptions parseHarnessArgs(int Argc, char **Argv);
 bool emitReportJson(const Report &R, const HarnessOptions &Opts);
 
 /// Exports \p T (a bench's representative telemetry run) to
-/// Opts.TraceOutPath in Opts.TraceFormatName, prefixed with the provenance
-/// header. No-op when no trace path was requested. \returns false on
-/// failure.
+/// Opts.TraceOutPath, streamed straight to disk in the resolved format and
+/// prefixed with the provenance header. No-op when no trace path was
+/// requested. \returns false on failure.
 bool emitBenchTrace(const Trace &T, const SecurityLattice &Lat,
                     const HarnessOptions &Opts);
+
+/// A stderr-only progress meter: `what: done/total (pct%) eta Ns`,
+/// carriage-return refreshed at most ~10×/s and finished with a newline.
+/// Disabled instances are free; enabled ones write only to stderr, so
+/// stdout tables, --json documents and trace bytes are byte-identical
+/// whether or not a meter runs. tick() is thread-safe (workers may call it
+/// directly from a ParallelRunner lambda).
+class ProgressMeter {
+public:
+  ProgressMeter(const char *What, uint64_t Total, bool Enabled);
+
+  /// Advances the counter by one and maybe repaints (thread-safe).
+  void tick();
+
+  /// Sets the absolute count and maybe repaints (single-writer use).
+  void update(uint64_t Done);
+
+private:
+  void paint(uint64_t Done);
+
+  const char *What;
+  uint64_t Total;
+  bool Enabled;
+  std::atomic<uint64_t> Count{0};
+  std::chrono::steady_clock::time_point Start;
+  std::chrono::steady_clock::time_point Last;
+  std::mutex Mu; ///< Serializes repaints from worker threads.
+};
 
 } // namespace zam
 

@@ -1,0 +1,96 @@
+//===- Histogram.cpp ------------------------------------------------------===//
+
+#include "obs/Histogram.h"
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace zam;
+
+namespace {
+
+/// floor(log2 V) for V > 0.
+unsigned floorLog2(uint64_t V) {
+  unsigned E = 0;
+  while (V >>= 1)
+    ++E;
+  return E;
+}
+
+} // namespace
+
+unsigned LogLinearHistogram::bucketIndex(uint64_t V) {
+  constexpr uint64_t Sub = uint64_t(1) << SubBits;
+  if (V < Sub)
+    return static_cast<unsigned>(V); // Exact unit buckets.
+  const unsigned E = floorLog2(V); // >= SubBits
+  const unsigned SubIdx =
+      static_cast<unsigned>((V >> (E - SubBits)) - Sub); // in [0, Sub)
+  return static_cast<unsigned>(Sub + (E - SubBits) * Sub + SubIdx);
+}
+
+uint64_t LogLinearHistogram::bucketUpper(unsigned Index) {
+  constexpr uint64_t Sub = uint64_t(1) << SubBits;
+  if (Index < Sub)
+    return Index;
+  const unsigned E = (Index - Sub) / Sub + SubBits;
+  const unsigned SubIdx = (Index - Sub) % Sub;
+  const uint64_t Lower = (Sub + SubIdx) << (E - SubBits);
+  const uint64_t Width = uint64_t(1) << (E - SubBits);
+  return Lower + (Width - 1);
+}
+
+void LogLinearHistogram::add(uint64_t V, uint64_t Count) {
+  if (Count == 0)
+    return;
+  const unsigned Index = bucketIndex(V);
+  if (Index >= Buckets.size())
+    Buckets.resize(Index + 1, 0);
+  Buckets[Index] += Count;
+  Total += Count;
+  Min = std::min(Min, V);
+  Max = std::max(Max, V);
+}
+
+void LogLinearHistogram::merge(const LogLinearHistogram &Other) {
+  if (Other.Total == 0)
+    return;
+  if (Other.Buckets.size() > Buckets.size())
+    Buckets.resize(Other.Buckets.size(), 0);
+  for (size_t I = 0; I != Other.Buckets.size(); ++I)
+    Buckets[I] += Other.Buckets[I];
+  Total += Other.Total;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+}
+
+uint64_t LogLinearHistogram::quantile(double Q) const {
+  if (Total == 0)
+    return 0;
+  // Rank of the target observation, 1-based; ceil avoids floating-point
+  // rank interpolation so the result is always a real bucket bound.
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(Q * double(Total)));
+  Rank = std::max<uint64_t>(1, std::min(Rank, Total));
+  uint64_t Seen = 0;
+  for (size_t I = 0; I != Buckets.size(); ++I) {
+    Seen += Buckets[I];
+    if (Seen >= Rank)
+      return std::max(Min, std::min(Max, bucketUpper(static_cast<unsigned>(I))));
+  }
+  return Max;
+}
+
+void LogLinearHistogram::exportMetrics(MetricsRegistry &Reg,
+                                       const std::string &Name,
+                                       const std::string &Prefix) const {
+  const std::string Base = Prefix + "dist." + Name + ".";
+  Reg.setCounter(Base + "count", Total);
+  Reg.setCounter(Base + "min", min());
+  Reg.setCounter(Base + "max", max());
+  Reg.setCounter(Base + "p50", quantile(0.50));
+  Reg.setCounter(Base + "p90", quantile(0.90));
+  Reg.setCounter(Base + "p99", quantile(0.99));
+  Reg.setCounter(Base + "p999", quantile(0.999));
+}

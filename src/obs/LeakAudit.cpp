@@ -2,7 +2,10 @@
 
 #include "obs/LeakAudit.h"
 
+#include "obs/TraceReader.h"
+
 #include <cmath>
+#include <cstdlib>
 
 using namespace zam;
 
@@ -68,7 +71,9 @@ void LeakAudit::onWindow(const MitigateRecord &R) {
   A.Misses = R.MissesAfter;
   A.BitsBound += W.WindowBits;
   W.CumLevelBits = A.BitsBound;
-  Counted.push_back(W);
+  ++CountedWindows;
+  if (RetainWindows)
+    Counted.push_back(W);
 }
 
 void LeakAudit::ingest(const Trace &T) {
@@ -76,8 +81,72 @@ void LeakAudit::ingest(const Trace &T) {
     onWindow(R);
 }
 
+bool LeakAudit::replay(TraceReader &Reader, std::string &Err) {
+  // Miss[ℓ] rebuilt from the stream by re-running the Fig. 6 update loop:
+  // one window can bump Miss[ℓ] several times (each doubling epoch the
+  // body outran), so the span's boolean mispredicted flag is not enough —
+  // settle() on the recorded estimate and consumed time reproduces the
+  // exact increment count. exportTrace always emits every mitigate span,
+  // so replay order reproduces the online table; the recomputed padded
+  // duration is checked against the recorded one to catch a policy or
+  // penalty-granularity mismatch.
+  MitigationState State(Lat, Policies.base(), PenaltyPolicy::PerLevel);
+  TraceRecord R;
+  while (Reader.next(R)) {
+    if (R.RecordKind != TraceRecord::Kind::Span || R.Category != "mit")
+      continue;
+    MitigateRecord M;
+    const size_t Hash = R.Name.rfind('#');
+    if (Hash != std::string::npos)
+      M.Eta = static_cast<unsigned>(
+          std::strtoul(R.Name.c_str() + Hash + 1, nullptr, 10));
+    std::string LevelName, PcName;
+    for (const auto &[Key, Value] : R.Args) {
+      if (Key == "level")
+        LevelName = Value;
+      else if (Key == "pc")
+        PcName = Value;
+      else if (Key == "estimate")
+        M.Estimate = std::strtoll(Value.c_str(), nullptr, 10);
+      else if (Key == "consumed")
+        M.BodyTime = std::strtoull(Value.c_str(), nullptr, 10);
+      else if (Key == "mispredicted")
+        M.Mispredicted = Value == "true";
+      else if (Key == "loc")
+        M.Line = static_cast<uint32_t>(
+            std::strtoul(Value.c_str(), nullptr, 10));
+    }
+    const std::optional<Label> Level = Lat.byName(LevelName);
+    const std::optional<Label> Pc = Lat.byName(PcName);
+    if (!Level || !Pc) {
+      Err = "mitigate span '" + R.Name + "' names an unknown level";
+      return false;
+    }
+    M.Level = *Level;
+    M.PcLabel = *Pc;
+    M.Start = R.Ts;
+    M.Duration = R.Dur;
+    const MitigationState::Outcome Out =
+        State.settle(M.Estimate, M.Level, M.BodyTime, Policies.forSite(M.Eta));
+    if (Out.Duration != M.Duration || Out.Mispredicted != M.Mispredicted) {
+      Err = "mitigate span '" + R.Name +
+            "' diverges from the replayed schedule (policy or penalty "
+            "mismatch)";
+      return false;
+    }
+    M.MissesAfter = State.misses(M.Level);
+    onWindow(M);
+  }
+  if (!Reader.ok()) {
+    Err = Reader.error();
+    return false;
+  }
+  return true;
+}
+
 void LeakAudit::reset() {
   Counted.clear();
+  CountedWindows = 0;
   Accounts.assign(Lat.size(), LevelAccount());
 }
 
@@ -98,6 +167,6 @@ void LeakAudit::exportMetrics(MetricsRegistry &Reg,
     Reg.setGauge(Base + "mispredict_penalty_bits",
                  Policies.base().penaltyBits(A.Misses));
   }
-  Reg.setCounter(Prefix + "leak.windows", Counted.size());
+  Reg.setCounter(Prefix + "leak.windows", CountedWindows);
   Reg.setGauge(Prefix + "leak.total_bits_bound", totalBitsBound());
 }

@@ -51,6 +51,8 @@
 
 namespace zam {
 
+class TraceReader;
+
 /// N(T) for one window of the fast-doubling scheme: how many schedule
 /// values max(Estimate,1)·2^k fit within global time \p ElapsedTime.
 /// Always at least 1 (the window did settle on something). Delegates to
@@ -120,10 +122,27 @@ public:
   /// Replays every mitigate record of \p T through onWindow.
   void ingest(const Trace &T);
 
+  /// Replays mitigate spans (cat "mit") pulled from \p Reader through
+  /// onWindow — single-pass and O(1) memory (with retention off), over any
+  /// on-disk trace format. The per-level Miss table is rebuilt from the
+  /// spans' mispredicted flags, so the resulting accounts are bit-identical
+  /// to the online run's. \returns false with \p Err set on a malformed
+  /// span or a stream decode error.
+  bool replay(TraceReader &Reader, std::string &Err);
+
+  /// When \p Keep is false, counted windows still update the per-level
+  /// accounts but are not retained in windows() — required for
+  /// million-window replays under a fixed memory cap. Default: retain.
+  void setRetainWindows(bool Keep) { RetainWindows = Keep; }
+
   /// Drops all accumulated state; the lattice and adversary stay.
   void reset();
 
   const std::vector<LeakWindow> &windows() const { return Counted; }
+
+  /// Counted windows across all levels (valid whether or not the
+  /// LeakWindow rows themselves were retained).
+  uint64_t countedWindows() const { return CountedWindows; }
   const LevelAccount &account(Label L) const { return Accounts[L.index()]; }
 
   /// Σ over all levels of the per-level bits bound, summed in lattice
@@ -148,6 +167,8 @@ private:
   const SecurityLattice &Lat;
   std::optional<Label> Adversary;
   PolicySelection Policies;
+  bool RetainWindows = true;
+  uint64_t CountedWindows = 0;
   std::vector<LeakWindow> Counted;
   std::vector<LevelAccount> Accounts; ///< Indexed by label index.
 };

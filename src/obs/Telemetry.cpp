@@ -4,6 +4,7 @@
 
 #include "obs/CostLedger.h"
 #include "obs/LeakAudit.h"
+#include "obs/Ztb.h"
 #include "support/BuildInfo.h"
 
 #include <algorithm>
@@ -69,7 +70,35 @@ std::optional<TraceFormat> zam::parseTraceFormat(const std::string &Name) {
     return TraceFormat::Jsonl;
   if (Name == "chrome")
     return TraceFormat::Chrome;
+  if (Name == "ztb")
+    return TraceFormat::Ztb;
   return std::nullopt;
+}
+
+std::optional<TraceFormat> zam::inferTraceFormat(const std::string &Path) {
+  const size_t Dot = Path.rfind('.');
+  if (Dot == std::string::npos)
+    return std::nullopt;
+  const std::string Ext = Path.substr(Dot);
+  if (Ext == ".jsonl")
+    return TraceFormat::Jsonl;
+  if (Ext == ".json")
+    return TraceFormat::Chrome;
+  if (Ext == ".ztb")
+    return TraceFormat::Ztb;
+  return std::nullopt;
+}
+
+const char *zam::traceFormatName(TraceFormat Format) {
+  switch (Format) {
+  case TraceFormat::Jsonl:
+    return "jsonl";
+  case TraceFormat::Chrome:
+    return "chrome";
+  case TraceFormat::Ztb:
+    return "ztb";
+  }
+  return "?";
 }
 
 std::unique_ptr<TraceSink> zam::makeTraceSink(TraceFormat Format) {
@@ -78,6 +107,21 @@ std::unique_ptr<TraceSink> zam::makeTraceSink(TraceFormat Format) {
     return std::make_unique<JsonlTraceSink>();
   case TraceFormat::Chrome:
     return std::make_unique<ChromeTraceSink>();
+  case TraceFormat::Ztb:
+    return std::make_unique<ZtbTraceSink>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<TraceSink> zam::makeTraceSink(TraceFormat Format,
+                                              ByteSink &Out) {
+  switch (Format) {
+  case TraceFormat::Jsonl:
+    return std::make_unique<JsonlTraceSink>(Out);
+  case TraceFormat::Chrome:
+    return std::make_unique<ChromeTraceSink>(Out);
+  case TraceFormat::Ztb:
+    return std::make_unique<ZtbTraceSink>(Out);
   }
   return nullptr;
 }
@@ -143,6 +187,8 @@ size_t zam::exportTrace(TraceSink &Sink, const Trace &T,
     LeakAudit Audit(Lat, Opts.Adversary, Opts.Mitigation);
     Audit.ingest(T);
     const MitigationPolicy &RunDefault = Opts.Mitigation.base();
+    uint64_t SnapWindows = 0;
+    double SnapBits = 0;
     for (const LeakWindow &W : Audit.windows()) {
       TraceRecord R;
       R.RecordKind = TraceRecord::Kind::Span;
@@ -165,6 +211,22 @@ size_t zam::exportTrace(TraceSink &Sink, const Trace &T,
       if (W.Line != 0)
         R.Args.emplace_back("loc", std::to_string(W.Line));
       Records.push_back(std::move(R));
+
+      // Periodic metrics snapshots: a deterministic running time series of
+      // the Sec. 6 account, stamped at the window's completion time.
+      ++SnapWindows;
+      SnapBits += W.WindowBits;
+      if (Opts.SnapshotEveryWindows != 0 &&
+          SnapWindows % Opts.SnapshotEveryWindows == 0) {
+        TraceRecord S;
+        S.RecordKind = TraceRecord::Kind::Meta;
+        S.Name = "snapshot";
+        S.Category = "obs";
+        S.Ts = W.Start + W.Duration;
+        S.Args.emplace_back("windows", std::to_string(SnapWindows));
+        S.Args.emplace_back("total_bits_bound", jsonNumberString(SnapBits));
+        Records.push_back(std::move(S));
+      }
     }
   }
 

@@ -74,13 +74,26 @@ void collectRunMetrics(MetricsRegistry &Reg, const Trace &T, const HwStats &Hw,
 enum class TraceFormat {
   Jsonl,  ///< One JSON object per line.
   Chrome, ///< Chrome trace-event array (chrome://tracing, Perfetto).
+  Ztb,    ///< Compact binary (obs/Ztb.h) for million-window runs.
 };
 
-/// Parses "jsonl"/"chrome"; std::nullopt otherwise.
+/// Parses "jsonl"/"chrome"/"ztb"; std::nullopt otherwise.
 std::optional<TraceFormat> parseTraceFormat(const std::string &Name);
 
-/// Builds the sink for \p Format.
+/// Infers the format from \p Path's extension: .jsonl → Jsonl,
+/// .json → Chrome, .ztb → Ztb; std::nullopt for anything else (callers
+/// report an unknown-extension error unless --trace-format overrides).
+std::optional<TraceFormat> inferTraceFormat(const std::string &Path);
+
+/// The canonical CLI name of \p Format ("jsonl"/"chrome"/"ztb").
+const char *traceFormatName(TraceFormat Format);
+
+/// Builds a buffering sink for \p Format (finish() returns the bytes).
 std::unique_ptr<TraceSink> makeTraceSink(TraceFormat Format);
+
+/// Builds a streaming sink for \p Format that emits incrementally through
+/// \p Out (call close() when done); O(1) memory with a FileByteSink.
+std::unique_ptr<TraceSink> makeTraceSink(TraceFormat Format, ByteSink &Out);
 
 /// What exportTrace() emits.
 struct TraceExportOptions {
@@ -106,6 +119,12 @@ struct TraceExportOptions {
   /// per-span "policy" arg, so offline readers reconstruct the selection
   /// from the trace alone.
   PolicySelection Mitigation;
+  /// When nonzero (and leak_budget spans are on), emit a metrics-snapshot
+  /// meta row (name "snapshot", cat "obs") after every Nth counted window,
+  /// carrying the running window count and Sec. 6 bits bound — a
+  /// deterministic time series zamtrace report renders as a sparkline.
+  /// Off by default so existing trace bytes are unchanged.
+  uint64_t SnapshotEveryWindows = 0;
 };
 
 /// Streams \p T into \p Sink as one merged, time-ordered record sequence:

@@ -1,0 +1,136 @@
+//===- TraceReader.h - Pull-based trace decoding ----------------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The read side of the structured-tracing subsystem: pull-based,
+/// single-pass decoders that stream TraceRecords out of any of the three
+/// on-disk formats (JSONL, Chrome trace-event array, ZTB binary) without
+/// loading the file into memory. Consumers (tools/zamtrace,
+/// LeakAudit::replay) see one uniform record model:
+///
+///   - The provenance header surfaces as a leading Kind::Meta record with
+///     an empty Name; mid-stream metadata rows (metrics snapshots) are
+///     Kind::Meta records with their name set.
+///   - Arg values are the producer's strings: number-literal args
+///     round-trip through jsonNumberString, so a double re-parsed with
+///     strtod is bit-identical to the one the producer held.
+///
+/// Decode errors set error() and, where the format allows (ZTB frame
+/// markers), the reader resynchronizes and keeps yielding records; text
+/// readers stop at the first malformed line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_OBS_TRACEREADER_H
+#define ZAM_OBS_TRACEREADER_H
+
+#include "obs/TraceSink.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace zam {
+
+/// Abstract pull-based source of trace records.
+class TraceReader {
+public:
+  virtual ~TraceReader();
+
+  /// Pulls the next record into \p R; false at end of stream.
+  virtual bool next(TraceRecord &R) = 0;
+
+  /// Empty while the stream decodes cleanly; else the first error seen.
+  const std::string &error() const { return Err; }
+  bool ok() const { return Err.empty(); }
+
+protected:
+  /// Records the first decode error (later ones are dropped).
+  void fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg;
+  }
+
+  std::string Err;
+};
+
+/// Streams one JSON object per line. Blank lines are skipped; the first
+/// malformed line stops the stream with error() set.
+class JsonlTraceReader final : public TraceReader {
+public:
+  /// Reads from \p F (binary mode); closes it on destruction when
+  /// \p TakeOwnership.
+  JsonlTraceReader(std::FILE *F, bool TakeOwnership);
+  ~JsonlTraceReader() override;
+
+  bool next(TraceRecord &R) override;
+
+private:
+  std::FILE *F;
+  bool Owns;
+  std::string Line;
+};
+
+/// Streams a Chrome trace-event array written by ChromeTraceSink: one
+/// event object per line between the "[" and "]" lines. (Arbitrary
+/// hand-reflowed Chrome JSON is out of scope — re-export or reflow to one
+/// event per line.)
+class ChromeTraceReader final : public TraceReader {
+public:
+  ChromeTraceReader(std::FILE *F, bool TakeOwnership);
+  ~ChromeTraceReader() override;
+
+  bool next(TraceRecord &R) override;
+
+private:
+  std::FILE *F;
+  bool Owns;
+  bool SawOpen = false;
+  bool Done = false;
+  std::string Line;
+};
+
+/// Streams the ZTB binary format (obs/Ztb.h). On a framing error the
+/// reader scans forward to the next frame marker and resumes, so a
+/// corrupted or truncated file still yields every decodable record;
+/// error() reports the first problem.
+class ZtbTraceReader final : public TraceReader {
+public:
+  ZtbTraceReader(std::FILE *F, bool TakeOwnership);
+  ~ZtbTraceReader() override;
+
+  bool next(TraceRecord &R) override;
+
+private:
+  bool readPreamble();
+  bool refill();
+  int getByte();
+  int peekByte();
+  bool readVarint(uint64_t &V);
+  bool resync();
+
+  std::FILE *F;
+  bool Owns;
+  std::vector<char> Buf;
+  size_t Pos = 0, End = 0;
+  bool SawPreamble = false;
+  bool Dead = false;
+  bool HeaderPending = false;
+  TraceRecord Header;
+  std::string Payload;
+};
+
+/// Opens \p Path and sniffs the format: the ZTB magic selects the binary
+/// reader, a leading '[' the Chrome reader, anything else JSONL. Returns
+/// nullptr with \p Err set when the file cannot be opened.
+std::unique_ptr<TraceReader> openTraceReader(const std::string &Path,
+                                             std::string &Err);
+
+} // namespace zam
+
+#endif // ZAM_OBS_TRACEREADER_H

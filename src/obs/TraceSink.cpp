@@ -7,11 +7,24 @@
 
 using namespace zam;
 
+ByteSink::~ByteSink() = default;
+
+TraceSink::TraceSink()
+    : Owned(std::make_unique<StringByteSink>()), Sink(Owned.get()) {}
+
+TraceSink::TraceSink(ByteSink &Sink) : Sink(&Sink) {}
+
 TraceSink::~TraceSink() = default;
 
 void TraceSink::header(
     const std::vector<std::pair<std::string, std::string>> &Meta) {
   (void)Meta; // Sinks without a preamble representation drop it.
+}
+
+const std::string &TraceSink::finish() {
+  close();
+  static const std::string Empty;
+  return Owned ? Owned->str() : Empty;
 }
 
 namespace {
@@ -46,12 +59,44 @@ void appendQuoted(std::string &Out, const std::string &S) {
   Out += '"';
 }
 
+void appendArgs(std::string &Out,
+                const std::vector<std::pair<std::string, std::string>> &Args) {
+  Out += '{';
+  bool First = true;
+  for (const auto &[Key, Value] : Args) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendQuoted(Out, Key);
+    Out += ':';
+    if (traceArgIsNumberLiteral(Value))
+      Out += Value;
+    else
+      appendQuoted(Out, Value);
+  }
+  Out += '}';
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu", static_cast<unsigned long long>(V));
+  Out += Buf;
+}
+
+void appendDouble(std::string &Out, double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}
+
+} // namespace
+
 /// Args values that read as JSON number literals — an optional sign,
 /// digits, then optional fraction and exponent parts — are emitted bare;
 /// everything else is quoted. Covers the integers the producers printf and
 /// the doubles they format via jsonNumberString ("3.5849625007211563",
 /// "1e+20"); "inf"/"nan" fail the test and stay quoted strings.
-bool isNumberLiteral(const std::string &S) {
+bool zam::traceArgIsNumberLiteral(const std::string &S) {
   size_t I = !S.empty() && S[0] == '-' ? 1 : 0;
   size_t Digits = 0;
   while (I != S.size() && std::isdigit(static_cast<unsigned char>(S[I]))) {
@@ -85,77 +130,54 @@ bool isNumberLiteral(const std::string &S) {
   return I == S.size();
 }
 
-void appendArgs(std::string &Out,
-                const std::vector<std::pair<std::string, std::string>> &Args) {
-  Out += '{';
-  bool First = true;
-  for (const auto &[Key, Value] : Args) {
-    if (!First)
-      Out += ',';
-    First = false;
-    appendQuoted(Out, Key);
-    Out += ':';
-    if (isNumberLiteral(Value))
-      Out += Value;
-    else
-      appendQuoted(Out, Value);
-  }
-  Out += '}';
-}
-
-void appendU64(std::string &Out, uint64_t V) {
-  char Buf[24];
-  std::snprintf(Buf, sizeof(Buf), "%llu", static_cast<unsigned long long>(V));
-  Out += Buf;
-}
-
-void appendDouble(std::string &Out, double V) {
-  char Buf[40];
-  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
-  Out += Buf;
-}
-
-} // namespace
-
 void JsonlTraceSink::header(
     const std::vector<std::pair<std::string, std::string>> &Meta) {
-  Out += "{\"kind\":\"meta\",\"args\":";
-  appendArgs(Out, Meta);
-  Out += "}\n";
+  Scratch.clear();
+  Scratch += "{\"kind\":\"meta\",\"args\":";
+  appendArgs(Scratch, Meta);
+  Scratch += "}\n";
+  emit(Scratch);
 }
 
 void JsonlTraceSink::record(const TraceRecord &R) {
-  Out += "{\"kind\":";
+  Scratch.clear();
+  Scratch += "{\"kind\":";
   switch (R.RecordKind) {
   case TraceRecord::Kind::Instant:
-    Out += "\"instant\"";
+    Scratch += "\"instant\"";
     break;
   case TraceRecord::Kind::Span:
-    Out += "\"span\"";
+    Scratch += "\"span\"";
     break;
   case TraceRecord::Kind::Counter:
-    Out += "\"counter\"";
+    Scratch += "\"counter\"";
+    break;
+  case TraceRecord::Kind::Meta:
+    // Mid-stream metadata (metrics snapshots). Distinguished from the
+    // nameless header line by the presence of "name".
+    Scratch += "\"meta\"";
     break;
   }
-  Out += ",\"name\":";
-  appendQuoted(Out, R.Name);
-  Out += ",\"cat\":";
-  appendQuoted(Out, R.Category);
-  Out += ",\"ts\":";
-  appendU64(Out, R.Ts);
+  Scratch += ",\"name\":";
+  appendQuoted(Scratch, R.Name);
+  Scratch += ",\"cat\":";
+  appendQuoted(Scratch, R.Category);
+  Scratch += ",\"ts\":";
+  appendU64(Scratch, R.Ts);
   if (R.RecordKind == TraceRecord::Kind::Span) {
-    Out += ",\"dur\":";
-    appendU64(Out, R.Dur);
+    Scratch += ",\"dur\":";
+    appendU64(Scratch, R.Dur);
   }
   if (R.RecordKind == TraceRecord::Kind::Counter) {
-    Out += ",\"value\":";
-    appendDouble(Out, R.Value);
+    Scratch += ",\"value\":";
+    appendDouble(Scratch, R.Value);
   }
   if (!R.Args.empty()) {
-    Out += ",\"args\":";
-    appendArgs(Out, R.Args);
+    Scratch += ",\"args\":";
+    appendArgs(Scratch, R.Args);
   }
-  Out += "}\n";
+  Scratch += "}\n";
+  emit(Scratch);
 }
 
 unsigned ChromeTraceSink::tidFor(const std::string &Category) {
@@ -170,55 +192,66 @@ void ChromeTraceSink::header(
     const std::vector<std::pair<std::string, std::string>> &Meta) {
   // A trace-event metadata record: ph "M" carries no timeline semantics,
   // so viewers show the provenance without perturbing the rows.
-  Out += First ? "[\n" : ",\n";
+  Scratch.clear();
+  Scratch += First ? "[\n" : ",\n";
   First = false;
-  Out += "{\"name\":\"zam_build\",\"cat\":\"meta\",\"ph\":\"M\",\"pid\":1,"
-         "\"tid\":0,\"ts\":0,\"args\":";
-  appendArgs(Out, Meta);
-  Out += '}';
+  Scratch += "{\"name\":\"zam_build\",\"cat\":\"meta\",\"ph\":\"M\",\"pid\":1,"
+             "\"tid\":0,\"ts\":0,\"args\":";
+  appendArgs(Scratch, Meta);
+  Scratch += '}';
+  emit(Scratch);
 }
 
 void ChromeTraceSink::record(const TraceRecord &R) {
-  Out += First ? "[\n" : ",\n";
+  Scratch.clear();
+  Scratch += First ? "[\n" : ",\n";
   First = false;
-  Out += "{\"name\":";
-  appendQuoted(Out, R.Name);
-  Out += ",\"cat\":";
-  appendQuoted(Out, R.Category);
+  Scratch += "{\"name\":";
+  appendQuoted(Scratch, R.Name);
+  Scratch += ",\"cat\":";
+  appendQuoted(Scratch, R.Category);
   switch (R.RecordKind) {
   case TraceRecord::Kind::Instant:
-    Out += ",\"ph\":\"i\",\"s\":\"t\"";
+    Scratch += ",\"ph\":\"i\",\"s\":\"t\"";
     break;
   case TraceRecord::Kind::Span:
-    Out += ",\"ph\":\"X\"";
+    Scratch += ",\"ph\":\"X\"";
     break;
   case TraceRecord::Kind::Counter:
-    Out += ",\"ph\":\"C\"";
+    Scratch += ",\"ph\":\"C\"";
+    break;
+  case TraceRecord::Kind::Meta:
+    Scratch += ",\"ph\":\"M\"";
     break;
   }
-  Out += ",\"pid\":1,\"tid\":";
-  appendU64(Out, tidFor(R.Category));
-  Out += ",\"ts\":";
-  appendU64(Out, R.Ts);
+  Scratch += ",\"pid\":1,\"tid\":";
+  // Metadata rows carry no timeline semantics, so they stay off the
+  // category rows (tid 0, like the provenance header).
+  appendU64(Scratch,
+            R.RecordKind == TraceRecord::Kind::Meta ? 0 : tidFor(R.Category));
+  Scratch += ",\"ts\":";
+  appendU64(Scratch, R.Ts);
   if (R.RecordKind == TraceRecord::Kind::Span) {
-    Out += ",\"dur\":";
-    appendU64(Out, R.Dur);
+    Scratch += ",\"dur\":";
+    appendU64(Scratch, R.Dur);
   }
   if (R.RecordKind == TraceRecord::Kind::Counter) {
-    Out += ",\"args\":{\"value\":";
-    appendDouble(Out, R.Value);
-    Out += '}';
+    Scratch += ",\"args\":{\"value\":";
+    appendDouble(Scratch, R.Value);
+    Scratch += '}';
   } else if (!R.Args.empty()) {
-    Out += ",\"args\":";
-    appendArgs(Out, R.Args);
+    Scratch += ",\"args\":";
+    appendArgs(Scratch, R.Args);
   }
-  Out += '}';
+  Scratch += '}';
+  emit(Scratch);
 }
 
-const std::string &ChromeTraceSink::finish() {
-  if (!Finished) {
-    Out += First ? "[]\n" : "\n]\n";
-    Finished = true;
-  }
-  return Out;
+void ChromeTraceSink::close() {
+  if (Closed)
+    return;
+  Closed = true;
+  Scratch.clear();
+  Scratch += First ? "[]\n" : "\n]\n";
+  emit(Scratch);
 }

@@ -7,7 +7,7 @@
 ///
 /// \file
 /// The structured-tracing side of the telemetry subsystem: a small record
-/// model (instants, spans, counters on the simulated cycle clock) and two
+/// model (instants, spans, counters on the simulated cycle clock) and the
 /// serialization backends —
 ///
 ///   - JsonlTraceSink: one JSON object per line, schema documented in
@@ -17,8 +17,13 @@
 ///     "X" events, instants to "i" events, counters to "C" events.
 ///     Timestamps are simulated cycles reported in the format's µs field
 ///     (1 cycle = 1 µs); both viewers treat ts as unitless.
+///   - ZtbTraceSink (obs/Ztb.h): the compact binary format for
+///     million-window runs.
 ///
-/// Sinks buffer into a string; callers decide where bytes go. Producers
+/// Sinks serialize records incrementally through a caller-supplied
+/// ByteSink, so a trace is never buffered whole: pass a FileByteSink to
+/// stream to disk in O(1) memory, or a StringByteSink (the default) to
+/// capture bytes for tests and golden comparisons. Producers
 /// (obs/Telemetry.h) emit records in nondecreasing Ts order so the Chrome
 /// backend needs no sorting pass.
 ///
@@ -28,6 +33,8 @@
 #define ZAM_OBS_TRACESINK_H
 
 #include <cstdint>
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +47,7 @@ struct TraceRecord {
     Instant, ///< A point event (assignment, cache miss).
     Span,    ///< An interval [Ts, Ts + Dur] (mitigate window, step).
     Counter, ///< A sampled counter value at Ts.
+    Meta,    ///< A mid-stream metadata row (periodic metrics snapshot).
   };
 
   Kind RecordKind = Kind::Instant;
@@ -55,56 +63,134 @@ struct TraceRecord {
   std::vector<std::pair<std::string, std::string>> Args;
 };
 
-/// Abstract consumer of trace records.
+/// Whether a record arg value reads as a bare JSON number literal (an
+/// optional sign, digits, optional fraction/exponent). Text sinks emit
+/// such values unquoted; readers use the same predicate to round-trip
+/// args without a type side-channel.
+bool traceArgIsNumberLiteral(const std::string &S);
+
+/// Abstract destination for serialized trace bytes. Implementations must
+/// accept writes in order; there is no seek.
+class ByteSink {
+public:
+  virtual ~ByteSink();
+
+  virtual void write(const char *Data, size_t Size) = 0;
+  void write(const std::string &S) { write(S.data(), S.size()); }
+
+  /// False once any write failed (short write, I/O error).
+  virtual bool ok() const { return true; }
+};
+
+/// Buffers everything in memory; the pre-streaming behavior, still used by
+/// tests and the byte-stability audits.
+class StringByteSink final : public ByteSink {
+public:
+  void write(const char *Data, size_t Size) override {
+    Out.append(Data, Size);
+  }
+  const std::string &str() const { return Out; }
+
+private:
+  std::string Out;
+};
+
+/// Streams to an open stdio FILE (not owned); the caller opens in binary
+/// mode and closes after TraceSink::close(). O(1) memory.
+class FileByteSink final : public ByteSink {
+public:
+  explicit FileByteSink(std::FILE *F) : F(F) {}
+
+  void write(const char *Data, size_t Size) override {
+    if (std::fwrite(Data, 1, Size, F) != Size)
+      Ok = false;
+  }
+  bool ok() const override { return Ok; }
+
+private:
+  std::FILE *F;
+  bool Ok = true;
+};
+
+/// Abstract consumer of trace records. Default-constructed sinks buffer
+/// into an internal StringByteSink retrievable via finish(); sinks built
+/// over an external ByteSink emit incrementally and are finalized with
+/// close().
 class TraceSink {
 public:
+  /// Buffers into an owned StringByteSink (finish() returns it).
+  TraceSink();
+  /// Streams through \p Sink (not owned); call close() when done.
+  explicit TraceSink(ByteSink &Sink);
   virtual ~TraceSink();
 
   /// Optional provenance preamble (build hash, compiler, ...). Must be
   /// called before the first record; the default drops it. JSONL emits a
   /// kind:"meta" first line, Chrome a ph:"M" metadata event — offline
-  /// readers (tools/zamtrace) skip both when aggregating.
+  /// readers (obs/TraceReader.h, tools/zamtrace) skip both when
+  /// aggregating.
   virtual void header(
       const std::vector<std::pair<std::string, std::string>> &Meta);
 
   /// Consumes one record. Records must arrive in nondecreasing Ts order.
   virtual void record(const TraceRecord &R) = 0;
 
-  /// Finalizes the serialized form (idempotent) and returns the buffer.
-  virtual const std::string &finish() = 0;
+  /// Emits any format trailer (idempotent). The byte stream is complete —
+  /// and FileByteSink contents valid — only after close().
+  virtual void close() {}
+
+  /// close(), then the full buffered serialization. Only meaningful for
+  /// default-constructed (string-buffered) sinks; external-sink instances
+  /// return an empty string because their bytes already left the process.
+  const std::string &finish();
+
+  /// Whether every write so far succeeded.
+  bool ok() const { return Sink->ok(); }
+
+protected:
+  /// Writes \p Bytes through the destination sink.
+  void emit(const std::string &Bytes) { Sink->write(Bytes); }
+
+  /// Per-record scratch buffer: records are serialized here, then emitted
+  /// as one write. Derived sinks clear it at the top of each record.
+  std::string Scratch;
+
+private:
+  std::unique_ptr<StringByteSink> Owned;
+  ByteSink *Sink;
 };
 
 /// JSON-Lines backend: one object per record, keys in a fixed order
 /// (kind, name, cat, ts, then dur/value/args as applicable).
 class JsonlTraceSink final : public TraceSink {
 public:
+  using TraceSink::TraceSink;
+
   void header(
       const std::vector<std::pair<std::string, std::string>> &Meta) override;
   void record(const TraceRecord &R) override;
-  const std::string &finish() override { return Out; }
-
-private:
-  std::string Out;
 };
 
 /// Chrome trace-event backend: a JSON array of events with ph "X" (complete
-/// span), "i" (thread-scoped instant) or "C" (counter). pid is always 1;
-/// tid encodes the category so viewers lay streams out as separate rows.
+/// span), "i" (thread-scoped instant), "C" (counter) or "M" (metadata).
+/// pid is always 1; tid encodes the category so viewers lay streams out as
+/// separate rows.
 class ChromeTraceSink final : public TraceSink {
 public:
+  using TraceSink::TraceSink;
+
   void header(
       const std::vector<std::pair<std::string, std::string>> &Meta) override;
   void record(const TraceRecord &R) override;
-  const std::string &finish() override;
+  void close() override;
 
 private:
   /// Stable row id for a category (registration order, starting at 1).
   unsigned tidFor(const std::string &Category);
 
   std::vector<std::string> Categories;
-  std::string Out;
   bool First = true;
-  bool Finished = false;
+  bool Closed = false;
 };
 
 } // namespace zam

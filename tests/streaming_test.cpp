@@ -1,0 +1,486 @@
+//===- streaming_test.cpp - Bounded-memory telemetry round-trips ----------===//
+//
+// Covers the streaming half of the observability story: byte-identity of
+// the incremental (ByteSink) serialization path against the buffering
+// one, JSON escaping round-trips through both text sinks and their
+// readers (control characters, quotes, backslashes, non-ASCII), the ZTB
+// binary format (header provenance, every record kind, frame-marker
+// resynchronization after truncation and mid-stream corruption), the
+// format-inference helpers, the deterministic log-linear histogram
+// sketches, and the online-vs-replay bit-identity of the leakage
+// accountant over an on-disk trace.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "obs/Histogram.h"
+#include "obs/Json.h"
+#include "obs/LeakAudit.h"
+#include "obs/Metrics.h"
+#include "obs/Telemetry.h"
+#include "obs/TraceReader.h"
+#include "obs/TraceSink.h"
+#include "sem/FullInterpreter.h"
+#include "types/LabelInference.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "gtest/gtest.h"
+
+// GCC 12 emits a bogus -Wrestrict for std::string assignment in the
+// unrolled record-construction loops below (GCC PR 105329).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
+using namespace zam;
+using zam::test::lh;
+
+namespace {
+
+/// Wraps \p Bytes in a rewound stdio stream a reader can own.
+std::FILE *streamOver(const std::string &Bytes) {
+  std::FILE *F = std::tmpfile();
+  EXPECT_NE(F, nullptr);
+  EXPECT_EQ(std::fwrite(Bytes.data(), 1, Bytes.size(), F), Bytes.size());
+  std::rewind(F);
+  return F;
+}
+
+/// Drains \p Reader into a vector.
+std::vector<TraceRecord> drain(TraceReader &Reader) {
+  std::vector<TraceRecord> Out;
+  TraceRecord R;
+  while (Reader.next(R))
+    Out.push_back(R);
+  return Out;
+}
+
+/// A record whose every string field needs escaping: quotes, backslashes,
+/// control characters and multi-byte UTF-8.
+TraceRecord nastyRecord() {
+  TraceRecord R;
+  R.RecordKind = TraceRecord::Kind::Instant;
+  R.Name = "quote\"back\\slash\nnewline\ttab\x01"
+           "ctrl";
+  R.Category = "caf\xc3\xa9"; // café
+  R.Ts = 7;
+  R.Args.emplace_back("key \"k\"", "va\\l\x02ue");
+  R.Args.emplace_back("num", "42");
+  R.Args.emplace_back("neg", "-1.5");
+  R.Args.emplace_back("utf8", "\xe2\x96\x88 block");
+  return R;
+}
+
+void expectSameRecord(const TraceRecord &A, const TraceRecord &B) {
+  EXPECT_EQ(static_cast<int>(A.RecordKind), static_cast<int>(B.RecordKind));
+  EXPECT_EQ(A.Name, B.Name);
+  EXPECT_EQ(A.Category, B.Category);
+  EXPECT_EQ(A.Ts, B.Ts);
+  EXPECT_EQ(A.Dur, B.Dur);
+  EXPECT_EQ(A.Args, B.Args);
+}
+
+void expectSameEntries(const MetricsRegistry &A, const MetricsRegistry &B) {
+  const auto &EA = A.entries();
+  const auto &EB = B.entries();
+  ASSERT_EQ(EA.size(), EB.size());
+  for (size_t I = 0; I != EA.size(); ++I) {
+    EXPECT_EQ(EA[I].Name, EB[I].Name);
+    EXPECT_EQ(EA[I].IsGauge, EB[I].IsGauge);
+    EXPECT_EQ(EA[I].Counter, EB[I].Counter);
+    EXPECT_EQ(EA[I].Gauge, EB[I].Gauge); // Exact: same sums, same order.
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Incremental emission: streaming sinks produce the buffered bytes.
+//===----------------------------------------------------------------------===//
+
+TEST(StreamingSinks, ExternalByteSinkMatchesBufferedBytes) {
+  for (TraceFormat F :
+       {TraceFormat::Jsonl, TraceFormat::Chrome, TraceFormat::Ztb}) {
+    const std::vector<std::pair<std::string, std::string>> Meta = {
+        {"tool", "test"}, {"threads", "8"}};
+    TraceRecord Span;
+    Span.RecordKind = TraceRecord::Kind::Span;
+    Span.Name = "mitigate#0";
+    Span.Category = "mit";
+    Span.Ts = 10;
+    Span.Dur = 1024;
+    Span.Args.emplace_back("padded", "187");
+
+    std::unique_ptr<TraceSink> Buffered = makeTraceSink(F);
+    Buffered->header(Meta);
+    Buffered->record(nastyRecord());
+    Buffered->record(Span);
+    const std::string Want = Buffered->finish();
+
+    StringByteSink Captured;
+    std::unique_ptr<TraceSink> Streamed = makeTraceSink(F, Captured);
+    Streamed->header(Meta);
+    Streamed->record(nastyRecord());
+    Streamed->record(Span);
+    Streamed->close();
+    EXPECT_EQ(Captured.str(), Want) << traceFormatName(F);
+    EXPECT_TRUE(Streamed->ok());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JSON escaping round-trips through both text sinks and their readers.
+//===----------------------------------------------------------------------===//
+
+TEST(StreamingSinks, JsonlEscapingRoundTrips) {
+  auto Sink = makeTraceSink(TraceFormat::Jsonl);
+  Sink->record(nastyRecord());
+  const std::string Bytes = Sink->finish();
+  // Every line must be a valid JSON object (escaping produced legal JSON).
+  EXPECT_NE(Bytes.find("\\u0001"), std::string::npos);
+  EXPECT_TRUE(JsonValue::parse(Bytes.substr(0, Bytes.find('\n'))));
+
+  JsonlTraceReader Reader(streamOver(Bytes), /*TakeOwnership=*/true);
+  std::vector<TraceRecord> Got = drain(Reader);
+  EXPECT_TRUE(Reader.ok()) << Reader.error();
+  ASSERT_EQ(Got.size(), 1u);
+  expectSameRecord(Got[0], nastyRecord());
+}
+
+TEST(StreamingSinks, ChromeEscapingRoundTrips) {
+  auto Sink = makeTraceSink(TraceFormat::Chrome);
+  Sink->record(nastyRecord());
+  const std::string Bytes = Sink->finish();
+  EXPECT_TRUE(JsonValue::parse(Bytes)); // The whole array is legal JSON.
+
+  ChromeTraceReader Reader(streamOver(Bytes), /*TakeOwnership=*/true);
+  std::vector<TraceRecord> Got = drain(Reader);
+  EXPECT_TRUE(Reader.ok()) << Reader.error();
+  ASSERT_EQ(Got.size(), 1u);
+  expectSameRecord(Got[0], nastyRecord());
+}
+
+//===----------------------------------------------------------------------===//
+// ZTB: header provenance, every record kind, exact arg fidelity.
+//===----------------------------------------------------------------------===//
+
+TEST(Ztb, RoundTripsHeaderAndEveryRecordKind) {
+  auto Sink = makeTraceSink(TraceFormat::Ztb);
+  Sink->header({{"tool", "zam"}, {"git", "abc123"}});
+
+  TraceRecord Span;
+  Span.RecordKind = TraceRecord::Kind::Span;
+  Span.Name = "mitigate#3";
+  Span.Category = "mit";
+  Span.Ts = 1ull << 40; // Multi-byte varints.
+  Span.Dur = 300;
+  Span.Args.emplace_back("mispredicted", "true");
+
+  TraceRecord Counter;
+  Counter.RecordKind = TraceRecord::Kind::Counter;
+  Counter.Name = "bits";
+  Counter.Category = "leak";
+  Counter.Ts = 5;
+  Counter.Value = 2.321928094887362; // Exact 8-byte payload round-trip.
+
+  TraceRecord Snapshot;
+  Snapshot.RecordKind = TraceRecord::Kind::Meta;
+  Snapshot.Name = "snapshot";
+  Snapshot.Category = "obs";
+  Snapshot.Ts = 99;
+  Snapshot.Args.emplace_back("windows", "12");
+
+  Sink->record(nastyRecord());
+  Sink->record(Span);
+  Sink->record(Counter);
+  Sink->record(Snapshot);
+  const std::string Bytes = Sink->finish();
+
+  ZtbTraceReader Reader(streamOver(Bytes), /*TakeOwnership=*/true);
+  std::vector<TraceRecord> Got = drain(Reader);
+  EXPECT_TRUE(Reader.ok()) << Reader.error();
+  ASSERT_EQ(Got.size(), 5u);
+  // The provenance header surfaces as a leading nameless meta record.
+  EXPECT_EQ(static_cast<int>(Got[0].RecordKind),
+            static_cast<int>(TraceRecord::Kind::Meta));
+  EXPECT_TRUE(Got[0].Name.empty());
+  ASSERT_EQ(Got[0].Args.size(), 2u);
+  EXPECT_EQ(Got[0].Args[0].first, "tool");
+  EXPECT_EQ(Got[0].Args[1].second, "abc123");
+  expectSameRecord(Got[1], nastyRecord());
+  expectSameRecord(Got[2], Span);
+  EXPECT_EQ(Got[3].Value, Counter.Value);
+  expectSameRecord(Got[4], Snapshot);
+}
+
+TEST(Ztb, TruncatedFileYieldsPrefixAndReportsError) {
+  auto Sink = makeTraceSink(TraceFormat::Ztb);
+  Sink->header({{"tool", "test"}});
+  for (unsigned I = 0; I != 100; ++I) {
+    TraceRecord R;
+    R.RecordKind = TraceRecord::Kind::Instant;
+    char Name[16];
+    std::snprintf(Name, sizeof(Name), "r%u", I);
+    R.Name = Name;
+    R.Category = "t";
+    R.Ts = I;
+    Sink->record(R);
+  }
+  const std::string Bytes = Sink->finish();
+
+  ZtbTraceReader Reader(streamOver(Bytes.substr(0, Bytes.size() * 3 / 4)),
+                        /*TakeOwnership=*/true);
+  std::vector<TraceRecord> Got = drain(Reader);
+  EXPECT_FALSE(Reader.ok()); // Truncation is reported...
+  EXPECT_GT(Got.size(), 50u); // ...but the intact prefix still decodes.
+  EXPECT_LT(Got.size(), 101u);
+  EXPECT_EQ(Got[1].Name, "r0");
+}
+
+TEST(Ztb, CorruptionResynchronizesAtFrameMarker) {
+  // Enough records to cross at least one frame boundary (every 4096).
+  const unsigned Total = 9000;
+  auto Sink = makeTraceSink(TraceFormat::Ztb);
+  Sink->header({{"tool", "test"}});
+  for (unsigned I = 0; I != Total; ++I) {
+    TraceRecord R;
+    R.RecordKind = TraceRecord::Kind::Instant;
+    char Name[16];
+    std::snprintf(Name, sizeof(Name), "r%u", I);
+    R.Name = Name;
+    R.Category = "t";
+    R.Ts = I;
+    Sink->record(R);
+  }
+  std::string Bytes = Sink->finish();
+
+  // Trash a run of bytes inside the first frame.
+  const size_t At = Bytes.size() / 4;
+  for (size_t I = At; I != At + 16; ++I)
+    Bytes[I] = static_cast<char>(Bytes[I] ^ 0x5A);
+
+  ZtbTraceReader Reader(streamOver(Bytes), /*TakeOwnership=*/true);
+  std::vector<TraceRecord> Got = drain(Reader);
+  EXPECT_FALSE(Reader.ok()); // The corruption is reported...
+  ASSERT_FALSE(Got.empty());
+  // ...and the reader resynchronized: everything after the next frame
+  // marker decodes, so the stream's tail is intact.
+  EXPECT_EQ(Got.back().Name, std::string("r") += std::to_string(Total - 1));
+  EXPECT_GT(Got.size(), static_cast<size_t>(Total - 4096));
+  EXPECT_LT(Got.size(), static_cast<size_t>(Total + 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Format inference and reader sniffing.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceFormats, ExtensionInference) {
+  EXPECT_EQ(inferTraceFormat("out.jsonl"), TraceFormat::Jsonl);
+  EXPECT_EQ(inferTraceFormat("dir/run.trace.json"), TraceFormat::Chrome);
+  EXPECT_EQ(inferTraceFormat("scale.ztb"), TraceFormat::Ztb);
+  EXPECT_FALSE(inferTraceFormat("trace.txt").has_value());
+  EXPECT_FALSE(inferTraceFormat("noextension").has_value());
+  EXPECT_EQ(parseTraceFormat("ztb"), TraceFormat::Ztb);
+  EXPECT_FALSE(parseTraceFormat("binary").has_value());
+}
+
+TEST(TraceFormats, OpenTraceReaderSniffsAllThreeFormats) {
+  TraceRecord R;
+  R.RecordKind = TraceRecord::Kind::Instant;
+  R.Name = "x";
+  R.Category = "t";
+  R.Ts = 1;
+  for (TraceFormat F :
+       {TraceFormat::Jsonl, TraceFormat::Chrome, TraceFormat::Ztb}) {
+    auto Sink = makeTraceSink(F);
+    Sink->record(R);
+    const std::string Path = testing::TempDir() + "/sniff_" +
+                             std::string(traceFormatName(F)) + ".bin";
+    std::ofstream(Path, std::ios::binary) << Sink->finish();
+    std::string Err;
+    std::unique_ptr<TraceReader> Reader = openTraceReader(Path, Err);
+    ASSERT_NE(Reader, nullptr) << Err;
+    std::vector<TraceRecord> Got = drain(*Reader);
+    EXPECT_TRUE(Reader->ok()) << Reader->error();
+    ASSERT_EQ(Got.size(), 1u) << traceFormatName(F);
+    expectSameRecord(Got[0], R);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// LogLinearHistogram: the deterministic dist.* sketch.
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, SmallValuesAreExact) {
+  LogLinearHistogram H;
+  for (uint64_t V = 1; V <= 10; ++V)
+    H.add(V);
+  EXPECT_EQ(H.total(), 10u);
+  EXPECT_EQ(H.min(), 1u);
+  EXPECT_EQ(H.max(), 10u);
+  // Values below 2^SubBits live in unit buckets: quantiles are exact.
+  EXPECT_EQ(H.quantile(0.5), 5u);
+  EXPECT_EQ(H.quantile(0.9), 9u);
+  EXPECT_EQ(H.quantile(1.0), 10u);
+}
+
+TEST(Histogram, QuantilesClampToObservedExtrema) {
+  LogLinearHistogram H;
+  H.add(1000000);
+  EXPECT_EQ(H.quantile(0.5), 1000000u);
+  EXPECT_EQ(H.quantile(0.999), 1000000u);
+  EXPECT_EQ(H.min(), 1000000u);
+  EXPECT_EQ(H.max(), 1000000u);
+}
+
+TEST(Histogram, BucketsBoundRelativeError) {
+  for (uint64_t V : {1ull, 31ull, 32ull, 1000ull, 123456789ull, 1ull << 50}) {
+    const unsigned Idx = LogLinearHistogram::bucketIndex(V);
+    const uint64_t Upper = LogLinearHistogram::bucketUpper(Idx);
+    EXPECT_GE(Upper, V);
+    // The representative overshoots by at most 2^-SubBits relative.
+    EXPECT_LE(static_cast<double>(Upper - V),
+              static_cast<double>(V) / 32.0 + 1.0);
+  }
+}
+
+TEST(Histogram, MergeIsOrderFree) {
+  std::vector<uint64_t> Values;
+  for (uint64_t I = 0; I != 500; ++I)
+    Values.push_back((I * 2654435761u) % 1000003);
+
+  LogLinearHistogram Forward, Backward, Merged;
+  for (size_t I = 0; I != Values.size(); ++I)
+    Forward.add(Values[I]);
+  for (size_t I = Values.size(); I != 0; --I)
+    Backward.add(Values[I - 1]);
+  LogLinearHistogram Half1, Half2;
+  for (size_t I = 0; I != Values.size(); ++I)
+    (I % 2 ? Half1 : Half2).add(Values[I]);
+  Merged.merge(Half1);
+  Merged.merge(Half2);
+
+  MetricsRegistry RF, RB, RM;
+  Forward.exportMetrics(RF, "v");
+  Backward.exportMetrics(RB, "v");
+  Merged.exportMetrics(RM, "v");
+  expectSameEntries(RF, RB);
+  expectSameEntries(RF, RM);
+}
+
+TEST(Histogram, ExportShapeIsFixedAndInteger) {
+  LogLinearHistogram H;
+  H.add(100, 3);
+  MetricsRegistry Reg;
+  H.exportMetrics(Reg, "end_to_end");
+  const char *Want[] = {
+      "dist.end_to_end.count", "dist.end_to_end.min",
+      "dist.end_to_end.max",   "dist.end_to_end.p50",
+      "dist.end_to_end.p90",   "dist.end_to_end.p99",
+      "dist.end_to_end.p999"};
+  const auto &Entries = Reg.entries();
+  ASSERT_EQ(Entries.size(), 7u);
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    EXPECT_EQ(Entries[I].Name, Want[I]);
+    EXPECT_FALSE(Entries[I].IsGauge); // Integer counters: byte-stable.
+  }
+  EXPECT_EQ(Reg.counterValue("dist.end_to_end.count"), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// LeakAudit: the on-disk replay reproduces the online account bit for bit.
+//===----------------------------------------------------------------------===//
+
+TEST(LeakAuditReplay, ZtbReplayMatchesOnlineAccountBitForBit) {
+  const TwoPointLattice &Lat = lh();
+  Program P = test::parseOrDie("var h : H;\nvar l : L;\n"
+                               "mitigate (64, H) { sleep(h) @[H,H] };\n"
+                               "l := 1",
+                               Lat);
+  inferTimingLabels(P);
+  auto Env = createMachineEnv(HwKind::Partitioned, Lat);
+  RunResult RR = runFull(P, *Env, [](Memory &M) { M.store("h", 700); });
+
+  LeakAudit Online(Lat);
+  Online.ingest(RR.T);
+
+  // Round-trip through every on-disk format; each replay must agree.
+  for (TraceFormat F :
+       {TraceFormat::Jsonl, TraceFormat::Chrome, TraceFormat::Ztb}) {
+    auto Sink = makeTraceSink(F);
+    exportTrace(*Sink, RR.T, Lat);
+    const std::string Bytes = Sink->finish();
+
+    std::FILE *Stream = streamOver(Bytes);
+    std::unique_ptr<TraceReader> Reader;
+    switch (F) {
+    case TraceFormat::Jsonl:
+      Reader = std::make_unique<JsonlTraceReader>(Stream, true);
+      break;
+    case TraceFormat::Chrome:
+      Reader = std::make_unique<ChromeTraceReader>(Stream, true);
+      break;
+    case TraceFormat::Ztb:
+      Reader = std::make_unique<ZtbTraceReader>(Stream, true);
+      break;
+    }
+
+    LeakAudit Replayed(Lat);
+    Replayed.setRetainWindows(false); // The million-window configuration.
+    std::string Err;
+    ASSERT_TRUE(Replayed.replay(*Reader, Err)) << Err;
+    EXPECT_TRUE(Replayed.windows().empty());
+    EXPECT_EQ(Replayed.countedWindows(), Online.countedWindows());
+    EXPECT_EQ(Replayed.totalBitsBound(), Online.totalBitsBound());
+
+    MetricsRegistry A, B;
+    Online.exportMetrics(A);
+    Replayed.exportMetrics(B);
+    expectSameEntries(A, B);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot rows: off by default, deterministic when enabled.
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshots, DisabledByDefaultAndEmittedEveryNthWindow) {
+  const TwoPointLattice &Lat = lh();
+  Program P = test::parseOrDie("var h : H;\nvar l : L;\n"
+                               "mitigate (64, H) { sleep(h) @[H,H] };\n"
+                               "mitigate (64, H) { sleep(h) @[H,H] };\n"
+                               "l := 1",
+                               Lat);
+  inferTimingLabels(P);
+  auto Env = createMachineEnv(HwKind::Partitioned, Lat);
+  RunResult RR = runFull(P, *Env, [](Memory &M) { M.store("h", 30); });
+
+  auto Plain = makeTraceSink(TraceFormat::Jsonl);
+  exportTrace(*Plain, RR.T, Lat);
+  EXPECT_EQ(Plain->finish().find("snapshot"), std::string::npos);
+
+  auto WithSnaps = makeTraceSink(TraceFormat::Jsonl);
+  TraceExportOptions Opts;
+  Opts.SnapshotEveryWindows = 1;
+  exportTrace(*WithSnaps, RR.T, Lat, Opts);
+  const std::string Bytes = WithSnaps->finish();
+
+  JsonlTraceReader Reader(streamOver(Bytes), /*TakeOwnership=*/true);
+  unsigned Snapshots = 0;
+  TraceRecord R;
+  uint64_t LastWindows = 0;
+  while (Reader.next(R))
+    if (R.RecordKind == TraceRecord::Kind::Meta && R.Name == "snapshot") {
+      ++Snapshots;
+      for (const auto &[K, V] : R.Args)
+        if (K == "windows")
+          LastWindows = std::strtoull(V.c_str(), nullptr, 10);
+    }
+  EXPECT_TRUE(Reader.ok()) << Reader.error();
+  EXPECT_EQ(Snapshots, 2u); // One per counted window at N=1.
+  EXPECT_EQ(LastWindows, 2u);
+}

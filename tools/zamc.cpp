@@ -57,8 +57,17 @@
 //                         write them as JSON instead
 //   --trace-out FILE      export the run's timeline to FILE (for leakage:
 //                         the first secret variation; for audit: one plain
-//                         run of the program body)
-//   --trace-format FMT    jsonl | chrome (default: jsonl)
+//                         run of the program body); the format is inferred
+//                         from the extension (.jsonl | .json → chrome |
+//                         .ztb → compact binary) unless --trace-format
+//                         overrides; any other extension is an error
+//   --trace-format FMT    jsonl | chrome | ztb (default: infer from the
+//                         --trace-out extension)
+//   --progress            attack: stderr-only progress counter with ETA;
+//                         never touches stdout, --json or trace bytes
+//   --snapshot-every N    emit a metrics-snapshot meta row into the trace
+//                         every N counted windows (attack: every N
+//                         samples); 0 = off (the default, byte-stable)
 //   --no-color            disable ANSI highlighting in `profile` output
 //                         (also auto-disabled when stdout is not a tty,
 //                         NO_COLOR is set, or TERM=dumb)
@@ -79,10 +88,12 @@
 #include "analysis/Leakage.h"
 #include "analysis/PropertyCheckers.h"
 #include "analysis/RandomProgram.h"
+#include "exp/Harness.h"
 #include "exp/ParallelRunner.h"
 #include "ir/IrPrinter.h"
 #include "ir/Lowering.h"
 #include "obs/CostLedger.h"
+#include "obs/Histogram.h"
 #include "obs/Json.h"
 #include "obs/LeakAudit.h"
 #include "obs/Metrics.h"
@@ -98,6 +109,7 @@
 #include "types/TypeChecker.h"
 
 #include <cinttypes>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -107,7 +119,9 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <new>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -138,6 +152,9 @@ struct Options {
   std::string StatsPath;    ///< Empty: render --stats to stdout.
   std::string TraceOutPath; ///< Empty: no trace export.
   TraceFormat TraceFmt = TraceFormat::Jsonl;
+  bool TraceFmtSet = false; ///< --trace-format given (beats inference).
+  bool Progress = false;    ///< Stderr-only progress meter (attack).
+  uint64_t SnapshotEvery = 0; ///< Snapshot meta-row period; 0 = off.
   bool NoColor = false;  ///< Force plain output regardless of the tty.
   bool Recommend = false; ///< `profile`: emit per-site policy suggestions.
   uint64_t Seed = 0;      ///< --seed: base Rng seed for sampled commands.
@@ -178,7 +195,8 @@ int usage(const std::string &BadArg = "") {
       "  [--mitigation SPEC] [--mitigate-site ETA=SPEC]...\n"
       "  [--recommend] [--threads N] [--seed S] [--json FILE]\n"
       "  [--stats[=FILE]] [--trace-out FILE]\n"
-      "  [--trace-format jsonl|chrome] [--no-color]\n"
+      "  [--trace-format jsonl|chrome|ztb] [--progress]\n"
+      "  [--snapshot-every N] [--no-color]\n"
       "  attack only: --class NAME:var=V|var=LO..HI[,...] (two or more)\n"
       "               [--samples N]\n"
       "   zamc policies   (list mitigation policies and parameter syntax)\n"
@@ -380,6 +398,18 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!F)
         return false;
       Opts.TraceFmt = *F;
+      Opts.TraceFmtSet = true;
+    } else if (Arg == "--progress") {
+      Opts.Progress = true;
+    } else if (Arg == "--snapshot-every") {
+      const char *V = Next();
+      if (!V || !*V)
+        return false;
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(V, &End, 10);
+      if (End == V || *End != '\0')
+        return false;
+      Opts.SnapshotEvery = N;
     } else {
       return false;
     }
@@ -392,6 +422,26 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
 bool wantsTelemetry(const Options &Opts) {
   return Opts.Stats || !Opts.TraceOutPath.empty();
 }
+
+/// Resolves the export format for --trace-out: an explicit --trace-format
+/// wins; otherwise the path's extension decides (.jsonl → jsonl, .json →
+/// chrome, .ztb → binary). Any other extension is an error — a silent
+/// default would write bytes the reader then misclassifies.
+bool resolveTraceFormat(Options &Opts) {
+  if (Opts.TraceOutPath.empty() || Opts.TraceFmtSet)
+    return true;
+  std::optional<TraceFormat> F = inferTraceFormat(Opts.TraceOutPath);
+  if (!F) {
+    std::fprintf(stderr,
+                 "error: cannot infer a trace format from '%s' (expected a "
+                 ".jsonl, .json or .ztb extension); pass --trace-format\n",
+                 Opts.TraceOutPath.c_str());
+    return false;
+  }
+  Opts.TraceFmt = *F;
+  return true;
+}
+
 
 /// Emits what --stats asked for: rendered counter/phase tables on stdout,
 /// or a {"metrics": ..., "phases": ...} JSON file.
@@ -434,21 +484,28 @@ bool emitTraceIfRequested(const Options &Opts, const Trace &T,
     return false;
   EOpts.Ledger = Ledger;
   EOpts.Mitigation = Opts.Mitigation;
-  std::unique_ptr<TraceSink> Sink = makeTraceSink(Opts.TraceFmt);
-  Sink->header(
-      provenanceArgs(resolveThreadCount(Opts.Threads), Opts.Mitigation));
-  size_t Emitted = exportTrace(*Sink, T, Lat, EOpts);
-  const std::string &Text = Sink->finish();
-  std::FILE *F = std::fopen(Opts.TraceOutPath.c_str(), "w");
+  EOpts.SnapshotEveryWindows = Opts.SnapshotEvery;
+  // Stream straight to disk: records leave the process as they serialize,
+  // so exporting a million-window trace holds one record in memory.
+  std::FILE *F = std::fopen(Opts.TraceOutPath.c_str(), "wb");
   if (!F) {
     std::fprintf(stderr, "error: cannot write '%s'\n",
                  Opts.TraceOutPath.c_str());
     return false;
   }
-  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  FileByteSink Bytes(F);
+  std::unique_ptr<TraceSink> Sink = makeTraceSink(Opts.TraceFmt, Bytes);
+  Sink->header(
+      provenanceArgs(resolveThreadCount(Opts.Threads), Opts.Mitigation));
+  size_t Emitted = exportTrace(*Sink, T, Lat, EOpts);
+  Sink->close();
+  bool Ok = Sink->ok();
   Ok &= std::fclose(F) == 0;
   if (Ok)
     std::fprintf(stderr, "wrote %zu trace records to %s\n", Emitted,
+                 Opts.TraceOutPath.c_str());
+  else
+    std::fprintf(stderr, "error: short write to '%s'\n",
                  Opts.TraceOutPath.c_str());
   return Ok;
 }
@@ -759,6 +816,13 @@ int cmdProfile(Program &P, const Options &Opts, const std::string &Source) {
     collectRunMetrics(Reg, R.T, R.Hw, P.lattice());
     Audit.exportMetrics(Reg);
     Ledger.exportMetrics(Reg);
+    // Sketch the per-line cost distribution (total cycles per source
+    // line) the same dist.* way attack sketches its timings, so profile
+    // stats scale to any program size with a fixed-shape document.
+    LogLinearHistogram LineDist;
+    for (const auto &[Line, C] : Ledger.lines())
+      LineDist.add(C.totalCycles());
+    LineDist.exportMetrics(Reg, "line_cost");
     if (!emitTraceIfRequested(Opts, R.T, P.lattice(), &Ledger) ||
         !emitStatsIfRequested(Opts, Reg))
       return 1;
@@ -1113,11 +1177,89 @@ int cmdAttack(Program &P, const Options &Opts) {
   InterpreterOptions IOpts;
   IOpts.Mitigation = Opts.Mitigation;
   ParallelRunner Runner(Opts.Threads);
-  std::vector<Observation> Obs = [&] {
+
+  // The bounded-memory collection pipeline: observations stream out of the
+  // chunked collector in strict sample order, each one folded into (a) the
+  // detector's compact rows, (b) the dist.* online sketches, and (c) the
+  // trace file, then dropped. Nothing retains the per-sample window lists,
+  // so 10^6 samples cost ~24 MB of rows plus a few KB of histogram.
+  std::vector<CompactObservation> Compact;
+  Compact.reserve(AOpts.Samples);
+  LogLinearHistogram EndToEndDist, WindowDist;
+
+  std::FILE *TraceFile = nullptr;
+  std::unique_ptr<FileByteSink> TraceBytes;
+  std::unique_ptr<TraceSink> Sink;
+  size_t Emitted = 0;
+  if (!Opts.TraceOutPath.empty()) {
+    TraceFile = std::fopen(Opts.TraceOutPath.c_str(), "wb");
+    if (!TraceFile) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.TraceOutPath.c_str());
+      return 1;
+    }
+    TraceBytes = std::make_unique<FileByteSink>(TraceFile);
+    Sink = makeTraceSink(Opts.TraceFmt, *TraceBytes);
+    auto Meta =
+        provenanceArgs(resolveThreadCount(Opts.Threads), Opts.Mitigation);
+    Meta.emplace_back("attack_samples", std::to_string(AOpts.Samples));
+    Meta.emplace_back("attack_seed", std::to_string(AOpts.Seed));
+    std::string Joined;
+    for (const std::string &N : Names) {
+      if (!Joined.empty())
+        Joined += ',';
+      Joined += N;
+    }
+    Meta.emplace_back("attack_classes", Joined);
+    if (Adv)
+      Meta.emplace_back("adversary", Lat.name(*Adv));
+    Sink->header(Meta);
+  }
+
+  ProgressMeter Progress("attack", AOpts.Samples, Opts.Progress);
+  {
     auto Scope = Phases.scope("run");
-    return collectObservations(P, *Env, Classes, AOpts, IOpts, Runner);
-  }();
-  DetectorResult D = detectLeak(Obs, Names);
+    streamObservations(
+        P, *Env, Classes, AOpts, IOpts, Runner,
+        [&](const Observation &O, size_t I) {
+          Compact.push_back({O.ClassIndex, O.EndToEnd, O.BoundBits});
+          EndToEndDist.add(O.EndToEnd);
+          for (uint64_t W : O.Windows)
+            WindowDist.add(W);
+          if (Sink) {
+            Emitted += exportObservation(*Sink, O, I, Names);
+            if (Opts.SnapshotEvery != 0 &&
+                (I + 1) % Opts.SnapshotEvery == 0) {
+              // A deterministic running-state row: Ts rides the sample
+              // axis like the observation records around it.
+              TraceRecord R;
+              R.RecordKind = TraceRecord::Kind::Meta;
+              R.Name = "snapshot";
+              R.Category = "obs";
+              R.Ts = I;
+              R.Args.emplace_back("samples", std::to_string(I + 1));
+              R.Args.emplace_back("end_to_end_p50",
+                                  std::to_string(EndToEndDist.quantile(0.5)));
+              Sink->record(R);
+              ++Emitted;
+            }
+          }
+          Progress.update(I + 1);
+        });
+  }
+  if (Sink) {
+    Sink->close();
+    bool Ok = Sink->ok();
+    Ok &= std::fclose(TraceFile) == 0;
+    if (!Ok) {
+      std::fprintf(stderr, "error: short write to '%s'\n",
+                   Opts.TraceOutPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace records to %s\n", Emitted,
+                 Opts.TraceOutPath.c_str());
+  }
+  DetectorResult D = detectLeak(Compact, Names);
 
   std::printf("attack: %" PRIu64 " samples over %zu classes on %s hardware"
               " (seed %" PRIu64 "%s)\n",
@@ -1149,39 +1291,12 @@ int cmdAttack(Program &P, const Options &Opts) {
   if (wantsTelemetry(Opts)) {
     MetricsRegistry Reg;
     exportDetectorMetrics(Reg, D);
+    // The dist.* sketches ride the stats document next to adv.*; zamtrace
+    // recomputes both offline from the trace and cross-checks bit-for-bit.
+    EndToEndDist.exportMetrics(Reg, "end_to_end");
+    WindowDist.exportMetrics(Reg, "window_duration");
     if (!emitStatsIfRequested(Opts, Reg))
       return 1;
-    if (!Opts.TraceOutPath.empty()) {
-      std::unique_ptr<TraceSink> Sink = makeTraceSink(Opts.TraceFmt);
-      auto Meta =
-          provenanceArgs(resolveThreadCount(Opts.Threads), Opts.Mitigation);
-      Meta.emplace_back("attack_samples", std::to_string(AOpts.Samples));
-      Meta.emplace_back("attack_seed", std::to_string(AOpts.Seed));
-      std::string Joined;
-      for (const std::string &N : Names) {
-        if (!Joined.empty())
-          Joined += ',';
-        Joined += N;
-      }
-      Meta.emplace_back("attack_classes", Joined);
-      if (Adv)
-        Meta.emplace_back("adversary", Lat.name(*Adv));
-      Sink->header(Meta);
-      size_t Emitted = exportObservations(*Sink, Obs, Names);
-      const std::string &Text = Sink->finish();
-      std::FILE *F = std::fopen(Opts.TraceOutPath.c_str(), "w");
-      if (!F) {
-        std::fprintf(stderr, "error: cannot write '%s'\n",
-                     Opts.TraceOutPath.c_str());
-        return 1;
-      }
-      bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
-      Ok &= std::fclose(F) == 0;
-      if (!Ok)
-        return 1;
-      std::fprintf(stderr, "wrote %zu trace records to %s\n", Emitted,
-                   Opts.TraceOutPath.c_str());
-    }
   }
 
   // The deterministic result document: everything below derives from
@@ -1242,6 +1357,8 @@ int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage(Opts.BadArg);
+  if (!resolveTraceFormat(Opts))
+    return 2;
 
   std::string Source;
   {
@@ -1267,31 +1384,47 @@ int main(int Argc, char **Argv) {
     inferTimingLabels(*P);
   }
 
-  if (Opts.Command == "check")
-    return checkProgram(*P, Opts, /*Verbose=*/true);
-  if (Opts.Command == "print") {
-    std::printf("%s", printProgram(*P).c_str());
-    return 0;
+  // Allocation failure on a huge workload is an answer, not a crash: point
+  // at the streaming path instead of dying on an uncaught bad_alloc.
+  try {
+    if (Opts.Command == "check")
+      return checkProgram(*P, Opts, /*Verbose=*/true);
+    if (Opts.Command == "print") {
+      std::printf("%s", printProgram(*P).c_str());
+      return 0;
+    }
+    if (Opts.Command == "ir") {
+      IrProgram IR = [&] {
+        auto Scope = Phases.scope("lower");
+        return lowerProgram(*P, CostModel(), Opts.Mitigation);
+      }();
+      std::printf("%s", printIr(IR, P->lattice()).c_str());
+      return 0;
+    }
+    if (Opts.Command == "run")
+      return cmdRun(*P, Opts, /*Timeline=*/false);
+    if (Opts.Command == "trace")
+      return cmdRun(*P, Opts, /*Timeline=*/true);
+    if (Opts.Command == "profile")
+      return cmdProfile(*P, Opts, Source);
+    if (Opts.Command == "leakage")
+      return cmdLeakage(*P, Opts);
+    if (Opts.Command == "audit")
+      return cmdAudit(*P, Opts);
+    if (Opts.Command == "attack")
+      return cmdAttack(*P, Opts);
+  } catch (const std::bad_alloc &) {
+    std::fprintf(stderr,
+                 "error: input exceeds in-memory mode; stream to the binary "
+                 "trace format instead (--trace-out out.ztb) or reduce "
+                 "--samples\n");
+    return 1;
+  } catch (const std::length_error &) {
+    std::fprintf(stderr,
+                 "error: input exceeds in-memory mode; stream to the binary "
+                 "trace format instead (--trace-out out.ztb) or reduce "
+                 "--samples\n");
+    return 1;
   }
-  if (Opts.Command == "ir") {
-    IrProgram IR = [&] {
-      auto Scope = Phases.scope("lower");
-      return lowerProgram(*P, CostModel(), Opts.Mitigation);
-    }();
-    std::printf("%s", printIr(IR, P->lattice()).c_str());
-    return 0;
-  }
-  if (Opts.Command == "run")
-    return cmdRun(*P, Opts, /*Timeline=*/false);
-  if (Opts.Command == "trace")
-    return cmdRun(*P, Opts, /*Timeline=*/true);
-  if (Opts.Command == "profile")
-    return cmdProfile(*P, Opts, Source);
-  if (Opts.Command == "leakage")
-    return cmdLeakage(*P, Opts);
-  if (Opts.Command == "audit")
-    return cmdAudit(*P, Opts);
-  if (Opts.Command == "attack")
-    return cmdAttack(*P, Opts);
   return usage();
 }

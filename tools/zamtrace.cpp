@@ -7,8 +7,11 @@
 ///
 /// \file
 /// The offline half of the leakage-observability story. `zamtrace report`
-/// reads a telemetry trace (JSONL or Chrome trace-event, as written by
-/// `zamc --trace-out` or a bench's `--trace-out`) and produces
+/// streams a telemetry trace (JSONL, Chrome trace-event or ZTB binary, as
+/// written by `zamc --trace-out` or a bench's `--trace-out`) through the
+/// pull-based TraceReader in a single pass — the file is never loaded
+/// whole, so million-window ZTB traces analyze in bounded memory — and
+/// produces
 ///
 ///   * the adversary-observed timing histogram over mitigate windows
 ///     (exportable as CSV via `--csv <file>` for outside tooling),
@@ -38,7 +41,13 @@
 /// d, Miller–Madow mutual information — src/adv) is rerun offline; with
 /// `--stats` the recomputed statistics must match the online `adv.*`
 /// metrics bit for bit, and `--csv` exports the per-class end-to-end
-/// timing histogram instead of the window histogram.
+/// timing histogram instead of the window histogram. The streaming pass
+/// also rebuilds the bounded-memory `dist.*` sketches (obs/Histogram.h) —
+/// end-to-end times and window durations for attack traces, per-line
+/// costs from the embedded prof rows — and cross-checks any dist.*
+/// figures the stats document exports; periodic metrics-snapshot rows
+/// (kind "meta", name "snapshot") render as a textual sparkline of the
+/// run's trajectory.
 ///
 /// `zamtrace diff A B` compares two runs (traces or stats/report JSON
 /// documents). It first demands that both sides recorded the same
@@ -58,8 +67,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "adv/LeakDetector.h"
+#include "obs/Histogram.h"
 #include "obs/Json.h"
 #include "obs/LeakAudit.h"
+#include "obs/Metrics.h"
+#include "obs/TraceReader.h"
 #include "sem/Mitigation.h"
 #include "support/BuildInfo.h"
 
@@ -70,8 +82,10 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <new>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -80,25 +94,13 @@ using namespace zam;
 namespace {
 
 //===----------------------------------------------------------------------===//
-// Input loading: JSONL traces, Chrome traces, stats/report documents.
+// Input classification: traces stream through TraceReader; stats/report
+// documents (small by construction) still load whole.
 //===----------------------------------------------------------------------===//
 
-/// One trace record, normalized across the JSONL and Chrome encodings.
-struct TraceRec {
-  std::string Kind; ///< "span", "instant" or "counter".
-  std::string Name;
-  std::string Cat;
-  uint64_t Ts = 0;
-  uint64_t Dur = 0;
-  JsonValue Args;
-};
-
-/// A parsed input file: either a trace (Records filled) or a stats/report
-/// document (Metrics filled). Meta carries the provenance block when the
-/// input had one.
-struct LoadedInput {
-  bool IsTrace = false;
-  std::vector<TraceRec> Records;
+/// A parsed stats/report document: the `metrics` object plus the `meta`
+/// provenance block when the document had one.
+struct StatsDoc {
   JsonValue Meta;
   JsonValue Metrics;
 };
@@ -126,98 +128,107 @@ std::string strField(const JsonValue &Obj, const char *Key) {
                                                    : std::string();
 }
 
-/// Maps one parsed JSON object (a JSONL line or a Chrome event) onto a
-/// TraceRec, routing meta/provenance blocks into \p Meta. \returns false
-/// when the object is a header rather than a record.
-bool decodeRecord(const JsonValue &Obj, TraceRec &R, JsonValue &Meta) {
-  if (const JsonValue *Ph = Obj.find("ph")) {
-    // Chrome trace-event encoding.
-    const std::string &P = Ph->asString();
-    if (P == "M") {
-      if (const JsonValue *Args = Obj.find("args"))
-        Meta = *Args;
-      return false;
-    }
-    R.Kind = P == "X" ? "span" : P == "C" ? "counter" : "instant";
-  } else {
-    R.Kind = strField(Obj, "kind");
-    if (R.Kind == "meta") {
-      if (const JsonValue *Args = Obj.find("args"))
-        Meta = *Args;
-      return false;
-    }
-  }
-  R.Name = strField(Obj, "name");
-  R.Cat = strField(Obj, "cat");
-  R.Ts = numField(Obj, "ts");
-  R.Dur = numField(Obj, "dur");
-  if (const JsonValue *Args = Obj.find("args"))
-    R.Args = *Args;
+/// Record-arg access over the reader's normalized key/value strings.
+const std::string *findArg(const TraceRecord &R, const char *Key) {
+  for (const auto &[K, V] : R.Args)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+std::string argStr(const TraceRecord &R, const char *Key) {
+  const std::string *V = findArg(R, Key);
+  return V ? *V : std::string();
+}
+
+uint64_t argNum(const TraceRecord &R, const char *Key) {
+  const std::string *V = findArg(R, Key);
+  return V ? std::strtoull(V->c_str(), nullptr, 10) : 0;
+}
+
+/// Exact double round-trip: the producer serialized through
+/// jsonNumberString (shortest form), so strtod recovers the identical
+/// bits. \returns false when the arg is absent or not a number literal.
+bool argDouble(const TraceRecord &R, const char *Key, double &Out) {
+  const std::string *V = findArg(R, Key);
+  if (!V || !traceArgIsNumberLiteral(*V))
+    return false;
+  Out = std::strtod(V->c_str(), nullptr);
   return true;
 }
 
-/// Classifies and parses \p Path: a JSON object with a `metrics` member is
-/// a stats/report document, a JSON array is a Chrome trace, anything else
-/// is treated as JSONL (one record per line).
-std::optional<LoadedInput> loadInput(const std::string &Path) {
+/// Rebuilds the JSON view of a meta record's args, mirroring the sinks'
+/// quoting rule (number literals bare, everything else a string) so the
+/// reconstructed provenance block serializes byte-identically to the one
+/// a whole-file JSON parse used to yield.
+JsonValue metaFromArgs(const TraceRecord &R) {
+  JsonValue Obj = JsonValue::object();
+  for (const auto &[Key, Value] : R.Args)
+    Obj[Key] = traceArgIsNumberLiteral(Value)
+                   ? JsonValue(std::strtod(Value.c_str(), nullptr))
+                   : JsonValue(Value);
+  return Obj;
+}
+
+enum class InputKind { Trace, Stats };
+
+/// Peeks at \p Path without loading it: the ZTB magic or a leading '['
+/// marks a trace, a first line that parses as a JSON record object (with
+/// a "kind" or "ph" member) marks a JSONL trace, and anything else is
+/// treated as a stats/report document.
+std::optional<InputKind> classifyInput(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    return std::nullopt;
+  }
+  char Magic[4];
+  In.read(Magic, sizeof(Magic));
+  if (In.gcount() == sizeof(Magic) && std::memcmp(Magic, "ZTB1", 4) == 0)
+    return InputKind::Trace;
+  In.clear();
+  In.seekg(0);
+  int C;
+  while ((C = In.get()) != std::ifstream::traits_type::eof() &&
+         (C == ' ' || C == '\t' || C == '\r' || C == '\n'))
+    ;
+  if (C == std::ifstream::traits_type::eof()) {
+    std::fprintf(stderr, "error: '%s' is empty\n", Path.c_str());
+    return std::nullopt;
+  }
+  if (C == '[')
+    return InputKind::Trace;
+  std::string Line(1, static_cast<char>(C));
+  while ((C = In.get()) != std::ifstream::traits_type::eof() && C != '\n')
+    Line += static_cast<char>(C);
+  while (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+  std::optional<JsonValue> Obj = JsonValue::parse(Line);
+  if (Obj && Obj->kind() == JsonValue::Kind::Object &&
+      (Obj->find("kind") || Obj->find("ph")))
+    return InputKind::Trace;
+  return InputKind::Stats;
+}
+
+/// Loads a stats/report document (a JSON object with a `metrics` member).
+std::optional<StatsDoc> loadStats(const std::string &Path) {
   std::string Text;
   if (!readFile(Path, Text)) {
     std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
     return std::nullopt;
   }
-  size_t First = Text.find_first_not_of(" \t\r\n");
-  if (First == std::string::npos) {
-    std::fprintf(stderr, "error: '%s' is empty\n", Path.c_str());
+  std::optional<JsonValue> Whole = JsonValue::parse(Text);
+  if (!Whole || Whole->kind() != JsonValue::Kind::Object ||
+      !Whole->find("metrics")) {
+    std::fprintf(stderr, "error: '%s' has no metrics object\n",
+                 Path.c_str());
     return std::nullopt;
   }
-
-  LoadedInput In;
-  if (Text[First] == '[') {
-    std::optional<JsonValue> Doc = JsonValue::parse(Text);
-    if (!Doc || Doc->kind() != JsonValue::Kind::Array) {
-      std::fprintf(stderr, "error: '%s' is not a valid Chrome trace\n",
-                   Path.c_str());
-      return std::nullopt;
-    }
-    In.IsTrace = true;
-    for (size_t I = 0; I != Doc->size(); ++I) {
-      TraceRec R;
-      if (decodeRecord(Doc->at(I), R, In.Meta))
-        In.Records.push_back(std::move(R));
-    }
-    return In;
-  }
-
-  std::optional<JsonValue> Whole = JsonValue::parse(Text);
-  if (Whole && Whole->kind() == JsonValue::Kind::Object &&
-      Whole->find("metrics")) {
-    In.IsTrace = false;
-    In.Metrics = *Whole->find("metrics");
-    if (const JsonValue *Meta = Whole->find("meta"))
-      In.Meta = *Meta;
-    return In;
-  }
-
-  // JSONL: parse line by line.
-  In.IsTrace = true;
-  std::istringstream Lines(Text);
-  std::string Line;
-  size_t LineNo = 0;
-  while (std::getline(Lines, Line)) {
-    ++LineNo;
-    if (Line.find_first_not_of(" \t\r") == std::string::npos)
-      continue;
-    std::optional<JsonValue> Obj = JsonValue::parse(Line);
-    if (!Obj || Obj->kind() != JsonValue::Kind::Object) {
-      std::fprintf(stderr, "error: %s:%zu: malformed trace line\n",
-                   Path.c_str(), LineNo);
-      return std::nullopt;
-    }
-    TraceRec R;
-    if (decodeRecord(*Obj, R, In.Meta))
-      In.Records.push_back(std::move(R));
-  }
-  return In;
+  StatsDoc Doc;
+  Doc.Metrics = *Whole->find("metrics");
+  if (const JsonValue *Meta = Whole->find("meta"))
+    Doc.Meta = *Meta;
+  return Doc;
 }
 
 //===----------------------------------------------------------------------===//
@@ -372,6 +383,9 @@ struct PolicyResolver {
 
 struct Analysis {
   PolicyResolver Policies;
+  /// The provenance header (the stream's leading nameless meta record),
+  /// rebuilt as a JSON object for reports.
+  JsonValue Meta;
   std::vector<WindowCost> Windows;
   std::map<uint64_t, uint64_t> DurationHistogram;
   uint64_t TotalCycles = 0;
@@ -388,9 +402,20 @@ struct Analysis {
   bool HasProf = false; ///< The trace embedded prof_line#/prof_site# rows.
   bool SawHwInstants = false; ///< The trace sampled misses (loc-tagged).
   /// Attack observations (cat "adv" instants) in record order — the
-  /// collector's bag order, so detector sums replay bit-for-bit.
-  std::vector<Observation> AdvObs;
+  /// collector's drain order, so detector sums replay bit-for-bit. The
+  /// compact form retains only what the detector needs (~24 bytes per
+  /// sample), so a million-sample trace analyzes in bounded memory.
+  std::vector<CompactObservation> AdvObs;
   std::vector<std::string> AdvClassNames; ///< ClassIndex -> display name.
+  /// Offline rebuilds of the online dist.* sketches, fed during the
+  /// streaming pass: end-to-end times and per-sample window durations
+  /// (attack traces only; both are order-free integer sums).
+  LogLinearHistogram EndToEndDist;
+  LogLinearHistogram WindowDist;
+  /// Periodic metrics-snapshot rows (kind "meta", name "snapshot"), in
+  /// stream order: the arg key the sparkline plots plus one value per row.
+  std::string SnapshotKey;
+  std::vector<double> SnapshotValues;
 };
 
 /// The η suffix of "mitigate#3" / "leak_budget#3" / "prof_site#3".
@@ -409,79 +434,124 @@ LevelRecompute &levelAccount(Analysis &A, const std::string &Name) {
   return A.Levels.back().second;
 }
 
-/// Walks the trace once: mit spans feed the histogram and the overhead
-/// attribution; leak spans are re-priced with the shared bound core and
-/// checked against the online figures the producer embedded in the span
-/// args. \returns false (after a diagnostic) on any drift.
-bool analyzeTrace(const LoadedInput &In, Analysis &A) {
-  if (!A.Policies.loadMeta(In.Meta))
-    return false;
-  for (const TraceRec &R : In.Records) {
-    if (R.Kind == "instant") {
-      if (R.Cat == "hw") {
+/// Streams the trace once through \p Reader: mit spans feed the histogram
+/// and the overhead attribution; leak spans are re-priced with the shared
+/// bound core and checked against the online figures the producer embedded
+/// in the span args; adv instants feed the compact detector rows and the
+/// dist.* sketches. Only aggregates are retained, so the pass runs in
+/// memory proportional to the analysis, not the trace. \returns false
+/// (after a diagnostic) on any drift or decode error.
+bool analyzeTrace(TraceReader &Reader, Analysis &A) {
+  TraceRecord R;
+  while (Reader.next(R)) {
+    if (R.RecordKind == TraceRecord::Kind::Meta) {
+      if (R.Name.empty()) {
+        // The provenance header. Load the mitigation-policy selection
+        // now, before any leak span needs pricing.
+        A.Meta = metaFromArgs(R);
+        if (!A.Policies.loadMeta(A.Meta))
+          return false;
+      } else if (R.Name == "snapshot") {
+        // A periodic metrics snapshot. The first row picks the series the
+        // sparkline plots: the attack collector's running median, else
+        // the leak accountant's running bound, else any numeric arg.
+        if (A.SnapshotKey.empty()) {
+          for (const char *K : {"end_to_end_p50", "total_bits_bound"})
+            if (findArg(R, K)) {
+              A.SnapshotKey = K;
+              break;
+            }
+          if (A.SnapshotKey.empty())
+            for (const auto &[K, V] : R.Args)
+              if (traceArgIsNumberLiteral(V)) {
+                A.SnapshotKey = K;
+                break;
+              }
+        }
+        double V = 0;
+        if (!A.SnapshotKey.empty() &&
+            argDouble(R, A.SnapshotKey.c_str(), V))
+          A.SnapshotValues.push_back(V);
+      }
+      continue;
+    }
+    if (R.RecordKind == TraceRecord::Kind::Instant) {
+      if (R.Category == "hw") {
         // One sampled access; each structure it missed in contributes one
         // per-structure miss, the same tally the online ledger keeps.
         A.SawHwInstants = true;
         uint64_t N = 0;
-        if (strField(R.Args, "tlb_miss") == "true")
+        if (argStr(R, "tlb_miss") == "true")
           ++N;
-        if (strField(R.Args, "l1_miss") == "true")
+        if (argStr(R, "l1_miss") == "true")
           ++N;
-        if (strField(R.Args, "memory") == "true")
+        if (argStr(R, "memory") == "true")
           ++N;
-        A.Lines[numField(R.Args, "loc")].Misses += N;
-      } else if (R.Cat == "adv") {
+        A.Lines[argNum(R, "loc")].Misses += N;
+      } else if (R.Category == "adv") {
         // One attack sample. bound_bits round-trips through the shortest
         // decimal form, so the offline detector sees the exact double the
         // collector recorded.
-        Observation O;
-        O.ClassIndex = static_cast<uint32_t>(numField(R.Args, "class_index"));
-        O.EndToEnd = numField(R.Args, "end_to_end");
-        if (const JsonValue *B = R.Args.find("bound_bits"))
-          if (B->kind() == JsonValue::Kind::Number)
-            O.BoundBits = B->asNumber();
+        CompactObservation O;
+        O.ClassIndex = static_cast<uint32_t>(argNum(R, "class_index"));
+        O.EndToEnd = argNum(R, "end_to_end");
+        double Bits = 0;
+        if (argDouble(R, "bound_bits", Bits))
+          O.BoundBits = Bits;
         if (A.AdvClassNames.size() <= O.ClassIndex)
           A.AdvClassNames.resize(O.ClassIndex + 1);
-        const std::string Cls = strField(R.Args, "class");
+        const std::string Cls = argStr(R, "class");
         if (!Cls.empty())
           A.AdvClassNames[O.ClassIndex] = Cls;
-        A.AdvObs.push_back(std::move(O));
-      } else if (R.Cat == "prof") {
+        A.EndToEndDist.add(O.EndToEnd);
+        if (const std::string *W = findArg(R, "windows")) {
+          const char *P = W->c_str();
+          while (*P) {
+            char *End = nullptr;
+            const uint64_t D = std::strtoull(P, &End, 10);
+            if (End == P)
+              break;
+            A.WindowDist.add(D);
+            if (*End != ',')
+              break;
+            P = End + 1;
+          }
+        }
+        A.AdvObs.push_back(O);
+      } else if (R.Category == "prof") {
         A.HasProf = true;
         if (R.Name.rfind("prof_line#", 0) == 0) {
           LineRebuild &L = A.Lines[etaOfName(R.Name)];
           L.HasEmbedded = true;
-          L.EmbCycles = numField(R.Args, "cycles");
-          L.EmbStepCycles = numField(R.Args, "step_cycles");
-          L.EmbSleepCycles = numField(R.Args, "sleep_cycles");
-          L.EmbPadCycles = numField(R.Args, "pad_cycles");
-          L.EmbAccesses = numField(R.Args, "accesses");
-          L.EmbMisses = numField(R.Args, "misses");
-          L.EmbWindows = numField(R.Args, "windows");
-          if (const JsonValue *B = R.Args.find("leak_bits"))
-            L.EmbLeakBits = B->asNumber();
+          L.EmbCycles = argNum(R, "cycles");
+          L.EmbStepCycles = argNum(R, "step_cycles");
+          L.EmbSleepCycles = argNum(R, "sleep_cycles");
+          L.EmbPadCycles = argNum(R, "pad_cycles");
+          L.EmbAccesses = argNum(R, "accesses");
+          L.EmbMisses = argNum(R, "misses");
+          L.EmbWindows = argNum(R, "windows");
+          argDouble(R, "leak_bits", L.EmbLeakBits);
         } else if (R.Name.rfind("prof_site#", 0) == 0) {
           SiteRebuild &S = A.Sites[etaOfName(R.Name)];
           S.HasEmbedded = true;
-          S.EmbLine = numField(R.Args, "loc");
-          S.EmbWindows = numField(R.Args, "windows");
-          S.EmbPadCycles = numField(R.Args, "pad_cycles");
-          if (const JsonValue *B = R.Args.find("leak_bits"))
-            S.EmbLeakBits = B->asNumber();
+          S.EmbLine = argNum(R, "loc");
+          S.EmbWindows = argNum(R, "windows");
+          S.EmbPadCycles = argNum(R, "pad_cycles");
+          argDouble(R, "leak_bits", S.EmbLeakBits);
         }
       }
       continue;
     }
-    if (R.Kind != "span")
+    if (R.RecordKind != TraceRecord::Kind::Span)
       continue;
-    if (R.Cat == "mit") {
+    if (R.Category == "mit") {
       WindowCost W;
       W.Name = R.Name;
       W.Ts = R.Ts;
       W.Dur = R.Dur;
-      W.Consumed = numField(R.Args, "consumed");
-      W.Padded = numField(R.Args, "padded");
-      W.Mispredicted = strField(R.Args, "mispredicted") == "true";
+      W.Consumed = argNum(R, "consumed");
+      W.Padded = argNum(R, "padded");
+      W.Mispredicted = argStr(R, "mispredicted") == "true";
       A.TotalCycles += W.Dur;
       A.ConsumedCycles += W.Consumed;
       A.PaddedCycles += W.Padded;
@@ -490,7 +560,7 @@ bool analyzeTrace(const LoadedInput &In, Analysis &A) {
         A.MispredictedCycles += W.Dur;
       }
       ++A.DurationHistogram[W.Dur];
-      const uint64_t Loc = numField(R.Args, "loc");
+      const uint64_t Loc = argNum(R, "loc");
       LineRebuild &L = A.Lines[Loc];
       ++L.Windows;
       L.PadCycles += W.Padded;
@@ -499,14 +569,16 @@ bool analyzeTrace(const LoadedInput &In, Analysis &A) {
       ++S.Windows;
       S.PadCycles += W.Padded;
       A.Windows.push_back(std::move(W));
-    } else if (R.Cat == "leak") {
-      const std::string Level = strField(R.Args, "level");
+    } else if (R.Category == "leak") {
+      const std::string Level = argStr(R, "level");
+      const std::string *Est = findArg(R, "estimate");
       const int64_t Estimate =
-          static_cast<int64_t>(numField(R.Args, "estimate"));
-      const uint64_t Attainable = numField(R.Args, "attainable");
-      const JsonValue *Bits = R.Args.find("window_bits");
-      const JsonValue *Cum = R.Args.find("cum_level_bits");
-      if (Level.empty() || !Bits || !Cum) {
+          Est ? std::strtoll(Est->c_str(), nullptr, 10) : 0;
+      const uint64_t Attainable = argNum(R, "attainable");
+      double WindowBits = 0, CumBits = 0;
+      const bool HasBits = argDouble(R, "window_bits", WindowBits);
+      const bool HasCum = argDouble(R, "cum_level_bits", CumBits);
+      if (Level.empty() || !HasBits || !HasCum) {
         std::fprintf(stderr, "error: leak span '%s' is missing args\n",
                      R.Name.c_str());
         return false;
@@ -514,7 +586,7 @@ bool analyzeTrace(const LoadedInput &In, Analysis &A) {
       const uint64_t Completed = R.Ts + R.Dur;
       std::string PErr;
       const MitigationPolicy *Pol = A.Policies.resolve(
-          strField(R.Args, "policy"), etaOfName(R.Name), &PErr);
+          argStr(R, "policy"), etaOfName(R.Name), &PErr);
       if (!Pol) {
         std::fprintf(stderr, "error: leak span '%s' policy arg: %s\n",
                      R.Name.c_str(), PErr.c_str());
@@ -523,7 +595,7 @@ bool analyzeTrace(const LoadedInput &In, Analysis &A) {
       const uint64_t WantAttainable =
           Pol->attainableValues(Estimate, Completed);
       const double WantBits = Pol->windowBoundBits(Estimate, Completed);
-      if (Attainable != WantAttainable || Bits->asNumber() != WantBits) {
+      if (Attainable != WantAttainable || WindowBits != WantBits) {
         std::fprintf(stderr,
                      "error: leak span '%s' drifted from the bound core: "
                      "attainable %llu (recomputed %llu), window_bits %s "
@@ -531,29 +603,34 @@ bool analyzeTrace(const LoadedInput &In, Analysis &A) {
                      R.Name.c_str(),
                      static_cast<unsigned long long>(Attainable),
                      static_cast<unsigned long long>(WantAttainable),
-                     jsonNumberString(Bits->asNumber()).c_str(),
+                     jsonNumberString(WindowBits).c_str(),
                      jsonNumberString(WantBits).c_str());
         return false;
       }
       LevelRecompute &Acc = levelAccount(A, Level);
       ++Acc.Windows;
-      Acc.Misses = static_cast<unsigned>(numField(R.Args, "misses_after"));
+      Acc.Misses = static_cast<unsigned>(argNum(R, "misses_after"));
       Acc.BitsBound += WantBits;
-      if (Cum->asNumber() != Acc.BitsBound) {
+      if (CumBits != Acc.BitsBound) {
         std::fprintf(stderr,
                      "error: leak span '%s' cumulative bound drifted: "
                      "cum_level_bits %s, recomputed %s\n",
                      R.Name.c_str(),
-                     jsonNumberString(Cum->asNumber()).c_str(),
+                     jsonNumberString(CumBits).c_str(),
                      jsonNumberString(Acc.BitsBound).c_str());
         return false;
       }
       // Per-line / per-site replay for --by-line: trace order is the
       // accountant's arrival order, so these double sums are bit-exact.
-      A.Lines[numField(R.Args, "loc")].LeakBits += WantBits;
+      A.Lines[argNum(R, "loc")].LeakBits += WantBits;
       A.Sites[etaOfName(R.Name)].LeakBits += WantBits;
       ++A.LeakWindows;
     }
+  }
+  if (!Reader.ok()) {
+    std::fprintf(stderr, "error: trace decode: %s\n",
+                 Reader.error().c_str());
+    return false;
   }
   return true;
 }
@@ -866,13 +943,83 @@ bool advCrossCheck(const DetectorResult &D, const JsonValue &Metrics) {
   return Ok;
 }
 
-void printAdvReport(const LoadedInput &In, const Analysis &A,
-                    const DetectorResult &D) {
-  if (!In.Meta.isNull())
+/// Prints one rebuilt dist.* sketch as a quantile summary line.
+void printDistLine(const char *Name, const LogLinearHistogram &H) {
+  std::printf("  dist %-16s n=%-8llu min=%llu p50=%llu p90=%llu "
+              "p99=%llu p999=%llu max=%llu\n",
+              Name, static_cast<unsigned long long>(H.total()),
+              static_cast<unsigned long long>(H.min()),
+              static_cast<unsigned long long>(H.quantile(0.5)),
+              static_cast<unsigned long long>(H.quantile(0.9)),
+              static_cast<unsigned long long>(H.quantile(0.99)),
+              static_cast<unsigned long long>(H.quantile(0.999)),
+              static_cast<unsigned long long>(H.max()));
+}
+
+/// Renders the snapshot series as a textual sparkline (at most 64
+/// columns; longer series are bucket-averaged down). Silent when the
+/// trace carried no snapshot rows.
+void printSnapshots(const Analysis &A) {
+  if (A.SnapshotValues.empty())
+    return;
+  static const char *const Blocks[] = {"▁", "▂", "▃",
+                                       "▄", "▅", "▆",
+                                       "▇", "█"};
+  const size_t N = A.SnapshotValues.size();
+  const size_t Cols = N < 64 ? N : 64;
+  std::vector<double> Series(Cols);
+  for (size_t C = 0; C != Cols; ++C) {
+    const size_t Lo = C * N / Cols, Hi = (C + 1) * N / Cols;
+    double Sum = 0;
+    for (size_t I = Lo; I != Hi; ++I)
+      Sum += A.SnapshotValues[I];
+    Series[C] = Sum / static_cast<double>(Hi - Lo);
+  }
+  double Min = Series[0], Max = Series[0];
+  for (double V : Series) {
+    Min = V < Min ? V : Min;
+    Max = V > Max ? V : Max;
+  }
+  std::string Spark;
+  for (double V : Series) {
+    const double T = Max > Min ? (V - Min) / (Max - Min) : 0.5;
+    const int Level = static_cast<int>(T * 7.0 + 0.5);
+    Spark += Blocks[Level < 0 ? 0 : Level > 7 ? 7 : Level];
+  }
+  std::printf("\nmetrics snapshots (%zu rows, %s): min %s, max %s\n  %s\n",
+              N, A.SnapshotKey.c_str(), jsonNumberString(Min).c_str(),
+              jsonNumberString(Max).c_str(), Spark.c_str());
+}
+
+/// Gated dist.* cross-check: every sketch figure recomputed offline that
+/// the stats document also exports must match exactly; keys the document
+/// lacks are skipped, so pre-sketch documents still verify.
+bool distCrossCheck(const MetricsRegistry &Reg, const JsonValue &Metrics) {
+  bool Ok = true;
+  for (const MetricsRegistry::Entry &E : Reg.entries()) {
+    const JsonValue *V = Metrics.find(E.Name);
+    if (!V || V->kind() != JsonValue::Kind::Number)
+      continue;
+    const double Want =
+        E.IsGauge ? E.Gauge : static_cast<double>(E.Counter);
+    if (V->asNumber() != Want) {
+      std::fprintf(stderr,
+                   "error: cross-check failed on %s: stats %s, offline "
+                   "%s\n",
+                   E.Name.c_str(), jsonNumberString(V->asNumber()).c_str(),
+                   jsonNumberString(Want).c_str());
+      Ok = false;
+    }
+  }
+  return Ok;
+}
+
+void printAdvReport(const Analysis &A, const DetectorResult &D) {
+  if (!A.Meta.isNull())
     std::printf("trace producer: %s %s (git %s)\n",
-                strField(In.Meta, "tool").c_str(),
-                strField(In.Meta, "version").c_str(),
-                strField(In.Meta, "git").c_str());
+                strField(A.Meta, "tool").c_str(),
+                strField(A.Meta, "version").c_str(),
+                strField(A.Meta, "git").c_str());
   std::printf("\nattack observations: %" PRIu64 " samples over %zu classes"
               "\n",
               D.Samples, D.Classes.size());
@@ -881,10 +1028,14 @@ void printAdvReport(const LoadedInput &In, const Analysis &A,
                 "range=[%" PRIu64 ", %" PRIu64 "]\n",
                 S.Name.c_str(), S.Count, S.Mean, std::sqrt(S.Variance),
                 S.Min, S.Max);
+  std::printf("\nbounded-memory timing sketches (offline rebuild):\n");
+  printDistLine("end_to_end", A.EndToEndDist);
+  if (!A.WindowDist.empty())
+    printDistLine("window_duration", A.WindowDist);
   std::printf("\nadversary-observed end-to-end timing histogram:\n");
   std::printf("  %-12s %12s %8s\n", "class", "end_to_end", "samples");
   std::map<std::pair<uint32_t, uint64_t>, uint64_t> Hist;
-  for (const Observation &O : A.AdvObs)
+  for (const CompactObservation &O : A.AdvObs)
     ++Hist[{O.ClassIndex, O.EndToEnd}];
   for (const auto &[Key, Count] : Hist)
     std::printf("  %-12s %12llu %8llu\n",
@@ -951,7 +1102,7 @@ bool writeCsv(const Analysis &A, const std::string &Path) {
   if (!A.AdvObs.empty()) {
     Text = "class,end_to_end,count\n";
     std::map<std::pair<uint32_t, uint64_t>, uint64_t> Hist;
-    for (const Observation &O : A.AdvObs)
+    for (const CompactObservation &O : A.AdvObs)
       ++Hist[{O.ClassIndex, O.EndToEnd}];
     for (const auto &[Key, Count] : Hist)
       Text += csvField(A.AdvClassNames[Key.first]) + "," +
@@ -976,10 +1127,10 @@ bool writeCsv(const Analysis &A, const std::string &Path) {
   return Ok;
 }
 
-JsonValue analysisJson(const LoadedInput &In, const Analysis &A) {
+JsonValue analysisJson(const Analysis &A) {
   JsonValue Doc = JsonValue::object();
-  if (!In.Meta.isNull())
-    Doc["meta"] = In.Meta;
+  if (!A.Meta.isNull())
+    Doc["meta"] = A.Meta;
   JsonValue Hist = JsonValue::array();
   for (const auto &[Dur, Count] : A.DurationHistogram) {
     JsonValue Bin = JsonValue::object();
@@ -1027,12 +1178,12 @@ JsonValue analysisJson(const LoadedInput &In, const Analysis &A) {
   return Doc;
 }
 
-void printReport(const LoadedInput &In, const Analysis &A) {
-  if (!In.Meta.isNull())
+void printReport(const Analysis &A) {
+  if (!A.Meta.isNull())
     std::printf("trace producer: %s %s (git %s)\n",
-                strField(In.Meta, "tool").c_str(),
-                strField(In.Meta, "version").c_str(),
-                strField(In.Meta, "git").c_str());
+                strField(A.Meta, "tool").c_str(),
+                strField(A.Meta, "version").c_str(),
+                strField(A.Meta, "git").c_str());
   std::printf("\nadversary-observed timing histogram (%zu windows):\n",
               A.Windows.size());
   std::printf("  %12s  %8s\n", "duration", "windows");
@@ -1083,28 +1234,41 @@ void printReport(const LoadedInput &In, const Analysis &A) {
 /// works without a stats side-channel.
 std::optional<std::vector<std::pair<std::string, double>>>
 loadComparable(const std::string &Path, std::string &PolicyDesc) {
-  std::optional<LoadedInput> In = loadInput(Path);
-  if (!In)
+  std::optional<InputKind> Kind = classifyInput(Path);
+  if (!Kind)
     return std::nullopt;
   // Both input shapes record the selection the same way (absent keys are
   // the fast-doubling default), so a trace diffs cleanly against a stats
   // baseline of the same run.
-  PolicyDesc = strField(In->Meta, "mitigation");
-  if (PolicyDesc.empty())
-    PolicyDesc = "fast-doubling";
-  const std::string Sites = strField(In->Meta, "mitigation_sites");
-  if (!Sites.empty())
-    PolicyDesc += " [" + Sites + "]";
+  auto DescFromMeta = [&PolicyDesc](const JsonValue &Meta) {
+    PolicyDesc = strField(Meta, "mitigation");
+    if (PolicyDesc.empty())
+      PolicyDesc = "fast-doubling";
+    const std::string Sites = strField(Meta, "mitigation_sites");
+    if (!Sites.empty())
+      PolicyDesc += " [" + Sites + "]";
+  };
   std::vector<std::pair<std::string, double>> Out;
-  if (!In->IsTrace) {
-    for (const auto &[Key, Val] : In->Metrics.members())
+  if (*Kind == InputKind::Stats) {
+    std::optional<StatsDoc> Doc = loadStats(Path);
+    if (!Doc)
+      return std::nullopt;
+    DescFromMeta(Doc->Meta);
+    for (const auto &[Key, Val] : Doc->Metrics.members())
       if (Val.kind() == JsonValue::Kind::Number)
         Out.emplace_back(Key, Val.asNumber());
     return Out;
   }
-  Analysis A;
-  if (!analyzeTrace(*In, A))
+  std::string Err;
+  std::unique_ptr<TraceReader> Reader = openTraceReader(Path, Err);
+  if (!Reader) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
     return std::nullopt;
+  }
+  Analysis A;
+  if (!analyzeTrace(*Reader, A))
+    return std::nullopt;
+  DescFromMeta(A.Meta);
   double Total = 0;
   for (const auto &[Name, Acc] : A.Levels) {
     Out.emplace_back("leak." + Name + ".windows",
@@ -1149,16 +1313,18 @@ int usage() {
       "       zamtrace --version\n"
       "\n"
       "report: histogram, overhead attribution and offline leakage bound\n"
-      "        for a JSONL or Chrome trace, priced by the mitigation\n"
+      "        for a JSONL, Chrome or ZTB binary trace (streamed in one\n"
+      "        pass, never loaded whole), priced by the mitigation\n"
       "        policy the trace recorded; --stats cross-checks the\n"
       "        recomputed bound bit-for-bit against the run's leak.*\n"
-      "        metrics (mismatch exits 1). --by-line rebuilds the per-line\n"
-      "        source profile from the event stream and verifies it against\n"
-      "        the embedded prof rows; --check-ledger additionally compares\n"
-      "        them against a `zamc profile --json` ledger document.\n"
-      "        --csv exports the observed timing histogram. Attack traces\n"
-      "        (`zamc attack --trace-out`) rerun the statistical detector\n"
-      "        offline and cross-check the adv.* metrics instead.\n"
+      "        and dist.* metrics (mismatch exits 1). --by-line rebuilds\n"
+      "        the per-line source profile from the event stream and\n"
+      "        verifies it against the embedded prof rows; --check-ledger\n"
+      "        additionally compares them against a `zamc profile --json`\n"
+      "        ledger document. --csv exports the observed timing\n"
+      "        histogram. Attack traces (`zamc attack --trace-out`) rerun\n"
+      "        the statistical detector offline and cross-check the adv.*\n"
+      "        and dist.* metrics instead.\n"
       "diff:   compares two runs (traces or --stats/--json documents) and\n"
       "        exits 1 when the candidate exceeds the leakage or overhead\n"
       "        budget, or when the two sides recorded different mitigation\n"
@@ -1204,16 +1370,22 @@ int cmdReport(int Argc, char **Argv) {
   if (TracePath.empty())
     return usage();
 
-  std::optional<LoadedInput> In = loadInput(TracePath);
-  if (!In)
+  std::optional<InputKind> Kind = classifyInput(TracePath);
+  if (!Kind)
     return 2;
-  if (!In->IsTrace) {
+  if (*Kind == InputKind::Stats) {
     std::fprintf(stderr, "error: '%s' is a stats document, not a trace\n",
                  TracePath.c_str());
     return 2;
   }
+  std::string RErr;
+  std::unique_ptr<TraceReader> Reader = openTraceReader(TracePath, RErr);
+  if (!Reader) {
+    std::fprintf(stderr, "error: %s\n", RErr.c_str());
+    return 2;
+  }
   Analysis A;
-  if (!analyzeTrace(*In, A))
+  if (!analyzeTrace(*Reader, A))
     return 1;
 
   // Attack observation traces take the detector path: rerun the statistics
@@ -1226,18 +1398,20 @@ int cmdReport(int Argc, char **Argv) {
       return 1;
     }
     DetectorResult D = recomputeDetector(A);
-    printAdvReport(*In, A, D);
+    printAdvReport(A, D);
+    printSnapshots(A);
     std::string CrossCheck = "not requested";
     if (!StatsPath.empty()) {
-      std::optional<LoadedInput> Stats = loadInput(StatsPath);
+      std::optional<StatsDoc> Stats = loadStats(StatsPath);
       if (!Stats)
         return 2;
-      if (Stats->IsTrace || Stats->Metrics.isNull()) {
-        std::fprintf(stderr, "error: '%s' has no metrics object\n",
-                     StatsPath.c_str());
-        return 2;
-      }
-      if (!advCrossCheck(D, Stats->Metrics)) {
+      // The sketches replay alongside the detector: any dist.* figure the
+      // stats document exports must match the offline rebuild exactly.
+      MetricsRegistry DistReg;
+      A.EndToEndDist.exportMetrics(DistReg, "end_to_end");
+      A.WindowDist.exportMetrics(DistReg, "window_duration");
+      if (!advCrossCheck(D, Stats->Metrics) ||
+          !distCrossCheck(DistReg, Stats->Metrics)) {
         std::printf("\ncross-check FAILED: offline detector disagrees with "
                     "online adv.* metrics\n");
         return 1;
@@ -1250,8 +1424,8 @@ int cmdReport(int Argc, char **Argv) {
       return 2;
     if (!JsonPath.empty()) {
       JsonValue Doc = JsonValue::object();
-      if (!In->Meta.isNull())
-        Doc["meta"] = In->Meta;
+      if (!A.Meta.isNull())
+        Doc["meta"] = A.Meta;
       Doc["adv"] = advJson(A, D);
       Doc["crosscheck"] = JsonValue(CrossCheck);
       if (!writeJsonFile(Doc, JsonPath))
@@ -1260,7 +1434,8 @@ int cmdReport(int Argc, char **Argv) {
     return 0;
   }
 
-  printReport(*In, A);
+  printReport(A);
+  printSnapshots(A);
 
   if (ByLine || !LedgerPath.empty()) {
     if (!checkProfAgainstRebuild(A)) {
@@ -1285,15 +1460,22 @@ int cmdReport(int Argc, char **Argv) {
 
   std::string CrossCheck = "not requested";
   if (!StatsPath.empty()) {
-    std::optional<LoadedInput> Stats = loadInput(StatsPath);
+    std::optional<StatsDoc> Stats = loadStats(StatsPath);
     if (!Stats)
       return 2;
-    if (Stats->IsTrace || Stats->Metrics.isNull()) {
-      std::fprintf(stderr, "error: '%s' has no metrics object\n",
-                   StatsPath.c_str());
-      return 2;
+    // Per-line cost sketch: rebuilt from the embedded prof rows (the
+    // per-line cycle ground truth), checked against any dist.line_cost
+    // figures the stats document exports.
+    MetricsRegistry DistReg;
+    if (A.HasProf) {
+      LogLinearHistogram LineDist;
+      for (const auto &[Line, L] : A.Lines)
+        if (L.HasEmbedded)
+          LineDist.add(L.EmbCycles);
+      LineDist.exportMetrics(DistReg, "line_cost");
     }
-    if (!crossCheck(A, Stats->Metrics)) {
+    if (!crossCheck(A, Stats->Metrics) ||
+        !distCrossCheck(DistReg, Stats->Metrics)) {
       std::printf("\ncross-check FAILED: offline bound disagrees with "
                   "online leak.* metrics\n");
       return 1;
@@ -1307,7 +1489,7 @@ int cmdReport(int Argc, char **Argv) {
     return 2;
 
   if (!JsonPath.empty()) {
-    JsonValue Doc = analysisJson(*In, A);
+    JsonValue Doc = analysisJson(A);
     Doc["crosscheck"] = JsonValue(CrossCheck);
     if (!writeJsonFile(Doc, JsonPath))
       return 2;
@@ -1449,10 +1631,24 @@ int main(int Argc, char **Argv) {
   }
   if (Argc < 2)
     return usage();
-  if (!std::strcmp(Argv[1], "report"))
-    return cmdReport(Argc, Argv);
-  if (!std::strcmp(Argv[1], "diff"))
-    return cmdDiff(Argc, Argv);
+  try {
+    if (!std::strcmp(Argv[1], "report"))
+      return cmdReport(Argc, Argv);
+    if (!std::strcmp(Argv[1], "diff"))
+      return cmdDiff(Argc, Argv);
+  } catch (const std::bad_alloc &) {
+    std::fprintf(stderr,
+                 "error: input exceeds in-memory mode; re-export the run "
+                 "to the streaming binary trace format (--trace-out "
+                 "out.ztb) and retry\n");
+    return 1;
+  } catch (const std::length_error &) {
+    std::fprintf(stderr,
+                 "error: input exceeds in-memory mode; re-export the run "
+                 "to the streaming binary trace format (--trace-out "
+                 "out.ztb) and retry\n");
+    return 1;
+  }
   std::fprintf(stderr, "unknown command '%s'\n", Argv[1]);
   return usage();
 }
