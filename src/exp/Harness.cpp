@@ -138,6 +138,19 @@ ProgressMeter::ProgressMeter(const char *What, uint64_t Total, bool Enabled)
     : What(What), Total(Total), Enabled(Enabled),
       Start(std::chrono::steady_clock::now()), Last(Start) {}
 
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::finish() {
+  if (!Enabled)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Painted || NewlineEmitted)
+    return;
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  NewlineEmitted = true;
+}
+
 void ProgressMeter::tick() {
   const uint64_t Done = Count.fetch_add(1, std::memory_order_relaxed) + 1;
   if (Enabled)
@@ -152,19 +165,30 @@ void ProgressMeter::update(uint64_t Done) {
 
 void ProgressMeter::paint(uint64_t Done) {
   std::lock_guard<std::mutex> Lock(Mu);
+  if (NewlineEmitted) // Already completed; nothing left to repaint.
+    return;
+  // Total == 0 is indeterminate, not "100% done": it never completes on
+  // its own (finish()/the destructor close the line) and must not divide
+  // by the total.
+  const bool Complete = Total != 0 && Done >= Total;
   const auto Now = std::chrono::steady_clock::now();
-  if (Done < Total && Now - Last < std::chrono::milliseconds(100))
+  if (!Complete && Now - Last < std::chrono::milliseconds(100))
     return;
   Last = Now;
-  const double Sec = std::chrono::duration<double>(Now - Start).count();
-  char Eta[48] = "";
-  if (Done > 0 && Done < Total && Sec > 0.5)
-    std::snprintf(Eta, sizeof(Eta), " eta %.0fs",
-                  Sec * static_cast<double>(Total - Done) /
-                      static_cast<double>(Done));
-  std::fprintf(stderr, "\r%s: %" PRIu64 "/%" PRIu64 " (%d%%)%s%s", What,
-               Done, Total,
-               static_cast<int>(Total ? 100 * Done / Total : 100), Eta,
-               Done >= Total ? "\n" : "");
+  if (Total == 0) {
+    std::fprintf(stderr, "\r%s: %" PRIu64 "/?", What, Done);
+  } else {
+    const double Sec = std::chrono::duration<double>(Now - Start).count();
+    char Eta[48] = "";
+    if (Done > 0 && Done < Total && Sec > 0.5)
+      std::snprintf(Eta, sizeof(Eta), " eta %.0fs",
+                    Sec * static_cast<double>(Total - Done) /
+                        static_cast<double>(Done));
+    std::fprintf(stderr, "\r%s: %" PRIu64 "/%" PRIu64 " (%d%%)%s%s", What,
+                 Done, Total, static_cast<int>(100 * Done / Total), Eta,
+                 Complete ? "\n" : "");
+  }
+  Painted = true;
+  NewlineEmitted = Complete;
   std::fflush(stderr);
 }

@@ -86,15 +86,26 @@ bool emitBenchTrace(const Trace &T, const SecurityLattice &Lat,
 /// stdout tables, --json documents and trace bytes are byte-identical
 /// whether or not a meter runs. tick() is thread-safe (workers may call it
 /// directly from a ParallelRunner lambda).
+/// A `Total` of 0 renders as an indeterminate `what: N/?` counter (no
+/// percentage, no per-paint newline). Completion — or destruction of a
+/// meter that painted anything — always terminates the stderr line with a
+/// newline, so a redirected stderr never ends mid-repaint.
 class ProgressMeter {
 public:
   ProgressMeter(const char *What, uint64_t Total, bool Enabled);
+  ~ProgressMeter();
 
   /// Advances the counter by one and maybe repaints (thread-safe).
   void tick();
 
   /// Sets the absolute count and maybe repaints (single-writer use).
   void update(uint64_t Done);
+
+  /// Ends the meter's stderr line: emits the trailing newline if any
+  /// repaint was painted and the line is still open. Idempotent; called
+  /// by the destructor, so abandoned meters (early error paths,
+  /// indeterminate totals) still leave stderr clean.
+  void finish();
 
 private:
   void paint(uint64_t Done);
@@ -106,6 +117,8 @@ private:
   std::chrono::steady_clock::time_point Start;
   std::chrono::steady_clock::time_point Last;
   std::mutex Mu; ///< Serializes repaints from worker threads.
+  bool Painted = false;        ///< Any repaint reached stderr (under Mu).
+  bool NewlineEmitted = false; ///< The line was terminated (under Mu).
 };
 
 } // namespace zam

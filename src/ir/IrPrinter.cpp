@@ -58,6 +58,88 @@ std::string exprText(const IrExpr &E, const IrProgram *IR) {
 
 std::string zam::printIrExpr(const IrExpr &E) { return exprText(E, nullptr); }
 
+const char *zam::irOpName(IrInstr::Op K) {
+  switch (K) {
+  case IrInstr::Op::Skip:
+    return "skip";
+  case IrInstr::Op::Assign:
+    return "assign";
+  case IrInstr::Op::ArrayAssign:
+    return "store";
+  case IrInstr::Op::Branch:
+    return "branch";
+  case IrInstr::Op::Sleep:
+    return "sleep";
+  case IrInstr::Op::MitEnter:
+    return "mitenter";
+  case IrInstr::Op::MitEnd:
+    return "mitend";
+  case IrInstr::Op::Halt:
+    return "halt";
+  }
+  return "?";
+}
+
+std::string zam::printIrInstr(const IrProgram &IR, uint32_t I,
+                              const SecurityLattice &Lat) {
+  const IrInstr &In = IR.Instrs[I];
+  std::string Line;
+  auto Labels = [&] {
+    return " [" + Lat.name(In.Read) + "," + Lat.name(In.Write) + "]";
+  };
+  auto Common = [&] {
+    std::string S = Labels() + fmt(" code=0x%" PRIx64,
+                                   static_cast<uint64_t>(In.CodeAddr));
+    if (In.Loc.isValid())
+      S += fmt(" line=%u", In.Loc.Line);
+    return S;
+  };
+  switch (In.K) {
+  case IrInstr::Op::Skip:
+    Line += "skip" + Common() + fmt(" -> %u", In.Next);
+    break;
+  case IrInstr::Op::Assign:
+    Line += fmt("assign %%%u", In.Slot);
+    if (In.Slot < IR.Slots.size())
+      Line += ":" + IR.Slots[In.Slot].Name;
+    Line += " <- {" + exprText(In.E0, &IR) + "}" + Common() +
+            fmt(" -> %u", In.Next);
+    break;
+  case IrInstr::Op::ArrayAssign:
+    Line += fmt("store %%%u", In.Slot);
+    if (In.Slot < IR.Slots.size())
+      Line += ":" + IR.Slots[In.Slot].Name;
+    Line += "[{" + exprText(In.E0, &IR) + "}] <- {" + exprText(In.E1, &IR) +
+            "}" + Common() + fmt(" -> %u", In.Next);
+    break;
+  case IrInstr::Op::Branch:
+    Line += std::string(In.IsLoop ? "loop" : "branch") + " {" +
+            exprText(In.E0, &IR) + "}" + Common() +
+            fmt(" true->%u false->%u", In.Target, In.Next);
+    break;
+  case IrInstr::Op::Sleep:
+    Line += "sleep {" + exprText(In.E0, &IR) + "}" + Labels() +
+            (In.Loc.isValid() ? fmt(" line=%u", In.Loc.Line) : "") +
+            fmt(" -> %u", In.Next);
+    break;
+  case IrInstr::Op::MitEnter:
+    Line += fmt("mitenter eta=%u level=%s pc=%s est={", In.Eta,
+                Lat.name(In.MitLevel).c_str(),
+                Lat.name(In.PcLabel).c_str()) +
+            exprText(In.E0, &IR) + "}" + Common() + fmt(" -> %u", In.Next);
+    break;
+  case IrInstr::Op::MitEnd:
+    Line += fmt("mitend eta=%u", In.Eta) + Labels() +
+            (In.Loc.isValid() ? fmt(" line=%u", In.Loc.Line) : "") +
+            fmt(" -> %u", In.Next);
+    break;
+  case IrInstr::Op::Halt:
+    Line += "halt";
+    break;
+  }
+  return Line;
+}
+
 std::string zam::printIr(const IrProgram &IR, const SecurityLattice &Lat) {
   std::string Out = fmt("ir: %zu instructions, %zu slots, max eval depth %u, "
                         "max mitigate depth %u\n",
@@ -68,63 +150,7 @@ std::string zam::printIr(const IrProgram &IR, const SecurityLattice &Lat) {
                static_cast<unsigned>(&S - IR.Slots.data()), S.Name.c_str(),
                Lat.name(S.SecLabel).c_str(), S.IsArray ? "array" : "scalar",
                S.Size, static_cast<uint64_t>(S.Base));
-  for (uint32_t I = 0; I != IR.Instrs.size(); ++I) {
-    const IrInstr &In = IR.Instrs[I];
-    std::string Line = fmt("  %3u: ", I);
-    auto Labels = [&] {
-      return " [" + Lat.name(In.Read) + "," + Lat.name(In.Write) + "]";
-    };
-    auto Common = [&] {
-      std::string S = Labels() + fmt(" code=0x%" PRIx64,
-                                     static_cast<uint64_t>(In.CodeAddr));
-      if (In.Loc.isValid())
-        S += fmt(" line=%u", In.Loc.Line);
-      return S;
-    };
-    switch (In.K) {
-    case IrInstr::Op::Skip:
-      Line += "skip" + Common() + fmt(" -> %u", In.Next);
-      break;
-    case IrInstr::Op::Assign:
-      Line += fmt("assign %%%u", In.Slot);
-      if (In.Slot < IR.Slots.size())
-        Line += ":" + IR.Slots[In.Slot].Name;
-      Line += " <- {" + exprText(In.E0, &IR) + "}" + Common() +
-              fmt(" -> %u", In.Next);
-      break;
-    case IrInstr::Op::ArrayAssign:
-      Line += fmt("store %%%u", In.Slot);
-      if (In.Slot < IR.Slots.size())
-        Line += ":" + IR.Slots[In.Slot].Name;
-      Line += "[{" + exprText(In.E0, &IR) + "}] <- {" + exprText(In.E1, &IR) +
-              "}" + Common() + fmt(" -> %u", In.Next);
-      break;
-    case IrInstr::Op::Branch:
-      Line += std::string(In.IsLoop ? "loop" : "branch") + " {" +
-              exprText(In.E0, &IR) + "}" + Common() +
-              fmt(" true->%u false->%u", In.Target, In.Next);
-      break;
-    case IrInstr::Op::Sleep:
-      Line += "sleep {" + exprText(In.E0, &IR) + "}" + Labels() +
-              (In.Loc.isValid() ? fmt(" line=%u", In.Loc.Line) : "") +
-              fmt(" -> %u", In.Next);
-      break;
-    case IrInstr::Op::MitEnter:
-      Line += fmt("mitenter eta=%u level=%s pc=%s est={", In.Eta,
-                  Lat.name(In.MitLevel).c_str(),
-                  Lat.name(In.PcLabel).c_str()) +
-              exprText(In.E0, &IR) + "}" + Common() + fmt(" -> %u", In.Next);
-      break;
-    case IrInstr::Op::MitEnd:
-      Line += fmt("mitend eta=%u", In.Eta) + Labels() +
-              (In.Loc.isValid() ? fmt(" line=%u", In.Loc.Line) : "") +
-              fmt(" -> %u", In.Next);
-      break;
-    case IrInstr::Op::Halt:
-      Line += "halt";
-      break;
-    }
-    Out += Line + "\n";
-  }
+  for (uint32_t I = 0; I != IR.Instrs.size(); ++I)
+    Out += fmt("  %3u: ", I) + printIrInstr(IR, I, Lat) + "\n";
   return Out;
 }

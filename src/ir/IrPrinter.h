@@ -29,6 +29,18 @@ class SecurityLattice;
 /// "load %1:x; const 3; add".
 std::string printIrExpr(const IrExpr &E);
 
+/// The stable lower-case mnemonic for an opcode ("skip", "assign", "store",
+/// "branch", "sleep", "mitenter", "mitend", "halt") — the spelling used by
+/// the instruction dump, the exec.* metrics namespace and the folded-stack
+/// export, so profiles and IR listings name opcodes identically.
+const char *irOpName(IrInstr::Op K);
+
+/// Renders instruction \p I exactly as one `printIr` listing line, without
+/// the leading "  %3u: " pc prefix — so annotated dumps (`zamc hot`) reuse
+/// the byte-identical instruction text.
+std::string printIrInstr(const IrProgram &IR, uint32_t I,
+                         const SecurityLattice &Lat);
+
 /// Renders the whole program (slots, then instructions).
 std::string printIr(const IrProgram &IR, const SecurityLattice &Lat);
 

@@ -244,6 +244,7 @@ namespace {
 
 constexpr uint64_t kMaxRecordBytes = uint64_t(1) << 24;
 constexpr uint64_t kMaxHeaderPairs = 4096;
+constexpr uint64_t kMaxHeaderStringBytes = uint64_t(1) << 16;
 constexpr uint64_t kMaxArgs = 4096;
 
 bool pVarint(const char *&P, const char *E, uint64_t &V) {
@@ -359,6 +360,17 @@ bool ZtbTraceReader::readVarint(uint64_t &V) {
   return false;
 }
 
+bool ZtbTraceReader::readHeaderVarint(uint64_t &V) {
+  if (readVarint(V))
+    return true;
+  // readVarint fails either at EOF mid-varint (a truncated stream) or on
+  // a 10-byte runaway (corrupt framing); tell the two apart so truncation
+  // never masquerades as corruption.
+  fail(peekByte() < 0 ? "truncated ZTB header (unterminated varint)"
+                      : "malformed ZTB header varint");
+  return false;
+}
+
 bool ZtbTraceReader::readPreamble() {
   SawPreamble = true;
   char Magic[4];
@@ -375,13 +387,20 @@ bool ZtbTraceReader::readPreamble() {
     return false;
   }
   const int Ver = getByte();
-  if (Ver < 0 || Ver > ztb::Version) {
+  if (Ver < 0) {
+    // EOF right after the magic: a truncation, not a version mismatch.
+    fail("truncated ZTB preamble (missing version byte)");
+    return false;
+  }
+  if (Ver > ztb::Version) {
     fail("unsupported ZTB version " + std::to_string(Ver));
     return false;
   }
   uint64_t Pairs = 0;
-  if (!readVarint(Pairs) || Pairs > kMaxHeaderPairs) {
-    fail("malformed ZTB header");
+  if (!readHeaderVarint(Pairs))
+    return false;
+  if (Pairs > kMaxHeaderPairs) {
+    fail("malformed ZTB header (implausible pair count)");
     return false;
   }
   Header = TraceRecord();
@@ -389,8 +408,12 @@ bool ZtbTraceReader::readPreamble() {
   for (uint64_t I = 0; I != Pairs; ++I) {
     uint64_t KeyLen = 0, ValLen = 0;
     std::string Key, Value;
-    if (!readVarint(KeyLen) || KeyLen > kMaxRecordBytes) {
-      fail("malformed ZTB header");
+    if (!readHeaderVarint(KeyLen))
+      return false;
+    // Cap strings well below the record limit so a corrupt length can't
+    // preallocate megabytes before the EOF check fires.
+    if (KeyLen > kMaxHeaderStringBytes) {
+      fail("malformed ZTB header (implausible string length)");
       return false;
     }
     Key.resize(static_cast<size_t>(KeyLen));
@@ -402,8 +425,10 @@ bool ZtbTraceReader::readPreamble() {
       }
       C = static_cast<char>(B);
     }
-    if (!readVarint(ValLen) || ValLen > kMaxRecordBytes) {
-      fail("malformed ZTB header");
+    if (!readHeaderVarint(ValLen))
+      return false;
+    if (ValLen > kMaxHeaderStringBytes) {
+      fail("malformed ZTB header (implausible string length)");
       return false;
     }
     Value.resize(static_cast<size_t>(ValLen));

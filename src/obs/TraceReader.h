@@ -112,6 +112,9 @@ private:
   int getByte();
   int peekByte();
   bool readVarint(uint64_t &V);
+  /// readVarint inside the preamble, with fail() set to a message that
+  /// distinguishes truncation (EOF mid-varint) from corrupt framing.
+  bool readHeaderVarint(uint64_t &V);
   bool resync();
 
   std::FILE *F;

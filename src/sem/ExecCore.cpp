@@ -69,6 +69,8 @@ ExecCore::ExecCore(const IrProgram &IR, const Program &P, Memory InitM,
       TrackCursor(Opts.RecordMisses || Opts.Provenance != nullptr) {
   Stack.resize(IR.MaxEvalDepth ? IR.MaxEvalDepth : 1);
   Frames.reserve(IR.MaxMitDepth);
+  if (Opts.Probe)
+    Opts.Probe->onProgram(IR);
   if (Code[PC].K == IrInstr::Op::Halt) {
     Halted = true;
     finalize();
@@ -110,6 +112,8 @@ void ExecCore::execInstr(const IrInstr &I) {
   // source location before any of its costs (including the I-fetch).
   if (TrackCursor)
     Cur.Loc = I.Loc;
+  if (Opts.Probe)
+    Opts.Probe->onDispatch(PC);
 
   switch (I.K) {
   case IrInstr::Op::Skip: {
@@ -158,6 +162,8 @@ void ExecCore::execInstr(const IrInstr &I) {
     int64_t Guard = eval(I.E0, I, Cycles);
     charge(CycleKind::Step, Cycles);
     G += Cycles;
+    if (Opts.Probe)
+      Opts.Probe->onBranch(PC, Guard != 0);
     PC = Guard != 0 ? I.Target : I.Next;
     return;
   }
@@ -197,9 +203,12 @@ void ExecCore::execInstr(const IrInstr &I) {
     // the update rule and the padding to the final prediction.
     const MitFrame &F = Frames.back();
     const uint64_t Elapsed = G - F.Start;
+    const unsigned MissesBefore = Opts.Probe ? MitState.misses(F.Level) : 0;
     MitigationState::Outcome Out =
         MitState.settle(F.Estimate, F.Level, Elapsed, *F.Policy);
     G = F.Start + Out.Duration;
+    if (Opts.Probe)
+      Opts.Probe->onSettle(F.Eta, MitState.misses(F.Level) - MissesBefore);
 
     MitigateRecord R;
     R.Eta = F.Eta;

@@ -80,6 +80,12 @@ struct InterpreterOptions {
   /// (obs/CostLedger.h implements it). Installs the hardware observer for
   /// the run like RecordMisses does. Not owned.
   CostSink *Provenance = nullptr;
+  /// When set, both engines report every instruction dispatch, branch
+  /// direction, and mitigate-window settle to this probe — the engine
+  /// self-profiler's data feed (obs/ExecProfile.h implements it). Purely
+  /// observational: attaching a probe never changes costs, the trace, or
+  /// the leakage ledger. Not owned.
+  ExecProbe *Probe = nullptr;
 };
 
 /// Outcome of a full-semantics run.

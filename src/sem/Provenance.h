@@ -79,6 +79,36 @@ public:
   virtual void closeWindow(const CostCursor &Cur, const MitigateRecord &R) = 0;
 };
 
+struct IrProgram;
+
+/// Receives the execution core's own dispatch stream: one callback per
+/// instruction dispatched, plus branch directions and mitigate-window
+/// settle outcomes. This is the engine self-profiler's data feed
+/// (obs/ExecProfile.h implements it) — the same sem/obs layering as
+/// CostSink. Implementations must be deterministic; they are invoked on
+/// the interpreter's thread. Halt is never dispatched (the core stops
+/// when the program counter lands on it), so it never reaches onDispatch.
+class ExecProbe {
+public:
+  virtual ~ExecProbe() = default;
+
+  /// A core was constructed over \p IR; fires once per run, before any
+  /// dispatch. Probes capture per-pc descriptors here (the IR outlives
+  /// the run only if the caller keeps it, so copy what you need).
+  virtual void onProgram(const IrProgram &IR) = 0;
+
+  /// The instruction at \p Pc is about to execute.
+  virtual void onDispatch(uint32_t Pc) = 0;
+
+  /// The Branch at \p Pc resolved; \p Taken is true when control went to
+  /// the branch target (guard nonzero), false for fall-through.
+  virtual void onBranch(uint32_t Pc, bool Taken) = 0;
+
+  /// The mitigate window with site \p Eta settled, costing \p Epochs
+  /// scheduler misprediction epochs (0 = the prediction held).
+  virtual void onSettle(unsigned Eta, unsigned Epochs) = 0;
+};
+
 } // namespace zam
 
 #endif // ZAM_SEM_PROVENANCE_H

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 
 using namespace zam;
 using namespace zam::test;
@@ -395,4 +396,68 @@ TEST(Harness, ParsesThreadsAndJson) {
 
   const char *Argv3[] = {"bench", "--threads", "many"};
   EXPECT_FALSE(parseHarnessArgs(3, const_cast<char **>(Argv3)).Ok);
+}
+
+// The meter rate-limits non-final repaints to ~10/s, so tests sleep past
+// the 100ms window before ticking to guarantee a paint reaches stderr.
+static void sleepPastRepaintWindow() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+}
+
+TEST(ProgressMeter, CompletionEndsWithSingleNewline) {
+  testing::internal::CaptureStderr();
+  {
+    ProgressMeter Meter("work", 3, /*Enabled=*/true);
+    Meter.update(3);
+    Meter.finish(); // Idempotent: the completion paint already closed it.
+  }
+  std::string Err = testing::internal::GetCapturedStderr();
+  ASSERT_FALSE(Err.empty());
+  EXPECT_NE(Err.find("work: 3/3 (100%)\n"), std::string::npos);
+  EXPECT_EQ(Err.find('\n'), Err.size() - 1) << Err;
+}
+
+TEST(ProgressMeter, ZeroTotalIsIndeterminateAndClosesOnce) {
+  testing::internal::CaptureStderr();
+  {
+    ProgressMeter Meter("scan", 0, /*Enabled=*/true);
+    sleepPastRepaintWindow();
+    Meter.tick();
+    sleepPastRepaintWindow();
+    Meter.tick();
+  }
+  std::string Err = testing::internal::GetCapturedStderr();
+  // No bogus percentage, no per-paint newlines: the destructor emits the
+  // single line terminator.
+  EXPECT_EQ(Err.find('%'), std::string::npos) << Err;
+  EXPECT_NE(Err.find("scan: 2/?"), std::string::npos) << Err;
+  ASSERT_FALSE(Err.empty());
+  EXPECT_EQ(Err.find('\n'), Err.size() - 1) << Err;
+}
+
+TEST(ProgressMeter, AbandonedMeterStillTerminatesItsLine) {
+  testing::internal::CaptureStderr();
+  {
+    ProgressMeter Meter("batch", 10, /*Enabled=*/true);
+    sleepPastRepaintWindow();
+    Meter.update(4); // Never reaches Total: an early-exit error path.
+  }
+  std::string Err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(Err.find("batch: 4/10 (40%)"), std::string::npos) << Err;
+  ASSERT_FALSE(Err.empty());
+  EXPECT_EQ(Err.back(), '\n');
+}
+
+TEST(ProgressMeter, DisabledAndUnpaintedMetersWriteNothing) {
+  testing::internal::CaptureStderr();
+  {
+    ProgressMeter Disabled("quiet", 0, /*Enabled=*/false);
+    sleepPastRepaintWindow();
+    Disabled.tick();
+    // Enabled but never painted (rate limit swallows an immediate tick):
+    // the destructor must not invent a stray newline.
+    ProgressMeter Unpainted("idle", 100, /*Enabled=*/true);
+    Unpainted.tick();
+  }
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
 }

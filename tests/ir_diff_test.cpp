@@ -16,7 +16,9 @@
 #include "analysis/RandomProgram.h"
 #include "hw/HardwareModels.h"
 #include "obs/CostLedger.h"
+#include "obs/ExecProfile.h"
 #include "obs/LeakAudit.h"
+#include "obs/Metrics.h"
 #include "sem/Mitigation.h"
 #include "sem/CoreInterpreter.h"
 #include "sem/FullInterpreter.h"
@@ -59,11 +61,14 @@ void expectThreeWayAgreement(const Program &P, HwKind Kind,
   auto StepEnv = FullEnv->clone();
 
   CostLedger FullLedger, StepLedger;
+  ExecProfile FullProf, StepProf;
   InterpreterOptions FullOpts, StepOpts;
   FullOpts.Mitigation = Sel;
   StepOpts.Mitigation = Sel;
   FullOpts.Provenance = &FullLedger;
   StepOpts.Provenance = &StepLedger;
+  FullOpts.Probe = &FullProf;
+  StepOpts.Probe = &StepProf;
   LeakAudit Online(P.lattice(), std::nullopt, Sel);
   FullOpts.OnMitigateWindow = [&Online](const MitigateRecord &R) {
     Online.onWindow(R);
@@ -107,6 +112,19 @@ void expectThreeWayAgreement(const Program &P, HwKind Kind,
   EXPECT_EQ(FullLedger.toJson().dump(), StepLedger.toJson().dump());
   EXPECT_EQ(FullLedger.totalCycles(), Full.T.FinalTime)
       << "ledger must attribute every cycle";
+
+  // Execution-observatory unification: both engines dispatch the same IR
+  // through the same core, so the exec.* profiles — pc counts, opcode and
+  // digram tables, branch directions, settle histograms — are identical
+  // byte for byte, and each satisfies the conservation equations.
+  std::string ProfErr;
+  EXPECT_TRUE(FullProf.selfCheck(ProfErr)) << ProfErr;
+  EXPECT_TRUE(StepProf.selfCheck(ProfErr)) << ProfErr;
+  MetricsRegistry FullExec, StepExec;
+  FullProf.exportMetrics(FullExec);
+  StepProf.exportMetrics(StepExec);
+  EXPECT_EQ(FullExec.toJson().dump(), StepExec.toJson().dump())
+      << hwKindName(Kind);
 
   // Online/offline agreement: replaying the finished trace through a
   // fresh accountant must land on the same Sec. 6 bound, bit for bit,

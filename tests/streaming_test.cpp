@@ -274,6 +274,76 @@ TEST(Ztb, CorruptionResynchronizesAtFrameMarker) {
   EXPECT_LT(Got.size(), static_cast<size_t>(Total + 1));
 }
 
+TEST(Ztb, BadMagicFailsWithCleanError) {
+  ZtbTraceReader Reader(streamOver("NOPE leftover bytes"),
+                        /*TakeOwnership=*/true);
+  TraceRecord R;
+  EXPECT_FALSE(Reader.next(R));
+  EXPECT_FALSE(Reader.ok());
+  EXPECT_NE(Reader.error().find("bad magic"), std::string::npos)
+      << Reader.error();
+}
+
+TEST(Ztb, TruncatedPreambleReportsTruncationNotVersionMismatch) {
+  // EOF right after the magic: must read as a truncation, not as a bogus
+  // "unsupported ZTB version -1".
+  {
+    ZtbTraceReader Reader(streamOver("ZTB1"), /*TakeOwnership=*/true);
+    TraceRecord R;
+    EXPECT_FALSE(Reader.next(R));
+    EXPECT_FALSE(Reader.ok());
+    EXPECT_NE(Reader.error().find("truncated ZTB preamble"),
+              std::string::npos)
+        << Reader.error();
+    EXPECT_EQ(Reader.error().find("unsupported"), std::string::npos)
+        << Reader.error();
+  }
+  // EOF inside the header pair-count varint (continuation bit set, then
+  // nothing): a truncated varint, not corrupt framing.
+  {
+    std::string Bytes("ZTB1");
+    Bytes += '\x01'; // version
+    Bytes += '\x80'; // varint continuation byte with no successor
+    ZtbTraceReader Reader(streamOver(Bytes), /*TakeOwnership=*/true);
+    TraceRecord R;
+    EXPECT_FALSE(Reader.next(R));
+    EXPECT_FALSE(Reader.ok());
+    EXPECT_NE(Reader.error().find("truncated ZTB header"), std::string::npos)
+        << Reader.error();
+  }
+  // A header string length past the cap: reported as malformed before any
+  // multi-megabyte preallocation can happen.
+  {
+    std::string Bytes("ZTB1");
+    Bytes += '\x01';                // version
+    Bytes += '\x01';                // one header pair
+    Bytes += "\x80\x80\x08";        // KeyLen varint = 1 << 17 (over the cap)
+    ZtbTraceReader Reader(streamOver(Bytes), /*TakeOwnership=*/true);
+    TraceRecord R;
+    EXPECT_FALSE(Reader.next(R));
+    EXPECT_FALSE(Reader.ok());
+    EXPECT_NE(Reader.error().find("implausible string length"),
+              std::string::npos)
+        << Reader.error();
+  }
+}
+
+TEST(Ztb, OverlongRecordLengthReportsImplausibleLength) {
+  // A valid empty preamble followed by a record length of 1 << 25 (past
+  // kMaxRecordBytes = 1 << 24) and no frame marker to resynchronize at.
+  std::string Bytes("ZTB1");
+  Bytes += '\x01';                   // version
+  Bytes += '\x00';                   // zero header pairs
+  Bytes.append("\x80\x80\x80\x10", 4); // record length varint = 1 << 25
+  ZtbTraceReader Reader(streamOver(Bytes), /*TakeOwnership=*/true);
+  TraceRecord R;
+  EXPECT_FALSE(Reader.next(R));
+  EXPECT_FALSE(Reader.ok());
+  EXPECT_NE(Reader.error().find("implausible record length"),
+            std::string::npos)
+      << Reader.error();
+}
+
 //===----------------------------------------------------------------------===//
 // Format inference and reader sniffing.
 //===----------------------------------------------------------------------===//

@@ -19,6 +19,17 @@
 //                                      misses, padding and leakage bits
 //                                      charged to it, and each mitigate
 //                                      site with its window sub-account
+//   zamc hot    <file.zam> [options]   execute with the engine self-profiler
+//                                      (the execution observatory): dump the
+//                                      IR annotated with exact per-pc
+//                                      dispatch counts, rank the hottest pcs
+//                                      and opcode digrams (superinstruction-
+//                                      fusion candidates with projected
+//                                      dispatch savings), report per-branch
+//                                      taken/not-taken splits and per-site
+//                                      settle-epoch histograms; --folded
+//                                      writes a collapsed-stack file for
+//                                      flamegraph.pl / speedscope
 //   zamc attack <file.zam> --class NAME:var=V|var=LO..HI[,...] ... [options]
 //                                      run the empirical adversary: sample
 //                                      secrets from two or more named
@@ -44,6 +55,11 @@
 //                         (repeatable; other sites keep --mitigation)
 //   --recommend           with `profile`: suggest a per-site estimate and
 //                         schedule from the observed body-time distribution
+//   --top N               with `hot`: how many hot pcs and digrams to rank
+//                         (default 10)
+//   --folded FILE         with `hot`: write collapsed stacks (one
+//                         "program;line L;op count" line per source-line/
+//                         opcode pair) for flamegraph.pl or speedscope
 //   --no-equal-labels     drop the commodity er=ew side condition
 //   --threads N           worker threads for leakage/audit/attack fan-out
 //                         (0 = auto via ZAM_THREADS / hardware)
@@ -93,6 +109,7 @@
 #include "ir/IrPrinter.h"
 #include "ir/Lowering.h"
 #include "obs/CostLedger.h"
+#include "obs/ExecProfile.h"
 #include "obs/Histogram.h"
 #include "obs/Json.h"
 #include "obs/LeakAudit.h"
@@ -157,6 +174,8 @@ struct Options {
   uint64_t SnapshotEvery = 0; ///< Snapshot meta-row period; 0 = off.
   bool NoColor = false;  ///< Force plain output regardless of the tty.
   bool Recommend = false; ///< `profile`: emit per-site policy suggestions.
+  unsigned TopK = 10;     ///< `hot`: ranking depth for pcs and digrams.
+  std::string FoldedPath; ///< `hot`: collapsed-stack output (empty: none).
   uint64_t Seed = 0;      ///< --seed: base Rng seed for sampled commands.
   bool SeedSet = false;   ///< Whether --seed was given explicitly.
   unsigned Samples = 256; ///< `attack`: total sampled executions.
@@ -187,13 +206,15 @@ int usage(const std::string &BadArg = "") {
                  BadArg.c_str());
   std::fprintf(
       stderr,
-      "usage: zamc <check|print|ir|run|trace|profile|leakage|audit|attack> "
+      "usage: zamc "
+      "<check|print|ir|run|trace|profile|hot|leakage|audit|attack> "
       "<file.zam>\n"
       "  [--levels L,M,H] [--hw nopar|nofill|partitioned]\n"
       "  [--set var=value]... [--vary var=v1,v2,...]\n"
       "  [--adversary LEVEL] [--no-equal-labels]\n"
       "  [--mitigation SPEC] [--mitigate-site ETA=SPEC]...\n"
-      "  [--recommend] [--threads N] [--seed S] [--json FILE]\n"
+      "  [--recommend] [--top N] [--folded FILE]\n"
+      "  [--threads N] [--seed S] [--json FILE]\n"
       "  [--stats[=FILE]] [--trace-out FILE]\n"
       "  [--trace-format jsonl|chrome|ztb] [--progress]\n"
       "  [--snapshot-every N] [--no-color]\n"
@@ -331,6 +352,20 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.NoColor = true;
     } else if (Arg == "--recommend") {
       Opts.Recommend = true;
+    } else if (Arg == "--top") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      char *End = nullptr;
+      unsigned long N = std::strtoul(V, &End, 10);
+      if (End == V || *End != '\0' || N == 0 || N > 10000)
+        return false;
+      Opts.TopK = static_cast<unsigned>(N);
+    } else if (Arg == "--folded") {
+      const char *V = Next();
+      if (!V || !*V)
+        return false;
+      Opts.FoldedPath = V;
     } else if (Arg == "--mitigation" || Arg.rfind("--mitigation=", 0) == 0) {
       const char *V = Arg == "--mitigation"
                           ? Next()
@@ -551,13 +586,16 @@ int cmdRun(Program &P, const Options &Opts, bool Timeline) {
   // The online accountant: windows are priced as they settle, through the
   // interpreter hook — the same projection the trace exporter applies.
   LeakAudit Audit(P.lattice(), Adv, Opts.Mitigation);
+  ExecProfile Prof;
   InterpreterOptions IOpts;
   IOpts.Mitigation = Opts.Mitigation;
   IOpts.RecordMisses = !Opts.TraceOutPath.empty();
-  if (wantsTelemetry(Opts))
+  if (wantsTelemetry(Opts)) {
     IOpts.OnMitigateWindow = [&Audit](const MitigateRecord &R) {
       Audit.onWindow(R);
     };
+    IOpts.Probe = &Prof;
+  }
   FullInterpreter Interp(P, *Env, IOpts);
   for (const auto &[Var, Value] : Opts.Overrides) {
     if (!Interp.memory().hasVar(Var)) {
@@ -572,9 +610,15 @@ int cmdRun(Program &P, const Options &Opts, bool Timeline) {
   }();
 
   if (wantsTelemetry(Opts)) {
+    std::string ProfErr;
+    if (!Prof.selfCheck(ProfErr)) {
+      std::fprintf(stderr, "error: %s\n", ProfErr.c_str());
+      return 1;
+    }
     MetricsRegistry Reg;
     collectRunMetrics(Reg, R.T, R.Hw, P.lattice());
     Audit.exportMetrics(Reg);
+    Prof.exportMetrics(Reg);
     if (!emitTraceIfRequested(Opts, R.T, P.lattice()) ||
         !emitStatsIfRequested(Opts, Reg))
       return 1;
@@ -777,9 +821,12 @@ int cmdProfile(Program &P, const Options &Opts, const std::string &Source) {
   // bits are folded into the ledger after the run settles.
   CostLedger Ledger;
   LeakAudit Audit(P.lattice(), Adv, Opts.Mitigation);
+  ExecProfile Prof;
   InterpreterOptions IOpts;
   IOpts.Mitigation = Opts.Mitigation;
   IOpts.Provenance = &Ledger;
+  if (wantsTelemetry(Opts))
+    IOpts.Probe = &Prof;
   IOpts.RecordMisses = !Opts.TraceOutPath.empty();
   IOpts.OnMitigateWindow = [&Audit](const MitigateRecord &R) {
     Audit.onWindow(R);
@@ -812,10 +859,16 @@ int cmdProfile(Program &P, const Options &Opts, const std::string &Source) {
     emitRecommendations(R.T, Opts.Mitigation, Doc);
 
   if (Opts.Stats || !Opts.TraceOutPath.empty()) {
+    std::string ProfErr;
+    if (!Prof.selfCheck(ProfErr)) {
+      std::fprintf(stderr, "error: %s\n", ProfErr.c_str());
+      return 1;
+    }
     MetricsRegistry Reg;
     collectRunMetrics(Reg, R.T, R.Hw, P.lattice());
     Audit.exportMetrics(Reg);
     Ledger.exportMetrics(Reg);
+    Prof.exportMetrics(Reg);
     // Sketch the per-line cost distribution (total cycles per source
     // line) the same dist.* way attack sketches its timings, so profile
     // stats scale to any program size with a fixed-shape document.
@@ -834,6 +887,248 @@ int cmdProfile(Program &P, const Options &Opts, const std::string &Source) {
   Doc["final_time"] = JsonValue(R.T.FinalTime);
   Doc["steps"] = JsonValue(R.T.Steps);
   Doc["ledger"] = Ledger.toJson();
+  return writeJsonIfRequested(Opts, Doc) ? 0 : 1;
+}
+
+/// `zamc hot`: the execution observatory. One deterministic run with the
+/// engine self-profiler attached; reports where the *interpreter* spends
+/// its dispatches (per-pc counts, opcode totals, digram fusion candidates,
+/// branch splits, settle-epoch histograms). Everything on stdout derives
+/// from exact dispatch counts — byte-stable and golden-diffable; the host
+/// wall-clock sample summary goes to stderr like other non-deterministic
+/// chatter.
+int cmdHot(Program &P, const Options &Opts) {
+  if (int Rc = checkProgram(P, Opts, /*Verbose=*/false))
+    return Rc;
+  // Lower a local copy for the annotated listing; the interpreter lowers
+  // identically (same program, costs and policy selection), and the probe
+  // verifies the shapes agree.
+  IrProgram IR = [&] {
+    auto Scope = Phases.scope("lower");
+    return lowerProgram(P, CostModel(), Opts.Mitigation);
+  }();
+  auto Env = createMachineEnv(Opts.Hw, P.lattice());
+  bool AdvErr = false;
+  std::optional<Label> Adv = adversaryLabel(Opts, P.lattice(), AdvErr);
+  if (AdvErr)
+    return 1;
+  LeakAudit Audit(P.lattice(), Adv, Opts.Mitigation);
+  ExecProfile Prof;
+  InterpreterOptions IOpts;
+  IOpts.Mitigation = Opts.Mitigation;
+  IOpts.Probe = &Prof;
+  IOpts.RecordMisses = !Opts.TraceOutPath.empty();
+  if (wantsTelemetry(Opts))
+    IOpts.OnMitigateWindow = [&Audit](const MitigateRecord &R) {
+      Audit.onWindow(R);
+    };
+  FullInterpreter Interp(P, *Env, IOpts);
+  for (const auto &[Var, Value] : Opts.Overrides) {
+    if (!Interp.memory().hasVar(Var)) {
+      std::fprintf(stderr, "error: no variable '%s' to set\n", Var.c_str());
+      return 1;
+    }
+    Interp.memory().store(Var, Value);
+  }
+  RunResult R = [&] {
+    auto Scope = Phases.scope("run");
+    return Interp.run();
+  }();
+
+  // The observatory's books must balance before anything is reported —
+  // a drift means the probe missed a dispatch, so it is a hard error
+  // (the checkLedgerConservation discipline).
+  std::string ProfErr;
+  if (!Prof.selfCheck(ProfErr)) {
+    std::fprintf(stderr, "error: %s\n", ProfErr.c_str());
+    return 1;
+  }
+  if (Prof.pcs().size() != IR.Instrs.size()) {
+    std::fprintf(stderr,
+                 "error: lowered IR and profiled IR disagree on shape\n");
+    return 1;
+  }
+
+  const uint64_t Total = Prof.dispatches();
+  auto Share = [&](uint64_t N) {
+    return Total ? 100.0 * static_cast<double>(N) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  };
+
+  std::printf("hot: %" PRIu64 " dispatches over %" PRIu64 " steps, G = %"
+              PRIu64 " cycles on %s hardware\n",
+              Total, R.T.Steps, R.T.FinalTime, hwKindName(Opts.Hw));
+
+  std::printf("\nannotated IR (dispatches per pc):\n");
+  for (uint32_t I = 0; I != IR.Instrs.size(); ++I) {
+    const ExecProfile::PcStat &S = Prof.pcs()[I];
+    std::printf("  %3u: %10" PRIu64 "  %s", I, S.Count,
+                printIrInstr(IR, I, P.lattice()).c_str());
+    if (S.K == IrInstr::Op::Branch)
+      std::printf("  (taken %" PRIu64 ", not-taken %" PRIu64 ")", S.Taken,
+                  S.NotTaken);
+    std::printf("\n");
+  }
+
+  // Hottest pcs, highest count first; pc order breaks ties so the ranking
+  // is deterministic.
+  std::vector<uint32_t> ByHeat(IR.Instrs.size());
+  for (uint32_t I = 0; I != ByHeat.size(); ++I)
+    ByHeat[I] = I;
+  std::stable_sort(ByHeat.begin(), ByHeat.end(),
+                   [&](uint32_t A, uint32_t B) {
+                     return Prof.pcs()[A].Count > Prof.pcs()[B].Count;
+                   });
+  std::printf("\ntop %u hot pcs:\n", Opts.TopK);
+  for (unsigned I = 0; I != Opts.TopK && I != ByHeat.size(); ++I) {
+    const uint32_t Pc = ByHeat[I];
+    const ExecProfile::PcStat &S = Prof.pcs()[Pc];
+    if (!S.Count)
+      break;
+    std::printf("  #%-2u pc %3u: %10" PRIu64 " (%5.1f%%)  %s", I + 1, Pc,
+                S.Count, Share(S.Count), irOpName(S.K));
+    if (S.Line)
+      std::printf(" line %u", S.Line);
+    std::printf("\n");
+  }
+
+  std::vector<ExecProfile::DigramRank> Digrams = Prof.rankedDigrams();
+  std::printf("\nfusion candidates (opcode digrams, fusing A;B saves one "
+              "dispatch per pair):\n");
+  for (unsigned I = 0; I != Opts.TopK && I != Digrams.size(); ++I) {
+    const ExecProfile::DigramRank &D = Digrams[I];
+    std::printf("  #%-2u %s;%s: %" PRIu64 " pairs -> saves %5.1f%% of %"
+                PRIu64 " dispatches\n",
+                I + 1, irOpName(D.A), irOpName(D.B), D.Count, Share(D.Count),
+                Total);
+  }
+
+  std::printf("\nbranches: %" PRIu64 " taken, %" PRIu64 " not taken\n",
+              Prof.branchTaken(), Prof.branchNotTaken());
+
+  if (!Prof.sites().empty()) {
+    std::printf("mitigate sites (settle epochs = scheduler doublings per "
+                "window):\n");
+    for (const ExecProfile::SiteStat &S : Prof.sites()) {
+      const LogLinearHistogram &H = S.SettleEpochs;
+      std::printf("  m%u: %" PRIu64 " settles, epochs min/p50/p90/max = %"
+                  PRIu64 "/%" PRIu64 "/%" PRIu64 "/%" PRIu64 "\n",
+                  S.Eta, H.total(), H.min(), H.quantile(0.5),
+                  H.quantile(0.9), H.max());
+    }
+  } else {
+    std::printf("mitigate sites: none\n");
+  }
+
+  // Host throughput is real but non-deterministic: stderr only, so the
+  // stdout report stays golden-diffable.
+  const ExecProfile::WallStats &W = Prof.wall();
+  if (W.Epochs)
+    std::fprintf(stderr,
+                 "wall: %" PRIu64 " sample epochs, %.2f ms, %.1f "
+                 "dispatches/us\n",
+                 W.Epochs, static_cast<double>(W.ElapsedNs) / 1e6,
+                 W.dispatchesPerUs());
+  else
+    std::fprintf(stderr,
+                 "wall: no complete sampling epoch (run shorter than %" PRIu64
+                 " dispatches)\n",
+                 ExecProfile::kDefaultWallEpoch);
+
+  if (!Opts.FoldedPath.empty()) {
+    std::string Root = Opts.File;
+    size_t Slash = Root.find_last_of("/\\");
+    if (Slash != std::string::npos)
+      Root = Root.substr(Slash + 1);
+    std::FILE *F = std::fopen(Opts.FoldedPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.FoldedPath.c_str());
+      return 1;
+    }
+    const std::string Text = Prof.foldedStacks(Root);
+    bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+    Ok &= std::fclose(F) == 0;
+    if (!Ok) {
+      std::fprintf(stderr, "error: short write to '%s'\n",
+                   Opts.FoldedPath.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote folded stacks to %s\n",
+                 Opts.FoldedPath.c_str());
+  }
+
+  if (wantsTelemetry(Opts)) {
+    MetricsRegistry Reg;
+    collectRunMetrics(Reg, R.T, R.Hw, P.lattice());
+    Audit.exportMetrics(Reg);
+    Prof.exportMetrics(Reg);
+    if (!emitTraceIfRequested(Opts, R.T, P.lattice()) ||
+        !emitStatsIfRequested(Opts, Reg))
+      return 1;
+  }
+
+  JsonValue Doc = JsonValue::object();
+  Doc["command"] = JsonValue("hot");
+  Doc["file"] = JsonValue(Opts.File);
+  Doc["hw"] = JsonValue(hwKindName(Opts.Hw));
+  Doc["final_time"] = JsonValue(R.T.FinalTime);
+  Doc["steps"] = JsonValue(R.T.Steps);
+  Doc["dispatches"] = JsonValue(Total);
+  Doc["runs"] = JsonValue(Prof.runs());
+  Doc["heads"] = JsonValue(Prof.heads());
+  JsonValue Ops = JsonValue::object();
+  for (unsigned I = 0; I != ExecProfile::kNumOps; ++I)
+    Ops[irOpName(static_cast<IrInstr::Op>(I))] =
+        JsonValue(Prof.opCount(static_cast<IrInstr::Op>(I)));
+  Doc["ops"] = std::move(Ops);
+  JsonValue Br = JsonValue::object();
+  Br["taken"] = JsonValue(Prof.branchTaken());
+  Br["not_taken"] = JsonValue(Prof.branchNotTaken());
+  Doc["branch"] = std::move(Br);
+  JsonValue DigArr = JsonValue::array();
+  for (const ExecProfile::DigramRank &D : Digrams) {
+    JsonValue Row = JsonValue::object();
+    Row["a"] = JsonValue(std::string(irOpName(D.A)));
+    Row["b"] = JsonValue(std::string(irOpName(D.B)));
+    Row["count"] = JsonValue(D.Count);
+    DigArr.push(std::move(Row));
+  }
+  Doc["digrams"] = std::move(DigArr);
+  JsonValue PcArr = JsonValue::array();
+  for (uint32_t I = 0; I != Prof.pcs().size(); ++I) {
+    const ExecProfile::PcStat &S = Prof.pcs()[I];
+    JsonValue Row = JsonValue::object();
+    Row["pc"] = JsonValue(static_cast<uint64_t>(I));
+    Row["op"] = JsonValue(std::string(irOpName(S.K)));
+    Row["line"] = JsonValue(static_cast<uint64_t>(S.Line));
+    Row["count"] = JsonValue(S.Count);
+    if (S.K == IrInstr::Op::Branch) {
+      Row["taken"] = JsonValue(S.Taken);
+      Row["not_taken"] = JsonValue(S.NotTaken);
+    }
+    PcArr.push(std::move(Row));
+  }
+  Doc["pcs"] = std::move(PcArr);
+  JsonValue SiteArr = JsonValue::array();
+  for (const ExecProfile::SiteStat &S : Prof.sites()) {
+    JsonValue Row = JsonValue::object();
+    Row["eta"] = JsonValue(static_cast<uint64_t>(S.Eta));
+    Row["settles"] = JsonValue(S.SettleEpochs.total());
+    Row["epochs_min"] = JsonValue(S.SettleEpochs.min());
+    Row["epochs_p50"] = JsonValue(S.SettleEpochs.quantile(0.5));
+    Row["epochs_p90"] = JsonValue(S.SettleEpochs.quantile(0.9));
+    Row["epochs_max"] = JsonValue(S.SettleEpochs.max());
+    SiteArr.push(std::move(Row));
+  }
+  Doc["sites"] = std::move(SiteArr);
+  JsonValue Wall = JsonValue::object();
+  Wall["sample_epochs"] = JsonValue(W.Epochs);
+  Wall["sampled_dispatches"] = JsonValue(W.SampledDispatches);
+  Wall["elapsed_ms"] = JsonValue(static_cast<double>(W.ElapsedNs) / 1e6);
+  Wall["dispatch_per_us"] = JsonValue(W.dispatchesPerUs());
+  Doc["wall"] = std::move(Wall);
   return writeJsonIfRequested(Opts, Doc) ? 0 : 1;
 }
 
@@ -1407,6 +1702,8 @@ int main(int Argc, char **Argv) {
       return cmdRun(*P, Opts, /*Timeline=*/true);
     if (Opts.Command == "profile")
       return cmdProfile(*P, Opts, Source);
+    if (Opts.Command == "hot")
+      return cmdHot(*P, Opts);
     if (Opts.Command == "leakage")
       return cmdLeakage(*P, Opts);
     if (Opts.Command == "audit")

@@ -1178,6 +1178,59 @@ JsonValue analysisJson(const Analysis &A) {
   return Doc;
 }
 
+/// Renders the engine self-profile (the exec.* namespace that `zamc hot`
+/// and telemetry runs export) when the stats document carries one. Purely
+/// presentational: exec.* profiles the engine, not the run, so there is no
+/// trace-side recomputation to cross-check it against — the report trusts
+/// the document (its internal conservation was enforced at export time).
+void printExecSection(const JsonValue &Metrics) {
+  const JsonValue *Dispatches = Metrics.find("exec.dispatches");
+  if (!Dispatches || Dispatches->kind() != JsonValue::Kind::Number)
+    return;
+  auto Num = [&](const char *Key) {
+    const JsonValue *V = Metrics.find(Key);
+    return V && V->kind() == JsonValue::Kind::Number ? V->asNumber() : 0.0;
+  };
+  std::printf("\nengine self-profile (exec.*):\n");
+  std::printf("  %.0f dispatches over %.0f run(s); branches %.0f taken / "
+              "%.0f not taken\n",
+              Dispatches->asNumber(), Num("exec.runs"),
+              Num("exec.branch.taken"), Num("exec.branch.not_taken"));
+  static const char *const OpNames[] = {"skip",  "assign",   "store",
+                                        "branch", "sleep",   "mitenter",
+                                        "mitend", "halt"};
+  std::printf("  opcodes:");
+  for (const char *Op : OpNames) {
+    const double N = Num(("exec.op." + std::string(Op)).c_str());
+    if (N != 0)
+      std::printf(" %s=%.0f", Op, N);
+  }
+  std::printf("\n");
+  // Digram ranking, highest count first (document order breaks ties —
+  // it is the exporter's deterministic row-major order).
+  std::vector<std::pair<std::string, double>> Digrams;
+  for (const auto &[Key, Val] : Metrics.members())
+    if (Key.rfind("exec.digram.", 0) == 0 &&
+        Val.kind() == JsonValue::Kind::Number)
+      Digrams.emplace_back(Key.substr(std::strlen("exec.digram.")),
+                           Val.asNumber());
+  std::stable_sort(Digrams.begin(), Digrams.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second > B.second;
+                   });
+  if (!Digrams.empty()) {
+    std::printf("  hot digrams:");
+    for (size_t I = 0; I != Digrams.size() && I < 5; ++I)
+      std::printf(" %s=%.0f", Digrams[I].first.c_str(), Digrams[I].second);
+    std::printf("\n");
+  }
+  const double Sites = Num("exec.sites");
+  if (Sites != 0)
+    std::printf("  %.0f mitigate site(s) with settle-epoch histograms "
+                "(exec.site.m*.dist.settle_epochs.*)\n",
+                Sites);
+}
+
 void printReport(const Analysis &A) {
   if (!A.Meta.isNull())
     std::printf("trace producer: %s %s (git %s)\n",
@@ -1483,6 +1536,7 @@ int cmdReport(int Argc, char **Argv) {
     CrossCheck = "ok";
     std::printf("\ncross-check OK: offline bound matches online leak.* "
                 "metrics bit-for-bit\n");
+    printExecSection(Stats->Metrics);
   }
 
   if (!CsvPath.empty() && !writeCsv(A, CsvPath))
