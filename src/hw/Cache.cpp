@@ -7,10 +7,12 @@
 
 using namespace zam;
 
-Cache::Cache(const CacheConfig &Config) : Config(Config) {
+Cache::Cache(const CacheConfig &Config)
+    : Assoc(Config.Assoc), Latency(Config.Latency), Config(Config) {
   assert(Config.NumSets > 0 && Config.Assoc > 0 && Config.BlockBytes > 0 &&
          "degenerate cache configuration");
-  Sets.resize(Config.NumSets);
+  Lines.resize(static_cast<size_t>(Config.NumSets) * Config.Assoc);
+  Occupancy.assign(Config.NumSets, 0);
   if (std::has_single_bit(Config.BlockBytes) &&
       std::has_single_bit(Config.NumSets)) {
     BlockShift = static_cast<unsigned>(std::countr_zero(Config.BlockBytes));
@@ -19,86 +21,79 @@ Cache::Cache(const CacheConfig &Config) : Config(Config) {
   }
 }
 
-/// Finds the line with \p Tag in a (possibly const) set.
-static auto findLine(auto &Set, uint64_t Tag) {
-  return std::find_if(Set.begin(), Set.end(),
-                      [Tag](const auto &L) { return L.Tag == Tag; });
-}
-
-bool Cache::lookup(Addr A, bool MarkDirty) {
-  std::vector<Line> &Set = Sets[setOf(A)];
-  auto It = findLine(Set, tagOf(A));
-  if (It == Set.end())
-    return false;
-  // Promote to MRU.
-  Line L = *It;
-  L.Dirty |= MarkDirty;
-  Set.erase(It);
-  Set.insert(Set.begin(), L);
-  return true;
-}
-
-bool Cache::probe(Addr A) const {
-  const std::vector<Line> &Set = Sets[setOf(A)];
-  uint64_t Tag = tagOf(A);
-  return std::any_of(Set.begin(), Set.end(),
-                     [Tag](const Line &L) { return L.Tag == Tag; });
-}
-
 void Cache::install(Addr A, bool Dirty) {
-  std::vector<Line> &Set = Sets[setOf(A)];
-  uint64_t Tag = tagOf(A);
-  auto It = findLine(Set, Tag);
-  if (It != Set.end()) {
-    Dirty |= It->Dirty;
-    Set.erase(It);
+  const unsigned S = setOf(A);
+  const uint64_t Tag = tagOf(A);
+  Line *Set = setLines(S);
+  uint32_t &N = Occupancy[S];
+  uint32_t W = 0;
+  while (W != N && Set[W].Tag != Tag)
+    ++W;
+  if (W != N) {
+    // Resident: promote; the dirty bit accumulates (a clean install does
+    // not launder a dirty line).
+    Dirty = Dirty || Set[W].Dirty;
   } else {
     ++Events.LineFills;
-    if (Set.size() == Config.Assoc) {
+    if (N == Assoc) {
       // Evict LRU.
       ++Events.Evictions;
-      if (Set.back().Dirty)
+      if (Set[N - 1].Dirty)
         ++Events.Writebacks;
-      Set.pop_back();
+      W = N - 1;
+    } else {
+      W = N++;
     }
   }
-  Set.insert(Set.begin(), Line{Tag, Dirty});
+  for (uint32_t I = W; I != 0; --I)
+    Set[I] = Set[I - 1];
+  Set[0] = Line{Tag, Dirty};
 }
 
 void Cache::remove(Addr A) {
-  std::vector<Line> &Set = Sets[setOf(A)];
-  auto It = findLine(Set, tagOf(A));
-  if (It != Set.end()) {
-    if (It->Dirty)
+  const unsigned S = setOf(A);
+  const uint64_t Tag = tagOf(A);
+  Line *Set = setLines(S);
+  uint32_t &N = Occupancy[S];
+  for (uint32_t W = 0; W != N; ++W) {
+    if (Set[W].Tag != Tag)
+      continue;
+    if (Set[W].Dirty)
       ++Events.Writebacks;
-    Set.erase(It);
+    for (uint32_t I = W; I + 1 != N; ++I)
+      Set[I] = Set[I + 1];
+    --N;
+    return;
   }
 }
 
 void Cache::reset() {
-  for (std::vector<Line> &Set : Sets)
-    Set.clear();
+  std::fill(Occupancy.begin(), Occupancy.end(), 0);
 }
 
 void Cache::randomize(Rng &R, double FillFraction) {
   reset();
-  for (std::vector<Line> &Set : Sets)
+  for (unsigned S = 0; S != Config.NumSets; ++S) {
+    Line *Set = setLines(S);
+    uint32_t &N = Occupancy[S];
     for (unsigned Way = 0; Way != Config.Assoc; ++Way)
       if (R.nextDouble() < FillFraction) {
         uint64_t Tag = R.nextBelow(1u << 16);
-        if (findLine(Set, Tag) == Set.end())
-          Set.push_back(Line{Tag, false});
+        bool Dup = false;
+        for (uint32_t W = 0; W != N; ++W)
+          Dup = Dup || Set[W].Tag == Tag;
+        if (!Dup)
+          Set[N++] = Line{Tag, false};
       }
+  }
 }
 
 bool Cache::operator==(const Cache &Other) const {
-  if (Config != Other.Config || Sets.size() != Other.Sets.size())
+  if (Config != Other.Config || Occupancy != Other.Occupancy)
     return false;
-  for (size_t S = 0; S != Sets.size(); ++S) {
-    const std::vector<Line> &A = Sets[S], &B = Other.Sets[S];
-    if (A.size() != B.size())
-      return false;
-    for (size_t W = 0; W != A.size(); ++W)
+  for (unsigned S = 0; S != Config.NumSets; ++S) {
+    const Line *A = setLines(S), *B = Other.setLines(S);
+    for (uint32_t W = 0; W != Occupancy[S]; ++W)
       if (A[W].Tag != B[W].Tag)
         return false;
   }

@@ -29,6 +29,7 @@
 #include "support/Rng.h"
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -51,10 +52,12 @@ public:
   explicit Cache(const CacheConfig &Config);
 
   const CacheConfig &config() const { return Config; }
-  uint64_t latency() const { return Config.Latency; }
+  uint64_t latency() const { return Latency; }
 
   /// Hit test that promotes the line to MRU on a hit; \p MarkDirty
   /// additionally sets the line's dirty bit (stores). \returns true on hit.
+  /// Defined inline below: this is the hottest call in the simulator, and
+  /// the partition/no-fill walks that drive it live in another TU.
   bool lookup(Addr A, bool MarkDirty = false);
 
   /// Hit test with no state change at all (used for no-fill accesses and
@@ -104,17 +107,73 @@ private:
       return static_cast<unsigned>((A >> BlockShift) & SetMask);
     return static_cast<unsigned>((A / Config.BlockBytes) % Config.NumSets);
   }
+  Line *setLines(unsigned S) {
+    return Lines.data() + static_cast<size_t>(S) * Assoc;
+  }
+  const Line *setLines(unsigned S) const {
+    return Lines.data() + static_cast<size_t>(S) * Assoc;
+  }
 
-  CacheConfig Config;
+  // Everything lookup() touches sits in the leading fields: the shift/mask
+  // geometry, the set stride and latency (copied out of Config so the hit
+  // path reads one region), and the two storage vectors.
+
   /// Shift/mask fast path for power-of-two geometry (all Table 1 shapes).
   /// TagShift == 0 falls back to division — partitioned designs divide sets
   /// among lattice levels, which need not leave a power of two.
   unsigned BlockShift = 0, TagShift = 0;
   uint64_t SetMask = 0;
-  /// Sets[S] = resident lines of set S in MRU-to-LRU order.
-  std::vector<std::vector<Line>> Sets;
+  unsigned Assoc = 1;   ///< Copy of Config.Assoc (set stride).
+  uint64_t Latency = 1; ///< Copy of Config.Latency.
+  /// Flat line storage, NumSets × Assoc: set S occupies
+  /// [S*Assoc, S*Assoc + Occupancy[S]) in MRU-to-LRU order. One
+  /// allocation instead of a vector per set keeps the lookup fast path —
+  /// the single hottest loop in the simulator — on one cache line, and a
+  /// hit at way 0 (the common case for looping programs) touches nothing
+  /// but the dirty bit.
+  std::vector<Line> Lines;
+  std::vector<uint32_t> Occupancy; ///< Resident lines per set.
+  CacheConfig Config;
   CacheEvents Events;
 };
+
+inline bool Cache::lookup(Addr A, bool MarkDirty) {
+  const unsigned S = setOf(A);
+  const uint64_t Tag = tagOf(A);
+  Line *Set = setLines(S);
+  const uint32_t N = Occupancy[S];
+  for (uint32_t W = 0; W != N; ++W) {
+    if (Set[W].Tag != Tag)
+      continue;
+    if (W == 0) {
+      // Already MRU: nothing moves (the hot path for looping programs).
+      // The dirty bit is written only when it changes, so repeat loads
+      // leave the line untouched.
+      if (MarkDirty && !Set[0].Dirty)
+        Set[0].Dirty = true;
+    } else {
+      // Promote to MRU: rotate the ways above the hit down one.
+      Line L = Set[W];
+      L.Dirty = L.Dirty || MarkDirty;
+      for (uint32_t I = W; I != 0; --I)
+        Set[I] = Set[I - 1];
+      Set[0] = L;
+    }
+    return true;
+  }
+  return false;
+}
+
+inline bool Cache::probe(Addr A) const {
+  const unsigned S = setOf(A);
+  const uint64_t Tag = tagOf(A);
+  const Line *Set = setLines(S);
+  const uint32_t N = Occupancy[S];
+  for (uint32_t W = 0; W != N; ++W)
+    if (Set[W].Tag == Tag)
+      return true;
+  return false;
+}
 
 } // namespace zam
 

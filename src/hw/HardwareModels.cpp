@@ -58,9 +58,10 @@ zam::createMachineEnv(HwKind Kind, const SecurityLattice &Lat,
 //===----------------------------------------------------------------------===//
 
 UnifiedHwBase::UnifiedHwBase(HwKind Kind, const SecurityLattice &Lat,
-                             const MachineEnvConfig &Config)
+                             const MachineEnvConfig &Config, bool NoFillMode)
     : MachineEnv(Kind, Lat, Config), L1D(Config.L1D), L2D(Config.L2D),
-      L1I(Config.L1I), L2I(Config.L2I), DTlb(Config.DTlb), ITlb(Config.ITlb) {}
+      L1I(Config.L1I), L2I(Config.L2I), DTlb(Config.DTlb), ITlb(Config.ITlb),
+      NoFillMode(NoFillMode), Bottom(Lat.bottom()) {}
 
 namespace {
 /// The delta between two event snapshots of one structure.
@@ -75,11 +76,14 @@ HwEventDelta eventDelta(const CacheEvents &Before, const CacheEvents &After) {
 /// Walks one TLB + two-level cache path. \p Fill selects between normal
 /// operation and no-fill probing (no installs, no LRU updates). \p IsStore
 /// marks the L1 line dirty (telemetry only; writebacks add no latency).
-/// Miss flags are reported through \p Acc.
+/// \p Observed selects whether miss flags are reported through \p Acc —
+/// the unobserved instantiation is the simulator's hottest path and skips
+/// every HwAccess store.
+template <bool Observed>
 uint64_t unifiedPath(Cache &Tlb, Cache &L1, Cache &L2, Addr A, bool Fill,
                      bool IsStore, uint64_t MemLatency,
                      CacheLevelStats &TlbStats, CacheLevelStats &L1Stats,
-                     CacheLevelStats &L2Stats, HwAccess &Acc) {
+                     CacheLevelStats &L2Stats, HwAccess *Acc) {
   uint64_t Cycles = 0;
 
   bool TlbHit = Fill ? Tlb.lookup(A) : Tlb.probe(A);
@@ -87,7 +91,8 @@ uint64_t unifiedPath(Cache &Tlb, Cache &L1, Cache &L2, Addr A, bool Fill,
     ++TlbStats.Hits;
   } else {
     ++TlbStats.Misses;
-    Acc.TlbMiss = true;
+    if constexpr (Observed)
+      Acc->TlbMiss = true;
     Cycles += Tlb.latency();
     if (Fill)
       Tlb.install(A);
@@ -100,7 +105,8 @@ uint64_t unifiedPath(Cache &Tlb, Cache &L1, Cache &L2, Addr A, bool Fill,
     return Cycles;
   }
   ++L1Stats.Misses;
-  Acc.L1Miss = true;
+  if constexpr (Observed)
+    Acc->L1Miss = true;
 
   Cycles += L2.latency();
   bool L2Hit = Fill ? L2.lookup(A) : L2.probe(A);
@@ -108,7 +114,8 @@ uint64_t unifiedPath(Cache &Tlb, Cache &L1, Cache &L2, Addr A, bool Fill,
     ++L2Stats.Hits;
   } else {
     ++L2Stats.Misses;
-    Acc.L2Miss = true;
+    if constexpr (Observed)
+      Acc->L2Miss = true;
     Cycles += MemLatency;
     if (Fill)
       L2.install(A);
@@ -123,25 +130,23 @@ uint64_t UnifiedHwBase::dataAccess(Addr A, bool IsStore, Label Read,
                                    Label Write) {
   assert(lattice().contains(Read) && lattice().contains(Write) &&
          "labels from another lattice");
+  if (observer() == nullptr)
+    return unifiedPath<false>(DTlb, L1D, L2D, A, mayFill(Write), IsStore,
+                              Config.MemLatency, Stats.DTlb, Stats.L1D,
+                              Stats.L2D, nullptr);
   HwAccess Acc;
   Acc.A = A;
   Acc.IsData = true;
   Acc.IsStore = IsStore;
-  const bool Observed = observer() != nullptr;
-  CacheEvents TlbBefore, L1Before, L2Before;
-  if (Observed) {
-    TlbBefore = DTlb.events();
-    L1Before = L1D.events();
-    L2Before = L2D.events();
-  }
-  Acc.Cycles =
-      unifiedPath(DTlb, L1D, L2D, A, mayFill(Write), IsStore, Config.MemLatency,
-                  Stats.DTlb, Stats.L1D, Stats.L2D, Acc);
-  if (Observed) {
-    Acc.TlbEvents = eventDelta(TlbBefore, DTlb.events());
-    Acc.L1Events = eventDelta(L1Before, L1D.events());
-    Acc.L2Events = eventDelta(L2Before, L2D.events());
-  }
+  CacheEvents TlbBefore = DTlb.events();
+  CacheEvents L1Before = L1D.events();
+  CacheEvents L2Before = L2D.events();
+  Acc.Cycles = unifiedPath<true>(DTlb, L1D, L2D, A, mayFill(Write), IsStore,
+                                 Config.MemLatency, Stats.DTlb, Stats.L1D,
+                                 Stats.L2D, &Acc);
+  Acc.TlbEvents = eventDelta(TlbBefore, DTlb.events());
+  Acc.L1Events = eventDelta(L1Before, L1D.events());
+  Acc.L2Events = eventDelta(L2Before, L2D.events());
   notifyAccess(Acc);
   return Acc.Cycles;
 }
@@ -149,23 +154,21 @@ uint64_t UnifiedHwBase::dataAccess(Addr A, bool IsStore, Label Read,
 uint64_t UnifiedHwBase::fetch(Addr A, Label Read, Label Write) {
   assert(lattice().contains(Read) && lattice().contains(Write) &&
          "labels from another lattice");
+  if (observer() == nullptr)
+    return unifiedPath<false>(ITlb, L1I, L2I, A, mayFill(Write),
+                              /*IsStore=*/false, Config.MemLatency, Stats.ITlb,
+                              Stats.L1I, Stats.L2I, nullptr);
   HwAccess Acc;
   Acc.A = A;
-  const bool Observed = observer() != nullptr;
-  CacheEvents TlbBefore, L1Before, L2Before;
-  if (Observed) {
-    TlbBefore = ITlb.events();
-    L1Before = L1I.events();
-    L2Before = L2I.events();
-  }
-  Acc.Cycles = unifiedPath(ITlb, L1I, L2I, A, mayFill(Write), /*IsStore=*/false,
-                           Config.MemLatency, Stats.ITlb, Stats.L1I, Stats.L2I,
-                           Acc);
-  if (Observed) {
-    Acc.TlbEvents = eventDelta(TlbBefore, ITlb.events());
-    Acc.L1Events = eventDelta(L1Before, L1I.events());
-    Acc.L2Events = eventDelta(L2Before, L2I.events());
-  }
+  CacheEvents TlbBefore = ITlb.events();
+  CacheEvents L1Before = L1I.events();
+  CacheEvents L2Before = L2I.events();
+  Acc.Cycles = unifiedPath<true>(ITlb, L1I, L2I, A, mayFill(Write),
+                                 /*IsStore=*/false, Config.MemLatency,
+                                 Stats.ITlb, Stats.L1I, Stats.L2I, &Acc);
+  Acc.TlbEvents = eventDelta(TlbBefore, ITlb.events());
+  Acc.L1Events = eventDelta(L1Before, L1I.events());
+  Acc.L2Events = eventDelta(L2Before, L2I.events());
   notifyAccess(Acc);
   return Acc.Cycles;
 }
@@ -262,6 +265,24 @@ PartitionedHw::PartitionedHw(const SecurityLattice &Lat,
     for (unsigned J = 0; J != Levels; ++J)
       Flows[I * Levels + J] =
           Lat.flowsTo(Label::fromIndex(I), Label::fromIndex(J));
+  LookupOff.resize(static_cast<size_t>(Levels) * Levels + 1);
+  for (unsigned R = 0; R != Levels; ++R)
+    for (unsigned W = 0; W != Levels; ++W) {
+      LookupOff[R * Levels + W] = static_cast<uint16_t>(LookupPlan.size());
+      for (unsigned I = 0; I != Levels; ++I)
+        if (flows(I, R))
+          LookupPlan.push_back(
+              static_cast<uint8_t>(I | (flows(W, I) ? 0 : kProbeOnly)));
+    }
+  LookupOff.back() = static_cast<uint16_t>(LookupPlan.size());
+  VictimOff.resize(Levels + 1);
+  for (unsigned W = 0; W != Levels; ++W) {
+    VictimOff[W] = static_cast<uint16_t>(InstallVictims.size());
+    for (unsigned I = 0; I != Levels; ++I)
+      if (I != W && flows(W, I))
+        InstallVictims.push_back(static_cast<uint8_t>(I));
+  }
+  VictimOff.back() = static_cast<uint16_t>(InstallVictims.size());
   L1D = makePartitions(Config.L1D);
   L2D = makePartitions(Config.L2D);
   L1I = makePartitions(Config.L1I);
@@ -270,34 +291,43 @@ PartitionedHw::PartitionedHw(const SecurityLattice &Lat,
   ITlb = makePartitions(Config.ITlb);
 }
 
-bool PartitionedHw::partLookup(Partitioned &P, Addr A, Label Read, Label Write,
-                               bool MarkDirty) {
-  const unsigned R = Read.index(), W = Write.index();
-  for (unsigned I = 0, E = P.size(); I != E; ++I) {
-    // Only partitions at levels ⊑ er may influence timing (Property 6).
-    if (!flows(I, R))
-      continue;
-    // A hit may promote LRU state only when ew ⊑ level (Property 5);
-    // otherwise the partition is probed without modification.
-    if (flows(W, I)) {
-      if (P[I].lookup(A, MarkDirty))
+namespace {
+/// Walks one precomputed lookup plan over \p P. Split from partLookup so
+/// accessHierarchy can resolve the (er, ew) plan range once per access and
+/// reuse it for the TLB, L1 and L2 walks.
+inline bool walkPlan(std::vector<Cache> &P, Addr A, const uint8_t *E,
+                     const uint8_t *const End, bool MarkDirty) {
+  for (; E != End; ++E) {
+    if (*E & PartitionedHw::kProbeOnly) {
+      if (P[*E & ~PartitionedHw::kProbeOnly].probe(A))
         return true;
-    } else if (P[I].probe(A)) {
+    } else if (P[*E].lookup(A, MarkDirty)) {
       return true;
     }
   }
   return false;
+}
+} // namespace
+
+bool PartitionedHw::partLookup(Partitioned &P, Addr A, Label Read, Label Write,
+                               bool MarkDirty) {
+  // The plan enumerates the partitions at levels ⊑ er (Property 6); the
+  // probe-only bit marks those the access may not modify (Property 5).
+  const unsigned PI = Read.index() * Levels + Write.index();
+  return walkPlan(P, A, LookupPlan.data() + LookupOff[PI],
+                  LookupPlan.data() + LookupOff[PI + 1], MarkDirty);
 }
 
 void PartitionedHw::partInstall(Partitioned &P, Addr A, Label Write,
                                 bool Dirty) {
   const unsigned W = Write.index();
   // Consistency: keep a single copy. A stale copy may only be removed from
-  // levels the write label permits modifying (ew ⊑ level).
-  for (unsigned I = 0, E = P.size(); I != E; ++I) {
-    if (I != W && flows(W, I))
-      P[I].remove(A);
-  }
+  // levels the write label permits modifying (ew ⊑ level) — the
+  // precomputed victim sweep for ew.
+  const uint8_t *V = InstallVictims.data() + VictimOff[W];
+  const uint8_t *const End = InstallVictims.data() + VictimOff[W + 1];
+  for (; V != End; ++V)
+    P[*V].remove(A);
   P[W].install(A, Dirty);
 }
 
@@ -317,6 +347,51 @@ uint64_t PartitionedHw::accessHierarchy(Partitioned &Tlb, Partitioned &L1,
                                         Partitioned &L2, Addr A, Label Read,
                                         Label Write, bool IsData,
                                         bool IsStore) {
+  if (observer() != nullptr)
+    return accessObserved(Tlb, L1, L2, A, Read, Write, IsData, IsStore);
+
+  // Unobserved walk: identical lookups, installs and charges to
+  // accessObserved below, with no HwAccess bookkeeping at all. The (er,ew)
+  // lookup plan is shared by all three structures, so it is resolved once.
+  uint64_t Cycles = 0;
+  CacheLevelStats &TlbStats = IsData ? Stats.DTlb : Stats.ITlb;
+  CacheLevelStats &L1Stats = IsData ? Stats.L1D : Stats.L1I;
+  CacheLevelStats &L2Stats = IsData ? Stats.L2D : Stats.L2I;
+  const unsigned PI = Read.index() * Levels + Write.index();
+  const uint8_t *const Plan = LookupPlan.data() + LookupOff[PI];
+  const uint8_t *const PlanEnd = LookupPlan.data() + LookupOff[PI + 1];
+
+  if (walkPlan(Tlb, A, Plan, PlanEnd, false)) {
+    ++TlbStats.Hits;
+  } else {
+    ++TlbStats.Misses;
+    Cycles += Tlb[0].latency();
+    partInstall(Tlb, A, Write);
+  }
+
+  Cycles += L1[0].latency();
+  if (walkPlan(L1, A, Plan, PlanEnd, IsStore)) {
+    ++L1Stats.Hits;
+    return Cycles;
+  }
+  ++L1Stats.Misses;
+
+  Cycles += L2[0].latency();
+  if (walkPlan(L2, A, Plan, PlanEnd, false)) {
+    ++L2Stats.Hits;
+  } else {
+    ++L2Stats.Misses;
+    Cycles += Config.MemLatency;
+    partInstall(L2, A, Write);
+  }
+  partInstall(L1, A, Write, IsStore);
+  return Cycles;
+}
+
+uint64_t PartitionedHw::accessObserved(Partitioned &Tlb, Partitioned &L1,
+                                       Partitioned &L2, Addr A, Label Read,
+                                       Label Write, bool IsData,
+                                       bool IsStore) {
   uint64_t Cycles = 0;
 
   CacheLevelStats &TlbStats = IsData ? Stats.DTlb : Stats.ITlb;
@@ -328,13 +403,9 @@ uint64_t PartitionedHw::accessHierarchy(Partitioned &Tlb, Partitioned &L1,
   Acc.IsData = IsData;
   Acc.IsStore = IsStore;
 
-  const bool Observed = observer() != nullptr;
-  CacheEvents TlbBefore, L1Before, L2Before;
-  if (Observed) {
-    TlbBefore = sumPartEvents(Tlb);
-    L1Before = sumPartEvents(L1);
-    L2Before = sumPartEvents(L2);
-  }
+  CacheEvents TlbBefore = sumPartEvents(Tlb);
+  CacheEvents L1Before = sumPartEvents(L1);
+  CacheEvents L2Before = sumPartEvents(L2);
 
   if (partLookup(Tlb, A, Read, Write)) {
     ++TlbStats.Hits;
@@ -349,11 +420,9 @@ uint64_t PartitionedHw::accessHierarchy(Partitioned &Tlb, Partitioned &L1,
   if (partLookup(L1, A, Read, Write, IsStore)) {
     ++L1Stats.Hits;
     Acc.Cycles = Cycles;
-    if (Observed) {
-      Acc.TlbEvents = eventDelta(TlbBefore, sumPartEvents(Tlb));
-      Acc.L1Events = eventDelta(L1Before, sumPartEvents(L1));
-      Acc.L2Events = eventDelta(L2Before, sumPartEvents(L2));
-    }
+    Acc.TlbEvents = eventDelta(TlbBefore, sumPartEvents(Tlb));
+    Acc.L1Events = eventDelta(L1Before, sumPartEvents(L1));
+    Acc.L2Events = eventDelta(L2Before, sumPartEvents(L2));
     notifyAccess(Acc);
     return Cycles;
   }
@@ -371,11 +440,9 @@ uint64_t PartitionedHw::accessHierarchy(Partitioned &Tlb, Partitioned &L1,
   }
   partInstall(L1, A, Write, IsStore);
   Acc.Cycles = Cycles;
-  if (Observed) {
-    Acc.TlbEvents = eventDelta(TlbBefore, sumPartEvents(Tlb));
-    Acc.L1Events = eventDelta(L1Before, sumPartEvents(L1));
-    Acc.L2Events = eventDelta(L2Before, sumPartEvents(L2));
-  }
+  Acc.TlbEvents = eventDelta(TlbBefore, sumPartEvents(Tlb));
+  Acc.L1Events = eventDelta(L1Before, sumPartEvents(L1));
+  Acc.L2Events = eventDelta(L2Before, sumPartEvents(L2));
   notifyAccess(Acc);
   return Cycles;
 }

@@ -53,39 +53,38 @@ public:
 
 protected:
   UnifiedHwBase(HwKind Kind, const SecurityLattice &Lat,
-                const MachineEnvConfig &Config);
+                const MachineEnvConfig &Config, bool NoFillMode);
 
   /// Whether an access with write label \p Write may modify the (⊥-labeled)
   /// cache state. NoPartition says always; NoFill says only when ew = ⊥.
-  virtual bool mayFill(Label Write) const = 0;
+  /// Data-driven rather than virtual: it runs on every access, and both
+  /// operands (the mode flag and the cached ⊥) are fixed at construction.
+  bool mayFill(Label Write) const { return !NoFillMode || Write == Bottom; }
 
   Cache L1D, L2D, L1I, L2I, DTlb, ITlb;
+
+private:
+  bool NoFillMode;
+  Label Bottom; ///< lattice().bottom(), cached off the access path.
 };
 
 /// Commodity hardware ("nopar"): timing labels are ignored.
 class NoPartitionHw final : public UnifiedHwBase {
 public:
   NoPartitionHw(const SecurityLattice &Lat, const MachineEnvConfig &Config)
-      : UnifiedHwBase(HwKind::NoPartition, Lat, Config) {}
+      : UnifiedHwBase(HwKind::NoPartition, Lat, Config,
+                      /*NoFillMode=*/false) {}
 
   std::unique_ptr<MachineEnv> clone() const override;
-
-protected:
-  bool mayFill(Label Write) const override { return true; }
 };
 
 /// Standard hardware with a no-fill mode (Sec. 4.2).
 class NoFillHw final : public UnifiedHwBase {
 public:
   NoFillHw(const SecurityLattice &Lat, const MachineEnvConfig &Config)
-      : UnifiedHwBase(HwKind::NoFill, Lat, Config) {}
+      : UnifiedHwBase(HwKind::NoFill, Lat, Config, /*NoFillMode=*/true) {}
 
   std::unique_ptr<MachineEnv> clone() const override;
-
-protected:
-  bool mayFill(Label Write) const override {
-    return Write == lattice().bottom();
-  }
 };
 
 /// Statically partitioned caches and TLBs (Sec. 4.3), generalized from the
@@ -110,6 +109,11 @@ public:
   /// by the number of levels). Exposed for tests.
   CacheConfig partitionConfig(const CacheConfig &Full) const;
 
+  /// Marks a lookup-plan entry whose partition may be probed but not
+  /// modified (Property 5). Public for the plan walker in the
+  /// implementation file.
+  static constexpr uint8_t kProbeOnly = 0x80;
+
 private:
   /// One structure = one Cache per lattice level, indexed by label index.
   using Partitioned = std::vector<Cache>;
@@ -130,6 +134,14 @@ private:
                            Addr A, Label Read, Label Write, bool IsData,
                            bool IsStore);
 
+  /// The observed variant of accessHierarchy: identical walk and charges,
+  /// plus per-access event snapshots and the HwObserver notification. Split
+  /// out so unobserved runs — the hot case — pay for none of it; the two
+  /// bodies must stay mirror images.
+  uint64_t accessObserved(Partitioned &Tlb, Partitioned &L1, Partitioned &L2,
+                          Addr A, Label Read, Label Write, bool IsData,
+                          bool IsStore);
+
   /// Precomputed lattice order: Flows[i * Levels + j] = (ℓ_i ⊑ ℓ_j). The
   /// partition search consults the order once per partition per access, so
   /// a virtual flowsTo() call there is measurable; the lattice is immutable,
@@ -138,6 +150,19 @@ private:
 
   unsigned Levels = 0;
   std::vector<uint8_t> Flows;
+
+  /// Precomputed partition walks, one per (er, ew) pair: partLookup visits
+  /// exactly the partitions at levels ⊑ er in ascending label order, each
+  /// entry packing the partition index with a probe-only bit (set when
+  /// ew ⋢ level, Property 5). partInstall's stale-copy sweep visits the
+  /// partitions I ≠ ew with ew ⊑ I. Both walks are functions of the
+  /// immutable lattice alone, so precomputing them at construction removes
+  /// every per-access order check from the simulator's hottest loop.
+  std::vector<uint8_t> LookupPlan;     ///< Packed entries for all (er,ew).
+  std::vector<uint16_t> LookupOff;     ///< Levels²+1 offsets into LookupPlan.
+  std::vector<uint8_t> InstallVictims; ///< Packed entries for all ew.
+  std::vector<uint16_t> VictimOff;     ///< Levels+1 offsets.
+
   Partitioned L1D, L2D, L1I, L2I, DTlb, ITlb;
 };
 

@@ -1,0 +1,164 @@
+//===- Fusion.cpp - Data-driven superinstruction fusion -------------------===//
+
+#include "ir/Fusion.h"
+
+#include "ir/IrPrinter.h"
+#include "ir/Lir.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace zam;
+
+bool zam::fusibleFirst(IrInstr::Op K) {
+  switch (K) {
+  case IrInstr::Op::Skip:
+  case IrInstr::Op::Assign:
+  case IrInstr::Op::ArrayAssign:
+  case IrInstr::Op::Sleep:
+    return true;
+  case IrInstr::Op::Branch:
+  case IrInstr::Op::MitEnter:
+  case IrInstr::Op::MitEnd:
+  case IrInstr::Op::Halt:
+    return false;
+  }
+  return false;
+}
+
+bool zam::fusibleSecond(IrInstr::Op K) {
+  return fusibleFirst(K) || K == IrInstr::Op::Branch;
+}
+
+bool FusionProfile::add(IrInstr::Op A, IrInstr::Op B) {
+  if (!fusibleFirst(A) || !fusibleSecond(B))
+    return false;
+  const uint64_t Bit = uint64_t(1) << (static_cast<unsigned>(A) * 8 +
+                                       static_cast<unsigned>(B));
+  if (!(Bits & Bit)) {
+    Bits |= Bit;
+    Digrams.emplace_back(A, B);
+  }
+  return true;
+}
+
+const FusionProfile &FusionProfile::defaultProfile() {
+  // Ranked by the committed exec.digram.* tables: assign;branch and
+  // store;assign dominate the harness loop (~258k/~256k dispatches each),
+  // assign;assign / skip;assign / assign;store lead the fig7/fig8 program
+  // profiles. (branch-first digrams rank high too but are structurally
+  // unfusible — a branch cannot head a pair.)
+  static const FusionProfile Def = [] {
+    FusionProfile P;
+    P.add(IrInstr::Op::Assign, IrInstr::Op::Branch);
+    P.add(IrInstr::Op::ArrayAssign, IrInstr::Op::Assign);
+    P.add(IrInstr::Op::Assign, IrInstr::Op::Assign);
+    P.add(IrInstr::Op::Skip, IrInstr::Op::Assign);
+    P.add(IrInstr::Op::Assign, IrInstr::Op::ArrayAssign);
+    P.add(IrInstr::Op::ArrayAssign, IrInstr::Op::Branch);
+    return P;
+  }();
+  return Def;
+}
+
+FusionProfile FusionProfile::all() {
+  FusionProfile P;
+  for (unsigned A = 0; A != 8; ++A)
+    for (unsigned B = 0; B != 8; ++B)
+      P.add(static_cast<IrInstr::Op>(A), static_cast<IrInstr::Op>(B));
+  return P;
+}
+
+namespace {
+
+bool opFromName(const std::string &Name, IrInstr::Op &Out) {
+  for (unsigned K = 0; K != 8; ++K) {
+    IrInstr::Op Op = static_cast<IrInstr::Op>(K);
+    if (Name == irOpName(Op)) {
+      Out = Op;
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+std::optional<FusionProfile> FusionProfile::parse(const std::string &Text,
+                                                  std::string &Err) {
+  FusionProfile P;
+  std::istringstream In(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (size_t Hash = Line.find('#'); Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream Fields(Line);
+    std::string A, B, Extra;
+    if (!(Fields >> A))
+      continue; // Blank or comment-only line.
+    if (!(Fields >> B) || (Fields >> Extra)) {
+      Err = "line " + std::to_string(LineNo) +
+            ": expected 'first second' opcode digram";
+      return std::nullopt;
+    }
+    IrInstr::Op OpA, OpB;
+    if (!opFromName(A, OpA) || !opFromName(B, OpB)) {
+      Err = "line " + std::to_string(LineNo) + ": unknown opcode '" +
+            (opFromName(A, OpA) ? B : A) + "'";
+      return std::nullopt;
+    }
+    if (!P.add(OpA, OpB)) {
+      Err = "line " + std::to_string(LineNo) + ": digram '" + A + " " + B +
+            "' is not structurally fusible";
+      return std::nullopt;
+    }
+  }
+  return P;
+}
+
+std::optional<FusionProfile> FusionProfile::load(const std::string &Path,
+                                                 std::string &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err = "cannot open fusion profile '" + Path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream Text;
+  Text << In.rdbuf();
+  return parse(Text.str(), Err);
+}
+
+std::string FusionProfile::render() const {
+  std::string Out =
+      "# zam fusion profile: ranked opcode digrams, one 'first second' "
+      "per line\n";
+  for (const auto &[A, B] : Digrams)
+    Out += std::string(irOpName(A)) + " " + irOpName(B) + "\n";
+  return Out;
+}
+
+void zam::planFusion(LirProgram &L, const FusionProfile &Prof) {
+  L.FusedWith.assign(L.Insts.size(), LirProgram::kNoFuse);
+  L.FusedPairs = 0;
+  if (L.Insts.empty())
+    return;
+  const uint32_t Halt = L.haltIndex();
+  // A pc claimed as a second constituent never also heads a pair — pairs
+  // must not chain into longer superinstructions.
+  std::vector<uint8_t> IsSecond(L.Insts.size(), 0);
+  for (uint32_t Pc = 0; Pc != L.Insts.size(); ++Pc) {
+    const LirInst &I = L.Insts[Pc];
+    if (!fusibleFirst(I.K) || IsSecond[Pc])
+      continue;
+    const uint32_t Pc2 = I.Next;
+    if (Pc2 == Pc || Pc2 == Halt || Pc2 >= L.Insts.size())
+      continue;
+    if (!Prof.contains(I.K, L.Insts[Pc2].K))
+      continue;
+    L.FusedWith[Pc] = Pc2;
+    IsSecond[Pc2] = 1;
+    ++L.FusedPairs;
+  }
+}

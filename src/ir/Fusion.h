@@ -1,0 +1,115 @@
+//===- Fusion.h - Data-driven superinstruction fusion -----------*- C++ -*-===//
+//
+// Part of the zam project: a reproduction of "Language-Based Control and
+// Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The superinstruction fusion pass over the LIR tier, driven by the
+/// opcode-digram ranking the execution observatory (obs/ExecProfile)
+/// measures: `zamc hot` exports a profile of the hottest digrams, and
+/// planFusion overlays a static plan that collapses each profiled pair of
+/// adjacent instructions into one dispatch.
+///
+/// Fusion is a pure dispatch-count optimization; it must never change what
+/// a run observes. Three structural rules keep the plan sound:
+///
+///   - The first constituent must be a straightline op (skip / assign /
+///     store / sleep): it has exactly one successor, so after it executes
+///     the pc provably sits on the second constituent. Branches may only
+///     be second constituents.
+///   - Mitigation ops and Halt never fuse. MitEnter/MitEnd manipulate the
+///     window stack and the padded clock; Halt is never dispatched at all.
+///   - Pairs never chain or overlap as superinstructions: planning is
+///     greedy in ascending pc order, and a pc already claimed as a second
+///     constituent is skipped as a head. (A pc may still be *entered*
+///     directly — by a branch target or a Step-engine resume — in which
+///     case it dispatches standalone via the de-fused table.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ZAM_IR_FUSION_H
+#define ZAM_IR_FUSION_H
+
+#include "ir/Ir.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zam {
+
+struct LirProgram;
+
+/// Whether \p K may head a fused pair: straightline ops with a single
+/// static successor and no window-stack effects.
+bool fusibleFirst(IrInstr::Op K);
+
+/// Whether \p K may close a fused pair: any fusible head, plus Branch
+/// (branches end the pair, so their two successors are unproblematic).
+bool fusibleSecond(IrInstr::Op K);
+
+/// An ordered list of opcode digrams worth fusing — the data that drives
+/// planFusion. The default profile is seeded statically from the committed
+/// fig7/fig8/harness `exec.digram.*` rankings; `zamc hot
+/// --emit-fuse-profile` regenerates one from any workload, and `zamc
+/// --fuse-profile FILE` feeds it back in.
+///
+/// Text format: one digram per line, "first second" in irOpName spellings
+/// ("assign branch"); blank lines and '#' comments ignored. Digrams that
+/// violate the structural fusibility rules are rejected at parse time.
+class FusionProfile {
+public:
+  /// The ranked digram list (insertion order, duplicates dropped).
+  const std::vector<std::pair<IrInstr::Op, IrInstr::Op>> &digrams() const {
+    return Digrams;
+  }
+
+  bool contains(IrInstr::Op A, IrInstr::Op B) const {
+    return (Bits >> (static_cast<unsigned>(A) * 8 + static_cast<unsigned>(B))) &
+           1;
+  }
+  bool empty() const { return Digrams.empty(); }
+
+  /// Appends a digram. Returns false (leaving the profile unchanged) when
+  /// the digram violates the structural fusibility rules; duplicates are
+  /// dropped silently and return true.
+  bool add(IrInstr::Op A, IrInstr::Op B);
+
+  /// The statically committed default: the structurally fusible digrams
+  /// that dominate the committed fig7/fig8/harness exec profiles.
+  static const FusionProfile &defaultProfile();
+
+  /// Every structurally fusible digram — the upper bound realizable plans
+  /// are measured against (`zamc hot`).
+  static FusionProfile all();
+
+  /// Parses the text format. Returns std::nullopt and sets \p Err on the
+  /// first malformed or unfusible line.
+  static std::optional<FusionProfile> parse(const std::string &Text,
+                                            std::string &Err);
+  /// Reads and parses \p Path.
+  static std::optional<FusionProfile> load(const std::string &Path,
+                                           std::string &Err);
+
+  /// Renders the profile in the text format parse() accepts.
+  std::string render() const;
+
+private:
+  std::vector<std::pair<IrInstr::Op, IrInstr::Op>> Digrams;
+  /// Membership bitset indexed (first * 8 + second) — 8 opcodes, so the
+  /// whole digram space fits in one word.
+  uint64_t Bits = 0;
+};
+
+/// Overlays a fusion plan on \p L: for each pc whose opcode digram
+/// (pc, Next) is in \p Prof and passes the structural rules, records
+/// FusedWith[pc] = Next. Greedy in ascending pc order; re-planning
+/// replaces any existing plan.
+void planFusion(LirProgram &L, const FusionProfile &Prof);
+
+} // namespace zam
+
+#endif // ZAM_IR_FUSION_H

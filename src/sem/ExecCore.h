@@ -1,4 +1,4 @@
-//===- ExecCore.h - The shared timing-IR execution core ---------*- C++ -*-===//
+//===- ExecCore.h - The shared LIR execution core ---------------*- C++ -*-===//
 //
 // Part of the zam project: a reproduction of "Language-Based Control and
 // Mitigation of Timing Channels" (Zhang, Askarov, Myers; PLDI 2012).
@@ -9,15 +9,16 @@
 /// One execution core for the full semantics (Fig. 2 + Fig. 6), shared by
 /// both engines: FullInterpreter is a run-to-completion driver over it and
 /// StepInterpreter a resumable program-counter cursor. The core executes
-/// the flat timing-IR (ir/Ir.h): one IrInstr per primitive transition,
-/// advancing a plain program counter — no command-tree rewriting — and owns
-/// everything a transition involves:
+/// the LIR tier (ir/Lir.h) — the timing-IR flattened into register-slot
+/// micro-ops — and owns everything a transition involves:
 ///
-///   - expression evaluation on a flat value stack (postfix IR ops);
+///   - expression evaluation as register-transfer micro-ops (no run-time
+///     value stack: operand registers and addresses are precomputed);
 ///   - cost charging: BaseStep + I-fetch + data accesses + ALU costs
 ///     (+ Branch for guards; sleep is a calibrated timer with no fetch);
 ///   - hardware access through the machine environment under the
-///     instruction's precomputed [er, ew] labels;
+///     instruction's precomputed [er, ew] labels — the machine env is the
+///     security boundary and the LIR tier does not move it;
 ///   - predictive mitigation windows (Fig. 6): a frame stack of open
 ///     mitigate sites, settled by MitEnd exactly like the paper's
 ///     MitigateEnd continuation;
@@ -25,9 +26,24 @@
 ///     moves exactly as in the tree engines, so ledgers and miss samples
 ///     are byte-for-byte identical.
 ///
-/// The IR is immutable; the core holds all run state, so engines stay thin
-/// wrappers that only decide when to call step() and when to install the
-/// hardware observer.
+/// run() executes through one of two dispatch loops — computed-goto
+/// threaded code when the build carries it (ZAM_THREADED_DISPATCH), a
+/// portable switch loop otherwise — and realizes the program's fusion
+/// plan: a pc heading a fused pair dispatches both constituents in one
+/// loop iteration. Observability is at *logical* granularity throughout:
+/// each constituent still charges, traces and probes individually (plus
+/// one additive ExecProbe::onFused per realized pair), and the step-limit
+/// check sits between constituents, so every observable is bit-identical
+/// across {threaded, switch} × {fusion on, off} × {run, step}.
+///
+/// step() executes exactly one logical transition through the de-fused
+/// instruction table, ignoring the fusion plan — that is what makes the
+/// Step engine's cursor resumable at any pc, including the middle of a
+/// superinstruction.
+///
+/// The LIR is immutable; the core holds all run state, so engines stay
+/// thin wrappers that only decide when to call step()/run() and when to
+/// install the hardware observer.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +52,7 @@
 
 #include "hw/MachineEnv.h"
 #include "ir/Ir.h"
+#include "ir/Lir.h"
 #include "sem/Eval.h"
 #include "sem/Event.h"
 #include "sem/FullInterpreter.h"
@@ -43,6 +60,7 @@
 #include "sem/Mitigation.h"
 #include "sem/Provenance.h"
 
+#include <memory>
 #include <vector>
 
 namespace zam {
@@ -53,27 +71,39 @@ namespace zam {
 /// effective location for its hardware access and is restored on return —
 /// the same attribution discipline the AST walker used. \p Stack must have
 /// at least E.MaxDepth capacity; pass nullptr to use a local buffer
-/// (tests/tools).
+/// (tests/tools). This is the IR-tier reference evaluator; the execution
+/// core itself runs the register-transfer form.
 int64_t evalIrExpr(const IrExpr &E, const Memory &M, MachineEnv &Env,
                    Label Read, Label Write, const CostModel &Costs,
                    uint64_t &Cycles, CostCursor *Cur = nullptr,
                    int64_t *Stack = nullptr);
 
+/// Lowers \p IR to the LIR tier and overlays the fusion plan the options
+/// select (Opts.Fusion / Opts.FuseProfile). The shared second lowering
+/// stage both engines run at construction.
+std::unique_ptr<LirProgram> compileLir(const IrProgram &IR,
+                                       const InterpreterOptions &Opts);
+
 class ExecCore final : public HwObserver {
 public:
-  /// Executes \p IR (which must outlive the core) with initial memory
-  /// \p InitM on \p Env. \p P provides the lattice and declarations.
-  ExecCore(const IrProgram &IR, const Program &P, Memory InitM,
+  /// Executes \p L (which, with its IR tier, must outlive the core) with
+  /// initial memory \p InitM on \p Env. \p P provides the lattice and
+  /// declarations.
+  ExecCore(const LirProgram &L, const Program &P, Memory InitM,
            MachineEnv &Env, const InterpreterOptions &Opts);
 
   /// Whether the configuration has reached ⟨stop, m, E, G⟩ (or the step
   /// limit).
   bool done() const { return Halted; }
 
-  /// Performs exactly one transition (one instruction). No-op when done.
+  /// Performs exactly one logical transition (one instruction) through the
+  /// de-fused table. No-op when done.
   void step();
 
-  /// Steps to completion (the big-step driver's tight loop).
+  /// Runs to completion through the fused dispatch loop (the big-step
+  /// driver's tight loop). Interleaves with step(): resuming run() from
+  /// any pc — including a superinstruction's second constituent — is
+  /// sound because fused heads are re-checked per dispatch.
   void run();
 
   Memory &memory() { return M; }
@@ -93,19 +123,45 @@ private:
   /// the provenance sink and samples misses under RecordMisses.
   void onAccess(const HwAccess &Access) override;
 
-  void execInstr(const IrInstr &I);
+  /// Per-opcode bodies. Each begins with the shared dispatch head
+  /// (cursor + probe) and fully executes one logical transition.
+  void execSkip(const LirInst &I);
+  void execAssign(const LirInst &I);
+  void execStore(const LirInst &I);
+  void execBranch(const LirInst &I);
+  void execSleep(const LirInst &I);
+  void execMitEnter(const LirInst &I);
+  void execMitEnd(const LirInst &I);
+  /// One logical transition of the instruction at \p I (a switch over the
+  /// bodies above). Never called on Halt.
+  void execInstr(const LirInst &I);
+
+  /// The two run loops. Identical observable behavior; runThreaded exists
+  /// only when the build carries computed-goto dispatch.
+  void runSwitch();
+  void runThreaded();
+
   void finalize();
-  uint64_t stepBase(const IrInstr &I) {
-    return Opts.Costs.BaseStep + Env.fetch(I.CodeAddr, I.Read, I.Write);
+  void head(const LirInst &I) {
+    // Attribution: every transition moves the cursor to its instruction's
+    // source location before any of its costs (including the I-fetch).
+    if (TrackCursor)
+      Cur.Loc = I.Loc;
+    if (Probe)
+      Probe->onDispatch(PC);
+  }
+  uint64_t stepBase(const LirInst &I) {
+    return BaseStepCost + Env.fetch(I.CodeAddr, I.Read, I.Write);
   }
   void charge(CycleKind K, uint64_t N) {
-    if (Opts.Provenance)
-      Opts.Provenance->chargeCycles(Cur, K, N);
+    if (Prov)
+      Prov->chargeCycles(Cur, K, N);
   }
-  int64_t eval(const IrExpr &E, const IrInstr &I, uint64_t &Cycles) {
-    return evalIrExpr(E, M, Env, I.Read, I.Write, Opts.Costs, Cycles,
-                      TrackCursor ? &Cur : nullptr, Stack.data());
-  }
+  /// Executes the micro-op span [\p U, \p U + \p N) of \p I and returns
+  /// its value. Restores the cursor to the instruction's own location, so
+  /// costs charged after evaluation attribute to the command.
+  int64_t evalSpan(const LirInst &I, uint32_t U, uint32_t N,
+                   uint64_t &Cycles);
   void record(const MemorySlot &S, bool IsArray, uint64_t Index,
               int64_t Value);
 
@@ -126,10 +182,20 @@ private:
   const Program &P;
   MachineEnv &Env;
   InterpreterOptions Opts;
+  /// Hot copies of the per-dispatch Opts fields: the dispatch loop reads
+  /// these every transition, and pulling them next to the rest of the run
+  /// state spares it the walk through the options block.
+  ExecProbe *Probe;
+  CostSink *Prov;
+  uint64_t BaseStepCost;
+  uint64_t AluCost;
+  uint64_t StepLimit;
   Memory M;
   MitigationState OwnMitState;
   MitigationState &MitState;
-  const IrInstr *Code; ///< The IR instruction array.
+  const LirInst *Code;   ///< The logical (de-fused) instruction array.
+  const LirUop *Uops;    ///< The shared micro-op pool.
+  const uint32_t *Fused; ///< The fusion plan (FusedWith).
   Trace T;
   uint64_t G = 0;
   uint32_t PC = 0;
@@ -137,9 +203,16 @@ private:
   /// Cursor maintenance is skipped when nothing observes it (no sink, no
   /// miss sampling) — the cursor is only visible through those channels.
   bool TrackCursor;
+  /// Whether run() uses the threaded loop (build support ∧ Opts.Dispatch).
+  bool UseThreaded;
   CostCursor Cur;
   std::vector<MitFrame> Frames;
-  std::vector<int64_t> Stack; ///< Expression value stack (MaxEvalDepth).
+  std::vector<int64_t> Regs; ///< The micro-op register file (NumRegs).
+  /// Per-slot element-0 pointers: the load fast path indexes straight into
+  /// slot storage without touching Memory's bookkeeping. Stores still go
+  /// through Memory::slotAt (they need the slot metadata for the event
+  /// record anyway).
+  std::vector<const int64_t *> SlotData;
 };
 
 } // namespace zam

@@ -13,8 +13,9 @@ FullInterpreter::FullInterpreter(const Program &P, MachineEnv &Env,
     : Env(Env), Opts(Opts),
       IR(std::make_unique<IrProgram>(
           lowerProgram(P, Opts.Costs, Opts.Mitigation))),
+      LIR(compileLir(*IR, Opts)),
       Core(std::make_unique<ExecCore>(
-          *IR, P, Memory::fromProgram(P, Opts.Costs.DataBase), Env, Opts)) {}
+          *LIR, P, Memory::fromProgram(P, Opts.Costs.DataBase), Env, Opts)) {}
 
 FullInterpreter::~FullInterpreter() = default;
 

@@ -44,7 +44,23 @@
 namespace zam {
 
 class ExecCore;
+class FusionProfile;
 struct IrProgram;
+struct LirProgram;
+
+/// How the execution core dispatches LIR instructions. Purely a
+/// wall-clock knob: every mode produces bit-identical traces, ledgers and
+/// exec.* profiles (the differential tests enforce this).
+enum class DispatchMode : uint8_t {
+  Auto,     ///< Threaded when the build carries it, else switch.
+  Threaded, ///< Computed-goto loop (falls back to switch when unavailable).
+  Switch,   ///< The portable switch loop.
+};
+
+/// Whether this build carries the computed-goto threaded dispatch loop
+/// (ZAM_THREADED_DISPATCH on a compiler with labels-as-values). When
+/// false, DispatchMode::Threaded silently degrades to the switch loop.
+bool threadedDispatchAvailable();
 
 /// Knobs shared by both full-semantics engines.
 struct InterpreterOptions {
@@ -86,6 +102,16 @@ struct InterpreterOptions {
   /// observational: attaching a probe never changes costs, the trace, or
   /// the leakage ledger. Not owned.
   ExecProbe *Probe = nullptr;
+  /// Superinstruction fusion over the LIR tier (ir/Fusion.h). A dispatch
+  /// optimization only — fused runs observe exactly what unfused runs do;
+  /// off mainly for differential testing and debugging.
+  bool Fusion = true;
+  /// The digram profile driving fusion; null uses
+  /// FusionProfile::defaultProfile(). Borrowed, must outlive the engine.
+  const FusionProfile *FuseProfile = nullptr;
+  /// Which dispatch loop run() uses. Step-driven execution is unaffected
+  /// (single transitions always dispatch through the de-fused table).
+  DispatchMode Dispatch = DispatchMode::Auto;
 };
 
 /// Outcome of a full-semantics run.
@@ -125,9 +151,11 @@ public:
 private:
   MachineEnv &Env;
   InterpreterOptions Opts;
-  /// The lowered program; immutable and owned so the core's instruction
-  /// pointers stay valid for the interpreter's lifetime.
+  /// The lowered tiers; immutable and owned so the core's instruction
+  /// pointers stay valid for the interpreter's lifetime. The LIR borrows
+  /// the IR, so declaration order matters.
   std::unique_ptr<IrProgram> IR;
+  std::unique_ptr<LirProgram> LIR;
   std::unique_ptr<ExecCore> Core;
   bool Consumed = false;
 };

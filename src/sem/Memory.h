@@ -23,6 +23,7 @@
 #include "hw/CacheConfig.h"
 #include "lang/Ast.h"
 #include "lattice/SecurityLattice.h"
+#include "support/Diagnostics.h"
 
 #include <string>
 #include <unordered_map>
@@ -62,10 +63,18 @@ public:
   /// Dense slot-index fast path used by the IR execution core. Indices
   /// follow declaration order — the same numbering the lowering pass bakes
   /// into LoadVar/LoadElem/Assign operands — so no name resolution happens
-  /// on the execution path.
+  /// on the execution path. Unchecked in production (the lowering pass is
+  /// the sole producer of indices and LIR operands are precomputed from
+  /// it); sanitizer builds verify the contract on every access.
   size_t slotCount() const { return Slots.size(); }
-  const MemorySlot &slotAt(size_t I) const { return Slots[I]; }
-  MemorySlot &slotAt(size_t I) { return Slots[I]; }
+  const MemorySlot &slotAt(size_t I) const {
+    checkSlotIndex(I, Slots.size());
+    return Slots[I];
+  }
+  MemorySlot &slotAt(size_t I) {
+    checkSlotIndex(I, Slots.size());
+    return Slots[I];
+  }
 
   /// Declaration-order index of \p Name, or npos when undeclared.
   static constexpr size_t npos = static_cast<size_t>(-1);
@@ -75,8 +84,11 @@ public:
   }
 
   /// Index wrapping, exposed statically so callers holding a raw element
-  /// count (the IR engines) wrap exactly like wrapIndex does.
+  /// count (the IR engines) wrap exactly like wrapIndex does. A zero size
+  /// would be a lowering bug (declarations guarantee ≥ 1 element) and is a
+  /// division fault here; sanitizer builds turn it into a diagnosed abort.
   static uint64_t wrapRaw(int64_t RawIndex, uint64_t Size) {
+    checkWrapSize(Size);
     int64_t N = static_cast<int64_t>(Size);
     int64_t I = RawIndex % N;
     if (I < 0)
@@ -112,6 +124,25 @@ public:
   bool operator==(const Memory &Other) const = default;
 
 private:
+  /// Contract checks for the dense addressing fast path. Zero-cost in
+  /// production; ZAM_SANITIZE builds (which define ZAM_SANITIZE_CHECKS)
+  /// turn violations into diagnosed aborts instead of undefined behavior.
+  static void checkSlotIndex(size_t I, size_t Count) {
+#ifdef ZAM_SANITIZE_CHECKS
+    if (I >= Count)
+      reportFatalError("memory slot index out of range");
+#endif
+    (void)I;
+    (void)Count;
+  }
+  static void checkWrapSize(uint64_t Size) {
+#ifdef ZAM_SANITIZE_CHECKS
+    if (Size == 0)
+      reportFatalError("array index wrap modulus is zero");
+#endif
+    (void)Size;
+  }
+
   std::vector<MemorySlot> Slots;
   std::unordered_map<std::string, size_t> Index;
 };

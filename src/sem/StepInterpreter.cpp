@@ -11,8 +11,9 @@ StepInterpreter::StepInterpreter(const Program &P, MachineEnv &Env,
     : Env(Env),
       IR(std::make_unique<IrProgram>(
           lowerProgram(P, Opts.Costs, Opts.Mitigation))),
+      LIR(compileLir(*IR, Opts)),
       Core(std::make_unique<ExecCore>(
-          *IR, P, Memory::fromProgram(P, Opts.Costs.DataBase), Env, Opts)) {
+          *LIR, P, Memory::fromProgram(P, Opts.Costs.DataBase), Env, Opts)) {
   if (Opts.Provenance) {
     PriorObserver = Env.observer();
     Env.setObserver(Core.get());
@@ -26,7 +27,8 @@ StepInterpreter::StepInterpreter(const Program &P, CmdPtr C,
     : Env(Env), Owned(std::move(C)),
       IR(std::make_unique<IrProgram>(
           lowerCommand(P, *Owned, Opts.Costs, Opts.Mitigation))),
-      Core(std::make_unique<ExecCore>(*IR, P, std::move(InitialMemory), Env,
+      LIR(compileLir(*IR, Opts)),
+      Core(std::make_unique<ExecCore>(*LIR, P, std::move(InitialMemory), Env,
                                       Opts)) {
   if (Opts.Provenance) {
     PriorObserver = Env.observer();
@@ -37,7 +39,8 @@ StepInterpreter::StepInterpreter(const Program &P, CmdPtr C,
 
 StepInterpreter::StepInterpreter(StepInterpreter &&Other)
     : Env(Other.Env), Owned(std::move(Other.Owned)), IR(std::move(Other.IR)),
-      Core(std::move(Other.Core)), ObserverInstalled(Other.ObserverInstalled),
+      LIR(std::move(Other.LIR)), Core(std::move(Other.Core)),
+      ObserverInstalled(Other.ObserverInstalled),
       PriorObserver(Other.PriorObserver) {
   // The core (and with it Env's observer registration) moved by pointer;
   // the source must not restore the prior observer a second time.

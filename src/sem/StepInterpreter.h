@@ -90,9 +90,11 @@ private:
   /// Bare-command ctor only: keeps the lowered AST alive (the IR points
   /// into it for provenance).
   CmdPtr Owned;
-  /// The lowered program; immutable and owned so the core's instruction
-  /// pointers stay valid for the engine's lifetime.
+  /// The lowered tiers; immutable and owned so the core's instruction
+  /// pointers stay valid for the engine's lifetime. The LIR borrows the
+  /// IR, so declaration order matters.
   std::unique_ptr<IrProgram> IR;
+  std::unique_ptr<LirProgram> LIR;
   std::unique_ptr<ExecCore> Core;
   /// Whether this engine registered the core as Env's observer (only under
   /// Opts.Provenance); the displaced observer is restored on destruction.

@@ -162,3 +162,18 @@ TEST(Memory, ThreeLevelEquivalence) {
   EXPECT_FALSE(A.equivalentUpTo(C, M, lmh()));
   EXPECT_TRUE(A.equivalentUpTo(C, L, lmh()));
 }
+
+// Bounds regression: the raw indexed paths the LIR tier leans on (slotAt
+// by precomputed index, wrapRaw by precomputed modulus) carry assertions
+// only in ZAM_SANITIZE builds; there they must die loudly instead of
+// reading out of range. Plain builds skip — the checks compile away.
+TEST(MemoryDeathTest, SanitizeChecksCatchRawMisuse) {
+#ifdef ZAM_SANITIZE_CHECKS
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Memory M = Memory::fromProgram(declProgram());
+  EXPECT_DEATH(M.slotAt(M.slots().size()), "slot index out of range");
+  EXPECT_DEATH(Memory::wrapRaw(3, 0), "wrap modulus is zero");
+#else
+  GTEST_SKIP() << "bounds assertions compile away outside ZAM_SANITIZE";
+#endif
+}
